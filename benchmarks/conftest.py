@@ -1,0 +1,31 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one paper figure/theorem experiment (the
+EXP-* index in DESIGN.md), times it with pytest-benchmark, and writes
+the rendered table to ``benchmarks/out/<EXP-ID>.txt`` so the rows the
+paper's claims describe are inspectable after the run (pytest captures
+stdout).  EXPERIMENTS.md records paper-claim vs a representative run of
+these outputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def exp_output():
+    """Write an ExperimentResult's rendering to benchmarks/out/."""
+
+    def write(result) -> str:
+        OUT_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (OUT_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return write

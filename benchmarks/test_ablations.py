@@ -1,0 +1,98 @@
+"""EXP-ABL: ablation study — the construction's design choices matter.
+
+For each design decision DESIGN.md calls out (cascading removals,
+adaptive rules 3/4), run the paper's two-party simulation against the
+ablated reference network and record whether/where it diverges, plus the
+spoiled-influence escape time.  The paper's construction shows zero
+divergences; every ablation produces a witness.
+"""
+
+from repro.analysis.experiments.base import ExperimentResult
+from repro.cc.disjointness import random_instance
+from repro.core.ablations import cascade_escape_report, find_divergence
+from repro.protocols.flooding import GossipMaxNode
+
+
+def _gossip(uid):
+    return GossipMaxNode(uid)
+
+
+def run_ablation_study() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="EXP-ABL",
+        title="Ablations: breaking the construction breaks Lemma 5",
+        headers=["variant", "instances", "diverged", "first witness (party,node,round)"],
+    )
+    variants = [
+        ("paper (adaptive, cascade)", {}),
+        ("rule 3/4 always t+1", {"rule34_mode": "early"}),
+        ("rule 3/4 always t+2", {"rule34_mode": "late"}),
+        ("simultaneous rule-5 removal", {"rule5_simultaneous": True}),
+    ]
+    for name, ablation in variants:
+        diverged = 0
+        first = None
+        total = 8
+        for seed in range(total):
+            value = 0 if ablation.get("rule5_simultaneous") else None
+            inst = random_instance(3, 11, seed=seed, value=value)
+            d = find_divergence(inst, _gossip, seed, **ablation)
+            if d is not None:
+                diverged += 1
+                if first is None:
+                    first = f"({d.party}, {d.node}, r{d.round})"
+        result.rows.append([name, total, diverged, first or "-"])
+
+    contained = cascade_escape_report(simultaneous=False)
+    leaked = cascade_escape_report(simultaneous=True)
+    result.summary["cascade_contained"] = contained.contained
+    result.summary["simultaneous_reaches_A_in"] = leaked.rounds_to_reach_a
+
+    # Section-7 design ablation: drop the pre-lock majority count and
+    # measure the extra lock/unlock traffic it was there to avoid
+    from repro.network.adversaries import StaticAdversary
+    from repro.network.generators import line_edges
+    from repro.protocols.leader_election import LeaderElectNode
+    from repro.sim.coins import CoinSource
+    from repro.sim.engine import SynchronousEngine
+
+    ids = list(range(1, 11))
+    for skip in (False, True):
+        locks = unlocks = 0
+        for seed in (3, 4, 5):
+            nodes = {
+                u: LeaderElectNode(u, n_estimate=10, skip_seen_count=skip) for u in ids
+            }
+            eng = SynchronousEngine(
+                nodes, StaticAdversary(ids, line_edges(ids)), CoinSource(seed)
+            )
+            eng.run(80_000)
+            locks += sum(n.lock_floods_started for n in nodes.values())
+            unlocks += sum(n.unlocks_issued for n in nodes.values())
+        key = "le_without_seen_count" if skip else "le_with_seen_count"
+        result.summary[f"{key}_lock_floods"] = locks
+        result.summary[f"{key}_unlocks"] = unlocks
+    result.notes.append(
+        "cascading removals keep the mounting point's influence away from "
+        "A_Λ/B_Λ for the whole horizon; simultaneous removal leaks it in a "
+        "constant number of rounds — the paper's Section-5 design argument, "
+        "measured"
+    )
+    return result
+
+
+def test_ablations(benchmark, exp_output):
+    result = benchmark.pedantic(run_ablation_study, rounds=1, iterations=1)
+    exp_output(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["paper (adaptive, cascade)"][2] == 0
+    assert rows["rule 3/4 always t+1"][2] > 0
+    assert rows["rule 3/4 always t+2"][2] > 0
+    assert rows["simultaneous rule-5 removal"][2] > 0
+    assert result.summary["cascade_contained"]
+    assert result.summary["simultaneous_reaches_A_in"] <= 4
+    # dropping the pre-lock count multiplies lock roll-back traffic
+    assert (
+        result.summary["le_without_seen_count_unlocks"]
+        > result.summary["le_with_seen_count_unlocks"]
+    )

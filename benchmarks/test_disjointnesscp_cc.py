@@ -1,0 +1,15 @@
+"""EXP-CC: DISJOINTNESSCP communication vs the Theorem-1 bound."""
+
+from repro.analysis.experiments import exp_cc_bounds
+
+
+def test_disjointnesscp_cc(benchmark, exp_output):
+    result = benchmark(exp_cc_bounds)
+    exp_output(result)
+    for row in result.rows:
+        bound = row[-1]
+        send_all, bitmask, min_list, sampling = row[3:7]
+        # every measured protocol sits above the lower-bound curve
+        assert min(send_all, bitmask, min_list, sampling) >= bound
+        # and send-all pays the full n log q freight
+        assert send_all >= bitmask

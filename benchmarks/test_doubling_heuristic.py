@@ -1,0 +1,27 @@
+"""EXP-HEUR: the doubling-guess heuristic cannot safely confirm CFLOOD."""
+
+from repro.analysis.experiments import exp_doubling_heuristic
+
+
+def test_doubling_heuristic(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_doubling_heuristic,
+        kwargs={"n": 24, "thresholds": (0.75, 0.9), "seeds": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # on the straggler topology the heuristic premature-confirms in most
+    # runs (the counting noise occasionally delays it long enough for
+    # flooding to limp home — Monte Carlo, as the model prescribes)
+    for thr in (0.75, 0.9):
+        premature = int(rows[("lollipop", thr)][4].split("/")[0])
+        assert premature >= 2
+        assert rows[("lollipop", thr)][6] < 24
+    # the conservative baseline is never premature
+    assert rows[("lollipop (conservative D=N)", 1.0)][4] == "0/3"
+    # benign topologies: always full coverage at confirm
+    for name in ("overlap-stars", "shifting-line", "static-line"):
+        for thr in (0.75, 0.9):
+            assert rows[(name, thr)][4] == "0/3"

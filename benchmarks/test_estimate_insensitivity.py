@@ -1,0 +1,18 @@
+"""EXP-EST: estimating N is itself sensitive to unknown diameter."""
+
+from repro.analysis.experiments import exp_estimate_insensitivity
+
+
+def test_estimate_insensitivity(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_estimate_insensitivity,
+        kwargs={"q_values": (9, 13), "seeds": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    for row in result.rows:
+        # within the horizon, bit-identical estimates on N vs 2N worlds
+        assert row[7] is True or row[7] == "yes" or row[5] == row[6]
+        # given Omega(q) more rounds, the Λ+Υ estimate pulls ahead
+        assert row[9] > row[8]

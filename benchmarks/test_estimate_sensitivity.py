@@ -1,0 +1,26 @@
+"""EXP-SENS: the 1/3 sensitivity boundary of the N' estimate."""
+
+from repro.analysis.experiments import exp_sensitivity
+
+
+def test_estimate_sensitivity(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_sensitivity,
+        kwargs={
+            "n": 24,
+            "errors": (-0.25, -0.15, 0.0, 0.15, 0.25, 1 / 3, 0.45),
+            "seeds": (41, 42, 43),
+            "max_rounds": 25_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    rows = {row[0]: row for row in result.rows}
+    # well inside the bound: always a unique leader
+    for err in (-0.25, -0.15, 0.0, 0.15, 0.25):
+        assert rows[round(err, 3)][3] == "3/3", err
+    # far beyond the bound: tau >= N, the protocol stalls every time
+    assert rows[0.45][4] == "3/3"
+    # the Λ+Υ construction pins the boundary at exactly 1/3
+    assert abs(result.summary["lambda_upsilon_best_estimate_error"] - 1 / 3) < 1e-3

@@ -1,0 +1,22 @@
+"""EXP-GAP: the headline table — known-D vs unknown-D flooding rounds."""
+
+from repro.analysis.experiments import exp_exponential_gap
+
+
+def test_exponential_gap(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_exponential_gap,
+        kwargs={"measured_sizes": (16, 32, 64), "seeds": (31, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    # the unknown-D floor scales as ~N^(1/4) (log-log slope near 0.25)
+    assert 0.15 < result.summary["floor_loglog_slope"] < 0.3
+    # with unit constants, the floor overtakes the known-D polylog curve
+    # at a finite crossover on the sampled range
+    assert result.summary["floor_overtakes_known_at_N"] is not None
+    # the conservative D=N fallback is poly(N): it dwarfs everything
+    for row in result.rows:
+        n, conservative = row[0], row[4]
+        assert conservative >= (n - 1) / 2

@@ -1,0 +1,16 @@
+"""EXP-F2: regenerate Figure 2 (Λ centipede, x_i = y_i = 0, q = 7)."""
+
+from repro.analysis.experiments import exp_fig2
+
+
+def test_fig2_centipede(benchmark, exp_output):
+    result = benchmark(exp_fig2)
+    exp_output(result)
+    # cascade: chain j dies at round j; last chain untouched
+    assert result.rows[0][2] == "./."
+    assert result.rows[1][2] == "+/+" and result.rows[1][3] == "./."
+    assert result.rows[2][3] == "+/+" and result.rows[2][4] == "./."
+    assert all(state == "+/+" for state in result.rows[3][2:])
+    # the mounting point's influence stays contained through the horizon
+    assert not result.summary["first_mid_reaches_A_by_horizon"]
+    assert not result.summary["first_mid_reaches_B_by_horizon"]

@@ -1,0 +1,15 @@
+"""EXP-F3: regenerate Figure 3 (Λ centipede, x_i=2, y_i=3, middles sending)."""
+
+from repro.analysis.experiments import exp_fig3
+
+
+def test_fig3_centipede(benchmark, exp_output):
+    result = benchmark(exp_fig3)
+    exp_output(result)
+    labels = [row[1] for row in result.rows]
+    assert labels == ["|_3^2", "|_5^4", "|_6^6", "|_6^6"]
+    # with middles sending, rule 3 fires early: (2,3) loses its top at
+    # round 2, (4,5) at round 3; capped chains stay whole
+    assert result.rows[0][3].startswith(".")
+    assert result.rows[1][3].startswith("+") and result.rows[1][4].startswith(".")
+    assert all(state == "+/+" for state in result.rows[2][2:])

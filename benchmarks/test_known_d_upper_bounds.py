@@ -1,0 +1,28 @@
+"""EXP-UB: the trivial known-D upper bounds, measured.
+
+Regenerates the baseline the paper contrasts against: with D known,
+CFLOOD and HEAR-FROM-N take one flooding round, and CONSENSUS / MAX /
+COUNT-N take O(log N)-ish flooding rounds.
+"""
+
+from repro.analysis.experiments import exp_known_d_upper_bounds
+
+
+def test_known_d_upper_bounds(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_known_d_upper_bounds,
+        kwargs={"sizes": (16, 32, 64), "seeds": (21, 22)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # all correct
+    assert all(row[5] for row in result.rows)
+    # CFLOOD and HEAR-FROM-N: exactly one flooding round
+    for n in (16, 32, 64):
+        assert rows[("CFLOOD", n)][4] == 1
+        assert rows[("HEARFROM-N", n)][4] == 1
+    # consensus/MAX flooding rounds grow like log N, nothing like poly(N)
+    for problem in ("CONSENSUS", "MAX"):
+        assert rows[(problem, 64)][4] < 2.2 * rows[(problem, 16)][4]

@@ -1,0 +1,55 @@
+"""Substrate performance benchmarks.
+
+Not a paper experiment — these time the simulator itself so regressions
+in the hot paths (per-round engine loop, splitmix coin streams, the
+vectorized causality pass) are caught.  The numbers also calibrate how
+large an N the experiment suite can afford.
+"""
+
+from repro.network.adversaries import RandomConnectedAdversary
+from repro.network.causality import dynamic_diameter
+from repro.protocols.flooding import GossipMaxNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def run_gossip_rounds(n=64, rounds=200, seed=5):
+    ids = list(range(1, n + 1))
+    nodes = {u: GossipMaxNode(u) for u in ids}
+    eng = SynchronousEngine(nodes, RandomConnectedAdversary(ids, seed=3), CoinSource(seed))
+    eng.run(rounds, stop_on_termination=False)
+    return eng.trace
+
+
+def test_engine_throughput(benchmark):
+    """64 nodes x 200 rounds of randomized gossip (12.8k node-rounds)."""
+    trace = benchmark(run_gossip_rounds)
+    assert trace.rounds == 200
+
+
+def test_coin_stream_throughput(benchmark):
+    """10k coin-stream constructions + draws (the per-node-round cost)."""
+    src = CoinSource(1)
+
+    def draw():
+        total = 0
+        for uid in range(100):
+            for r in range(100):
+                c = src.coins(uid, r)
+                total += c.bit()
+        return total
+
+    result = benchmark(draw)
+    assert 0 <= result <= 10_000
+
+
+def test_causality_diameter_pass(benchmark):
+    """Vectorized dynamic-diameter measurement on a 96-node schedule."""
+    ids = list(range(96))
+    sched = RandomConnectedAdversary(ids, seed=7).schedule(16)
+
+    def measure():
+        return dynamic_diameter(sched, max_diameter=40)
+
+    d = benchmark(measure)
+    assert d is not None and 1 <= d <= 40

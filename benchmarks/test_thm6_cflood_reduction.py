@@ -1,0 +1,32 @@
+"""EXP-T6: the Theorem-6 CFLOOD reduction, end to end.
+
+Regenerates the quantitative content of Theorem 6: the executable
+Alice/Bob simulation of a CFLOOD oracle over the Γ+Λ composition, the
+O(log N)-bits-per-round cross-cut accounting, the diameter dichotomy,
+and the fast-vs-correct impossibility pattern.
+"""
+
+from repro.analysis.experiments import exp_thm6_reduction
+
+
+def test_thm6_cflood_reduction(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_thm6_reduction,
+        kwargs={"q_values": (25, 41), "n": 3, "seeds": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    fast = [row for row in result.rows if row[3].startswith("fast")]
+    conserv = [row for row in result.rows if row[3].startswith("conserv")]
+    # fast oracle terminates inside the horizon everywhere => decision 1;
+    # its confirm is premature exactly on answer-0 networks
+    assert all(row[4] == 1 for row in fast)
+    assert all(row[11] == (row[2] == 1) for row in fast)
+    # conservative (always-correct) oracle never terminates inside the
+    # horizon => decision 0
+    assert all(row[4] == 0 for row in conserv)
+    # cross-cut communication stays within an O(log N) per-round envelope
+    assert all(row[8] < 64 * 8 for row in result.rows)
+    # answer-0 networks: the flood cannot complete within the horizon
+    assert all(row[10] > row[9] for row in result.rows if row[2] == 0)

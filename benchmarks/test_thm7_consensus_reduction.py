@@ -1,0 +1,29 @@
+"""EXP-T7: the Theorem-7 CONSENSUS reduction over Λ+Υ.
+
+Regenerates the boundary-estimate story: Υ doubles N exactly when the
+answer is 0, so the best estimate N' = (4/3)|Λ| has relative error 1/3
+in both scenarios, and the (correct, diameter-oblivious) consensus
+oracle run at that boundary cannot terminate inside the horizon.
+"""
+
+import pytest
+
+from repro.analysis.experiments import exp_thm7_reduction
+
+
+def test_thm7_consensus_reduction(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_thm7_reduction,
+        kwargs={"q_values": (17, 25), "n": 2, "seeds": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    # the boundary estimate has error exactly 1/3 in every scenario
+    assert all(row[5] == pytest.approx(1 / 3, abs=0.01) for row in result.rows)
+    # N doubles with the answer
+    assert all(row[2] == 2 * row[1] for row in result.rows)
+    # at the boundary the oracle stalls: decision 0 everywhere (correct
+    # on answer-0 rows, wrong on answer-1 rows — no fast correct
+    # protocol exists at accuracy 1/3, which is Theorem 7)
+    assert all(row[6] == 0 for row in result.rows)

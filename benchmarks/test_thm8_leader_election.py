@@ -1,0 +1,34 @@
+"""EXP-T8: the Section-7 leader election (Theorem 8), measured.
+
+Regenerates the upper-bound claim's shape: given N' (here exact, i.e.
+error 0 <= 1/3 - c), the protocol elects a unique leader on every
+adversary family with *no* knowledge of D, in polylog flooding rounds.
+"""
+
+from repro.analysis.experiments import exp_thm8_leader_election
+
+
+def test_thm8_leader_election(benchmark, exp_output):
+    result = benchmark.pedantic(
+        exp_thm8_leader_election,
+        kwargs={
+            "sizes": (8, 16, 32),
+            "adversaries": ("overlap-stars", "random-conn"),
+            "seeds": (11, 12, 13),
+            "include_line_up_to": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    exp_output(result)
+    # every run elected a unique leader with full agreement
+    assert all(row[4] == f"{row[3]}/{row[3]}" for row in result.rows)
+    # polylog scaling: fitted (log N)^p degree stays small
+    assert result.summary["polylog_degree(stars)"] < 3.5
+    # flooding rounds do not blow up when D grows from 2 to N-1 at equal N
+    by_n = {}
+    for row in result.rows:
+        by_n.setdefault(row[0], {})[row[1]] = row[6]
+    for n, per_adv in by_n.items():
+        if "static-line" in per_adv and "overlap-stars" in per_adv:
+            assert per_adv["static-line"] < 4 * per_adv["overlap-stars"]

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: the CONGEST dynamic-network simulator in five minutes.
+
+Builds a dynamic network whose topology changes every round, runs three
+protocols over it, and measures the quantity this whole library is
+about: the *dynamic diameter* — including the paper's motivating
+observation that a network can look tiny every single round and still
+be causally enormous.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.network import (
+    OverlappingStarsAdversary,
+    RotatingStarAdversary,
+    StaticAdversary,
+    dynamic_diameter,
+    line_edges,
+)
+from repro.protocols import CFloodKnownDNode, GossipMaxNode, TokenFloodNode
+from repro.sim import CoinSource, SynchronousEngine
+
+N = 16
+IDS = list(range(1, N + 1))
+
+
+def measure(name, adversary, probe_rounds=40):
+    d = dynamic_diameter(adversary.schedule(probe_rounds), max_diameter=probe_rounds + N)
+    print(f"  {name:<28} dynamic diameter D = {d}")
+    return d
+
+
+def main() -> None:
+    print("== 1. Dynamic diameters are not per-round diameters ==")
+    static_line = StaticAdversary(IDS, line_edges(IDS))
+    rotating = RotatingStarAdversary(IDS)
+    overlapping = OverlappingStarsAdversary(IDS)
+    measure("static line", static_line)
+    d_rot = measure("rotating star (churn!)", rotating)
+    d_fast = measure("overlapping stars (churn!)", overlapping)
+    print(
+        f"  -> both star schedules have per-round diameter 2, yet one is "
+        f"D = {d_rot} and the other D = {d_fast}.\n"
+    )
+
+    print("== 2. Token flooding completes in exactly D rounds ==")
+    for name, adv in [("static line", static_line), ("overlapping stars", overlapping)]:
+        nodes = {u: TokenFloodNode(u, source=1) for u in IDS}
+        trace = SynchronousEngine(nodes, adv, CoinSource(7)).run(200)
+        print(f"  {name:<28} flood finished at round {trace.termination_round}")
+    print()
+
+    print("== 3. Confirmed flooding (CFLOOD): knowing D is everything ==")
+    d_line = N - 1
+    nodes = {u: CFloodKnownDNode(u, source=1, d_param=d_line) for u in IDS}
+    trace = SynchronousEngine(nodes, static_line, CoinSource(7)).run(200)
+    informed = all(nodes[u].informed for u in IDS)
+    print(f"  fed the true D={d_line}: confirmed at round {trace.termination_round}, "
+          f"everyone informed: {informed}")
+
+    nodes = {u: CFloodKnownDNode(u, source=1, d_param=3) for u in IDS}
+    trace = SynchronousEngine(nodes, static_line, CoinSource(7)).run(200)
+    informed = all(nodes[u].informed for u in IDS)
+    print(f"  fed a wrong D=3:      confirmed at round {trace.termination_round}, "
+          f"everyone informed: {informed}  <- premature! (Theorem 6 says this "
+          "is unavoidable for any fast unknown-D protocol)\n")
+
+    print("== 4. Randomized gossip under adversarial churn ==")
+    nodes = {u: GossipMaxNode(u) for u in IDS}
+    eng = SynchronousEngine(nodes, overlapping, CoinSource(9))
+    eng.run(200, stop=lambda ns: all(n.best == N for n in ns.values()))
+    print(f"  max id {N} reached every node after {eng.round} rounds "
+          f"(~{eng.round / d_fast:.0f} flooding rounds; O(log N) is the theory)")
+
+
+if __name__ == "__main__":
+    main()

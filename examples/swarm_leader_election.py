@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scenario: leader election in a drone swarm with unknown diameter.
+
+A swarm of drones communicates over radio links that the environment
+rewires every round (mobility, interference).  Nobody knows the
+network's dynamic diameter — it depends on how the topology will evolve.
+The paper's Theorem 8 says that is fine *as long as the swarm knows
+roughly how many drones there are*: with an estimate N' within 1/3 - c
+of N, leader election needs no diameter knowledge at all.
+
+This example runs the paper's own pipeline:
+
+1. during staging (a calm, known-D phase on the ground) the swarm counts
+   itself with the exponential-minimum protocol -> N';
+2. in flight (adversarial churn, D unknown) it elects a leader with the
+   Section-7 protocol seeded by that N';
+3. for contrast, it shows the same election attempted with a hopeless
+   N' (error > 1/3) stalling, exactly as the Λ+Υ lower-bound
+   construction predicts.
+
+Run:  python examples/swarm_leader_election.py
+"""
+
+from repro.network import (
+    OverlappingStarsAdversary,
+    ShiftingLineAdversary,
+    dynamic_diameter,
+)
+from repro.protocols.hearfrom import CountNodesNode, count_rounds_budget
+from repro.protocols.leader_election import LeaderElectNode
+from repro.sim import CoinSource, SynchronousEngine
+
+SWARM_SIZE = 18
+DRONES = list(range(101, 101 + SWARM_SIZE))  # drone serial numbers
+
+
+def stage_one_count() -> float:
+    """On the ground: star around the ground station, D = 2, known."""
+    ground = OverlappingStarsAdversary(DRONES)
+    d_known = 2
+    budget = count_rounds_budget(d_known, SWARM_SIZE)
+    nodes = {u: CountNodesNode(u, total_rounds=budget) for u in DRONES}
+    SynchronousEngine(nodes, ground, CoinSource(2024)).run(budget + 2)
+    n_prime = nodes[DRONES[0]].estimate
+    print(f"[staging] counted the swarm in {budget} rounds "
+          f"({budget // d_known} flooding rounds): N' = {n_prime:.1f} "
+          f"(true N = {SWARM_SIZE}, error {abs(n_prime - SWARM_SIZE) / SWARM_SIZE:.1%})")
+    return n_prime
+
+
+def stage_two_elect(n_prime: float, churn, label: str, max_rounds=60_000) -> None:
+    nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in DRONES}
+    eng = SynchronousEngine(nodes, churn, CoinSource(7))
+    trace = eng.run(max_rounds)
+    if trace.termination_round is None:
+        print(f"[flight/{label}] N' = {n_prime:.1f}: NO leader after "
+              f"{max_rounds} rounds — the election stalled")
+        return
+    leaders = {out[1] for out in trace.outputs.values()}
+    print(f"[flight/{label}] N' = {n_prime:.1f}: drone {leaders.pop()} elected "
+          f"by ALL drones at round {trace.termination_round} — no diameter "
+          "knowledge used")
+
+
+def main() -> None:
+    n_prime = stage_one_count()
+
+    # in-flight churn regimes with very different (unknown!) diameters
+    fast_churn = OverlappingStarsAdversary(DRONES)
+    slow_churn = ShiftingLineAdversary(DRONES, seed=5, reshuffle_every=2)
+    d_fast = dynamic_diameter(fast_churn.schedule(40), max_diameter=60)
+    d_slow = dynamic_diameter(slow_churn.schedule(40), max_diameter=60)
+    print(f"[flight] realized (but unknown to the drones) diameters: "
+          f"fast churn D = {d_fast}, slow churn D = {d_slow}")
+
+    stage_two_elect(n_prime, fast_churn, "fast-churn")
+    stage_two_elect(n_prime, slow_churn, "slow-churn")
+
+    # the cautionary tale: a count that is off by more than 1/3
+    print()
+    print("what if half the swarm was double-counted (N' error +50%)?")
+    stage_two_elect(1.5 * SWARM_SIZE, fast_churn, "bad-estimate", max_rounds=15_000)
+    print("-> matching the paper: the 1/3 accuracy threshold is sharp "
+          "(Theorem 7 vs Theorem 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Visualize the lower-bound constructions, figure-style.
+
+Renders the paper's Figure 1 (the type-Γ subnetwork under all three
+adversaries) and Figure 2 (the cascading centipede) as ASCII frames, one
+per round — removed edges vanish, exactly like the dashed edges in the
+paper's figures.
+
+Run:  python examples/visualize_construction.py
+"""
+
+from repro.analysis.viz import render_rounds, render_subnetwork_round
+from repro.cc import DisjointnessInstance
+from repro.core import GammaSubnetwork, LambdaSubnetwork
+
+
+def main() -> None:
+    inst = DisjointnessInstance.from_strings("3110", "2200", 5)
+    print(f"Figure 1 instance: {inst}  (answer = {inst.evaluate()})\n")
+
+    gamma_full = GammaSubnetwork(inst.n, inst.q, x=inst.x, y=inst.y)
+    gamma_alice = GammaSubnetwork(inst.n, inst.q, x=inst.x)  # belief: no y!
+    gamma_bob = GammaSubnetwork(inst.n, inst.q, y=inst.y)  # belief: no x!
+
+    print("=== type-Γ, round 1, the three adversaries "
+          "(columns = chains, groups left to right; '?' = label the party "
+          "cannot see) ===\n")
+    print(render_subnetwork_round(gamma_full, 1, "reference"))
+    print()
+    print(render_subnetwork_round(gamma_alice, 1, "alice"))
+    print()
+    print(render_subnetwork_round(gamma_bob, 1, "bob"))
+    print()
+    print("note the (0,0) group (rightmost): the reference removed both "
+          "edges; Alice only knows the tops are gone, Bob only the "
+          "bottoms — the '?' region of Figure 1.\n")
+
+    print("=== type-Λ centipede, x_i = y_i = 0, q = 7: the cascade "
+          "(Figure 2), rounds 1-4 ===\n")
+    lam = LambdaSubnetwork(1, 7, x=(0,), y=(0,))
+    print(render_rounds(lam, 4, "reference"))
+    print()
+    print("chain j detaches exactly at round j; the 'o---o' line keeps the "
+          "middles connected, and the mounting point's influence crawls "
+          "along it one chain per round — always one step behind the "
+          "removals.\n")
+
+    print("=== the spoiled wave (who Alice can still simulate) ===\n")
+    from repro.analysis.viz import render_spoiled_round
+    for r in (1, 2, 3):
+        print(render_spoiled_round(lam, r, "alice"))
+        print()
+    print("the '#' wave moves one chain per round, exactly alongside the "
+          "removal cascade — the containment that Lemma 4 formalizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — executable reproduction of *The Cost of Unknown Diameter in
+Dynamic Networks* (Yu, Zhao, Jahja; SPAA 2016).
+
+Subpackages
+-----------
+``repro.sim``
+    CONGEST synchronous round simulator (the Section-2 model).
+``repro.network``
+    Dynamic-network substrate: topologies, adversaries, causality and the
+    dynamic-diameter computation.
+``repro.cc``
+    Two-party communication complexity: DISJOINTNESSCP with the cycle
+    promise, reference protocols, and the Theorem-1 bound formulas.
+``repro.core``
+    The paper's contribution: type-Γ/Λ/Υ subnetworks, the three
+    adversaries, spoiled-node schedules, composition networks, and the
+    executable Alice/Bob reduction (Lemma 5, Theorems 6–7).
+``repro.protocols``
+    Distributed protocols: flooding, CFLOOD, consensus, MAX,
+    HEAR-FROM-N-NODES, counting, and the Section-7 leader-election
+    protocol that needs only an estimate of N.
+``repro.analysis``
+    Experiment harness: sweeps, scaling fits, paper-style tables.
+"""
+
+from . import _util, errors
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,20 @@
+"""Experiment harness: paper-style tables, sweeps, scaling fits.
+
+:mod:`~repro.analysis.experiments` defines one runnable experiment per
+paper figure/theorem (the EXP-* index of DESIGN.md); the benchmarks and
+examples call into it so that every number in EXPERIMENTS.md has exactly
+one source of truth.
+"""
+
+from .fitting import crossover_x, loglog_slope
+from .sweep import cartesian_sweep
+from .tables import format_float, render_series, render_table
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "format_float",
+    "loglog_slope",
+    "crossover_x",
+    "cartesian_sweep",
+]

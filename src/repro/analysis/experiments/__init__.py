@@ -1,0 +1,30 @@
+"""The EXP-* experiments: one per paper figure/theorem (see DESIGN.md).
+
+Every experiment returns an :class:`ExperimentResult` with structured
+rows plus a rendered table, and is the single source of truth for the
+corresponding benchmark and for EXPERIMENTS.md.
+"""
+
+from .base import ExperimentResult
+from .estimation import exp_estimate_insensitivity
+from .figures import exp_fig1, exp_fig2, exp_fig3
+from .gap import exp_exponential_gap, exp_sensitivity
+from .heuristics import exp_doubling_heuristic
+from .protocols import exp_known_d_upper_bounds, exp_thm8_leader_election
+from .reductions import exp_cc_bounds, exp_thm6_reduction, exp_thm7_reduction
+
+__all__ = [
+    "ExperimentResult",
+    "exp_fig1",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_thm6_reduction",
+    "exp_thm7_reduction",
+    "exp_cc_bounds",
+    "exp_thm8_leader_election",
+    "exp_known_d_upper_bounds",
+    "exp_exponential_gap",
+    "exp_doubling_heuristic",
+    "exp_estimate_insensitivity",
+    "exp_sensitivity",
+]

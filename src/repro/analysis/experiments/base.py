@@ -1,0 +1,30 @@
+"""Shared experiment-result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one EXP-* experiment."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: free-form scalar summaries (slopes, error rates, ...)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [render_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]
+        if self.summary:
+            parts.append("summary: " + ", ".join(f"{k}={v}" for k, v in sorted(self.summary.items())))
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,189 @@
+"""EXP-T8 / EXP-UB: the upper-bound protocols, measured.
+
+EXP-T8 sweeps the Section-7 leader election over network sizes and
+adversary families, reporting rounds, flooding rounds (rounds / D) and
+agreement/uniqueness — the Theorem-8 claim is that flooding rounds stay
+polylogarithmic in N with *no* knowledge of D.
+
+EXP-UB measures the trivial known-D upper bounds the paper contrasts
+against: CFLOOD (exactly D rounds), consensus / MAX / HEAR-FROM-N /
+estimate-N in O(D log N) rounds — all O(log N) flooding rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import mean
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ...network.adversaries import (
+    Adversary,
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    StaticAdversary,
+)
+from ...network.causality import dynamic_diameter
+from ...network.generators import line_edges
+from ...protocols.cflood import CFloodKnownDNode
+from ...protocols.consensus import ConsensusKnownDNode
+from ...protocols.hearfrom import CountNodesNode, HearFromAllNode, count_rounds_budget
+from ...protocols.leader_election import LeaderElectNode
+from ...protocols.max_id import MaxIdNode, max_rounds_budget
+from ...sim.coins import CoinSource
+from ...sim.engine import SynchronousEngine
+from ..fitting import loglog_slope
+from .base import ExperimentResult
+
+__all__ = ["exp_thm8_leader_election", "exp_known_d_upper_bounds", "measured_diameter"]
+
+
+def measured_diameter(adv: Adversary, probe_rounds: int = 48) -> int:
+    """The realized dynamic diameter of an oblivious adversary's schedule."""
+    sched = adv.schedule(probe_rounds)
+    d = dynamic_diameter(sched, max_diameter=probe_rounds + adv.num_nodes)
+    return d if d is not None else adv.num_nodes  # conservative fallback
+
+
+def _adversary_suite(n: int, seed: int) -> Dict[str, Adversary]:
+    ids = list(range(1, n + 1))
+    return {
+        "overlap-stars": OverlappingStarsAdversary(ids),
+        "static-line": StaticAdversary(ids, line_edges(ids)),
+        "random-conn": RandomConnectedAdversary(ids, seed=seed),
+    }
+
+
+def exp_thm8_leader_election(
+    sizes: Sequence[int] = (8, 16, 32),
+    adversaries: Sequence[str] = ("overlap-stars", "random-conn"),
+    seeds: Sequence[int] = (11, 12, 13),
+    n_prime_error: float = 0.0,
+    max_rounds: int = 120_000,
+    include_line_up_to: int = 16,
+) -> ExperimentResult:
+    """Leader election without D, given N' = (1 + err) N."""
+    result = ExperimentResult(
+        exp_id="EXP-T8",
+        title=f"Theorem 8: leader election, unknown D, N' error {n_prime_error:+.2f}",
+        headers=[
+            "N", "adversary", "D", "runs", "elected ok", "mean rounds",
+            "flood rounds", "log2N",
+        ],
+    )
+    star_floods = []
+    star_ns = []
+    for n in sizes:
+        ids = list(range(1, n + 1))
+        suite = _adversary_suite(n, seed=5)
+        names = list(adversaries)
+        if n <= include_line_up_to and "static-line" not in names:
+            names.append("static-line")
+        for name in names:
+            adv = suite[name]
+            d = measured_diameter(adv)
+            rounds_list, ok = [], 0
+            for seed in seeds:
+                nodes = {
+                    u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
+                    for u in ids
+                }
+                eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+                tr = eng.run(max_rounds)
+                leaders = {o[1] for o in tr.outputs.values() if o is not None}
+                terminated = tr.termination_round is not None
+                if terminated and len(leaders) == 1:
+                    ok += 1
+                rounds_list.append(tr.termination_round or max_rounds)
+            flood = mean(rounds_list) / max(1, d)
+            result.rows.append([
+                n, name, d, len(seeds), f"{ok}/{len(seeds)}",
+                round(mean(rounds_list), 1), round(flood, 1),
+                round(math.log2(n), 2),
+            ])
+            if name == "overlap-stars":
+                star_ns.append(n)
+                star_floods.append(flood)
+    if len(star_ns) >= 2:
+        # fit flood_rounds ~ (log2 N)^p: slope of log(flood) vs log(log2 N)
+        p, _ = loglog_slope([math.log2(v) for v in star_ns], star_floods)
+        result.summary["polylog_degree(stars)"] = round(p, 2)
+        result.notes.append(
+            "flooding rounds fit (log N)^p with small p — polylogarithmic, "
+            "with no dependence on knowing D (compare the same N across "
+            "adversaries with D = 2 vs D = N-1: rounds scale with D, "
+            "flooding rounds do not blow up)"
+        )
+    return result
+
+
+def exp_known_d_upper_bounds(
+    sizes: Sequence[int] = (16, 32, 64),
+    seeds: Sequence[int] = (21, 22),
+) -> ExperimentResult:
+    """Known-D protocols on the D=2 overlapping-stars schedule."""
+    result = ExperimentResult(
+        exp_id="EXP-UB",
+        title="Known-D trivial upper bounds (overlapping stars, D = 2)",
+        headers=["problem", "N", "D", "rounds", "flood rounds", "correct"],
+    )
+    for n in sizes:
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        d = measured_diameter(adv)
+        budget = max_rounds_budget(d, n)
+
+        def run(make_nodes, check, cap: Optional[int] = None) -> Tuple[float, bool]:
+            max_r = cap if cap is not None else 10 * budget + n
+            rounds_list, all_ok = [], True
+            for seed in seeds:
+                nodes = make_nodes()
+                eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+                tr = eng.run(max_r)
+                rounds_list.append(tr.termination_round or max_r)
+                all_ok = all_ok and tr.termination_round is not None and check(nodes)
+            return mean(rounds_list), all_ok
+
+        # CFLOOD: source = min id, confirm after exactly D rounds
+        src = ids[0]
+        rounds, ok = run(
+            lambda: {u: CFloodKnownDNode(u, src, d_param=d) for u in ids},
+            lambda nodes: all(nodes[u].informed for u in ids),
+        )
+        result.rows.append(["CFLOOD", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+
+        # CONSENSUS: decide max-id's value within Theta(D log N)
+        rounds, ok = run(
+            lambda: {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids},
+            lambda nodes: len({nodes[u].best_value for u in ids}) == 1
+            and all(nodes[u].best_value == max(ids) % 2 for u in ids),
+        )
+        result.rows.append(["CONSENSUS", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+
+        # MAX
+        rounds, ok = run(
+            lambda: {u: MaxIdNode(u, total_rounds=budget) for u in ids},
+            lambda nodes: all(nodes[u].best == max(ids) for u in ids),
+        )
+        result.rows.append(["MAX", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+
+        # HEAR-FROM-N: definitionally D rounds when D is known
+        rounds, ok = run(
+            lambda: {u: HearFromAllNode(u, d_param=d) for u in ids},
+            lambda nodes: True,
+        )
+        result.rows.append(["HEARFROM-N", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+
+        # estimate N with accuracy well inside 1/3
+        cbudget = count_rounds_budget(d, n)
+        rounds, ok = run(
+            lambda: {u: CountNodesNode(u, total_rounds=cbudget) for u in ids},
+            lambda nodes: all(abs(nodes[u].estimate - n) / n < 1 / 3 for u in ids),
+            cap=cbudget + 4,
+        )
+        result.rows.append(["COUNT-N", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+    result.notes.append(
+        "every problem sits at O(log N)-ish flooding rounds when D is "
+        "known; contrast with the Omega((N/log N)^(1/4)) floor once D is "
+        "unknown (EXP-GAP)"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Scaling fits: log-log slopes and crossover detection.
+
+The paper's claims are asymptotic; finite-N experiments verify the
+*shape*: the measured unknown-D lower-bound curve should have log-log
+slope ~ 1/4 while the known-D curves are polylogarithmic (slope -> 0),
+and "who wins" flips at a measurable crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import require
+
+__all__ = ["loglog_slope", "crossover_x"]
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """(slope, intercept) of a least-squares fit of log y on log x.
+
+    Points with non-positive coordinates are rejected (they would be a
+    measurement bug, not data).
+    """
+    require(len(xs) == len(ys) and len(xs) >= 2, "need >= 2 points")
+    require(all(x > 0 for x in xs) and all(y > 0 for y in ys), "log-log needs positives")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    return float(slope), float(intercept)
+
+
+def crossover_x(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> Optional[float]:
+    """First x where series A overtakes series B (linear interpolation).
+
+    Returns None if A never overtakes B on the sampled range.
+    """
+    require(len(xs) == len(ys_a) == len(ys_b), "length mismatch")
+    for i in range(len(xs)):
+        if ys_a[i] > ys_b[i]:
+            if i == 0:
+                return float(xs[0])
+            # interpolate between i-1 and i on the difference
+            d0 = ys_a[i - 1] - ys_b[i - 1]
+            d1 = ys_a[i] - ys_b[i]
+            frac = -d0 / (d1 - d0) if d1 != d0 else 0.0
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    return None

@@ -1,0 +1,28 @@
+"""Parameter sweeps with seeded replication."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["cartesian_sweep"]
+
+
+def cartesian_sweep(
+    params: Mapping[str, Sequence[Any]],
+    fn: Callable[..., Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run ``fn(**cell)`` for every cell of the parameter grid.
+
+    Each result row is the cell's parameters merged with ``fn``'s result
+    dict (result keys win on collision — they are the measurements).
+    """
+    names = list(params)
+    rows: List[Dict[str, Any]] = []
+    for values in itertools.product(*(params[k] for k in names)):
+        cell = dict(zip(names, values))
+        result = fn(**cell)
+        row = dict(cell)
+        row.update(result)
+        rows.append(row)
+    return rows

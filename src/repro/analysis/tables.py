@@ -1,0 +1,60 @@
+"""ASCII table rendering for experiment output.
+
+The benchmarks print the same rows/series the paper's claims describe;
+this module keeps the formatting consistent (and keeps numpy types from
+leaking ``np.float64(...)`` into reports).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["format_float", "render_table", "render_series"]
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Human formatting: ints stay ints, floats get ``digits`` sig-places."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 1e-3:
+            return f"{value:.{digits}e}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[format_float(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[Any], ys: Sequence[Any], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """A two-column series block."""
+    return render_table([x_label, y_label], list(zip(xs, ys)), title=name)

@@ -1,0 +1,135 @@
+"""ASCII rendering of the subnetwork constructions.
+
+Draws a chain-grid subnetwork the way the paper's figures do: the A
+special node on top, each chain as a column (top label, top edge, middle,
+bottom edge, bottom label), B at the bottom — one frame per round, under
+any of the three adversaries.  Used by the ``visualize_construction``
+example and handy in a REPL when studying the removal schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.subnetworks import ChainSubnetwork
+
+__all__ = [
+    "render_subnetwork_round",
+    "render_rounds",
+    "render_spoiled_round",
+    "edge_glyph",
+]
+
+
+def edge_glyph(present: bool) -> str:
+    return "|" if present else " "
+
+
+def _edges_for(subnet: ChainSubnetwork, adversary: str, round_: int, receiving: bool):
+    if adversary == "reference":
+        return subnet.reference_edges(round_, lambda uid: receiving)
+    if adversary == "alice":
+        return subnet.alice_edges(round_)
+    if adversary == "bob":
+        return subnet.bob_edges(round_)
+    raise ValueError(f"unknown adversary {adversary!r}")
+
+
+def _norm(u: int, v: int):
+    return (u, v) if u < v else (v, u)
+
+
+def render_subnetwork_round(
+    subnet: ChainSubnetwork,
+    round_: int,
+    adversary: str = "reference",
+    receiving: bool = True,
+    group: Optional[int] = None,
+) -> str:
+    """One frame: the chain grid of one group (or all) in one round.
+
+    Rows: A spokes, top labels, top edges, middles (``*`` marks type-Λ
+    middles joined by the horizontal line), bottom edges, bottom labels,
+    B spokes.  Removed edges render as blanks — visually matching the
+    paper's Figures 1-3.
+    """
+    edges = _edges_for(subnet, adversary, round_, receiving)
+    chains = [c for c in subnet.chains if group is None or c.group == group]
+    width = 4
+
+    def fmt(values: List[str]) -> str:
+        return "".join(v.center(width) for v in values)
+
+    def label(v) -> str:
+        return "?" if v is None else str(v)
+
+    top_labels = fmt([label(c.top_label) for c in chains])
+    bot_labels = fmt([label(c.bottom_label) for c in chains])
+    top_edges = fmt([edge_glyph(_norm(c.top, c.mid) in edges) for c in chains])
+    bot_edges = fmt([edge_glyph(_norm(c.mid, c.bottom) in edges) for c in chains])
+    mid_cells = []
+    for i, c in enumerate(chains):
+        joined_right = (
+            i + 1 < len(chains)
+            and chains[i + 1].group == c.group
+            and _norm(c.mid, chains[i + 1].mid) in edges
+        )
+        mid_cells.append("o" + ("---" if joined_right else "   "))
+    mids = "".join(cell for cell in mid_cells)
+
+    header = f"[{adversary} r{round_}]"
+    a_row = "A" + "-" * (len(top_labels) - 1)
+    b_row = "B" + "-" * (len(bot_labels) - 1)
+    return "\n".join(
+        [header, a_row, top_labels, top_edges, mids, bot_edges, bot_labels, b_row]
+    )
+
+
+def render_spoiled_round(
+    subnet: ChainSubnetwork,
+    round_: int,
+    party: str = "alice",
+    group: Optional[int] = None,
+) -> str:
+    """One frame of the spoiled map: ``#`` spoiled, ``.`` non-spoiled.
+
+    Rows are the chains' (top, middle, bottom) nodes; the party's own
+    special node is never spoiled, the far one always is (from round 1).
+    """
+    if party == "alice":
+        spoil = subnet.spoil_rounds_alice()
+    elif party == "bob":
+        spoil = subnet.spoil_rounds_bob()
+    else:
+        raise ValueError(f"unknown party {party!r}")
+    chains = [c for c in subnet.chains if group is None or c.group == group]
+    width = 4
+
+    def row(uids) -> str:
+        return "".join(
+            ("#" if round_ >= spoil[uid] else ".").center(width) for uid in uids
+        )
+
+    header = f"[spoiled for {party}, r{round_}] ('#' = spoiled)"
+    return "\n".join(
+        [
+            header,
+            row([c.top for c in chains]),
+            row([c.mid for c in chains]),
+            row([c.bottom for c in chains]),
+        ]
+    )
+
+
+def render_rounds(
+    subnet: ChainSubnetwork,
+    rounds: int,
+    adversary: str = "reference",
+    receiving: bool = True,
+    group: Optional[int] = None,
+) -> str:
+    """Frames for rounds 1..rounds, separated by blank lines."""
+    return "\n\n".join(
+        render_subnetwork_round(subnet, r, adversary, receiving, group)
+        for r in range(1, rounds + 1)
+    )

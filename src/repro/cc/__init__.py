@@ -1,0 +1,48 @@
+"""Two-party communication complexity substrate.
+
+The lower bounds of the paper are reductions from the two-party
+``DISJOINTNESSCP(n, q)`` problem of Chen, Yu, Zhao and Gibbons (JACM'14),
+whose inputs satisfy the *cycle promise*.  This package provides:
+
+* :mod:`~repro.cc.disjointness` — the problem, the promise, instance
+  generators, and the allowed-pair cycle structure;
+* :mod:`~repro.cc.twoparty` — an Alice/Bob message-passing framework with
+  transcript bit accounting;
+* :mod:`~repro.cc.protocols` — reference two-party protocols for
+  DISJOINTNESSCP (exact and Monte Carlo);
+* :mod:`~repro.cc.bounds` — the Theorem-1 / Corollary-2 bound formulas.
+"""
+
+from .bounds import corollary2_bound_bits, theorem1_lower_bound_bits
+from .disjointness import (
+    DisjointnessInstance,
+    allowed_pairs,
+    cycle_of_pairs,
+    random_instance,
+    satisfies_cycle_promise,
+)
+from .protocols import (
+    MinListProtocol,
+    SamplingProtocol,
+    SendAllProtocol,
+    ZeroBitmaskProtocol,
+)
+from .twoparty import Party, Transcript, TwoPartyResult, run_two_party
+
+__all__ = [
+    "DisjointnessInstance",
+    "satisfies_cycle_promise",
+    "allowed_pairs",
+    "cycle_of_pairs",
+    "random_instance",
+    "Party",
+    "Transcript",
+    "TwoPartyResult",
+    "run_two_party",
+    "SendAllProtocol",
+    "ZeroBitmaskProtocol",
+    "MinListProtocol",
+    "SamplingProtocol",
+    "theorem1_lower_bound_bits",
+    "corollary2_bound_bits",
+]

@@ -1,0 +1,35 @@
+"""Bound formulas: Theorem 1 and Corollary 2 (imported from Chen et al.).
+
+Theorem 1 (from [4]): any (1/5)-error public-coin Monte Carlo protocol
+for DISJOINTNESSCP(n, q) communicates at least ``Omega(n / q^2) -
+O(log n)`` bits over worst-case inputs and worst-case coins.
+
+Corollary 2 strengthens the quantifier: for (1/6)-error protocols there
+is an instance with answer 1 on which the *average-coin* cost is already
+``Omega(n / q^2) - O(log n)``.
+
+Asymptotic statements carry hidden constants; the functions take them as
+explicit parameters (defaulting to 1) so experiments can display the
+bound as a curve *shape* rather than pretending to know the constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._util import require
+
+__all__ = ["theorem1_lower_bound_bits", "corollary2_bound_bits"]
+
+
+def theorem1_lower_bound_bits(n: int, q: int, c1: float = 1.0, c2: float = 1.0) -> float:
+    """The Theorem-1 bound ``c1 * n / q^2 - c2 * log2 n``, floored at 0."""
+    require(n >= 1 and q >= 3, "need n >= 1 and q >= 3")
+    return max(0.0, c1 * n / (q * q) - c2 * math.log2(n))
+
+
+def corollary2_bound_bits(n: int, q: int, c1: float = 1.0, c2: float = 1.0) -> float:
+    """Corollary 2 has the same quantitative form as Theorem 1; the
+    strengthening is in the quantifiers (answer-1 instance, average
+    coins), which matters for the reduction, not the formula."""
+    return theorem1_lower_bound_bits(n, q, c1=c1, c2=c2)

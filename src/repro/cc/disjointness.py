@@ -1,0 +1,200 @@
+"""DISJOINTNESSCP(n, q): the promise problem behind the lower bounds.
+
+Definition (paper, Section 2).  Alice holds x, Bob holds y, each a string
+of n characters over [0, q-1] with q odd, q >= 3.  The answer is 0 if
+some coordinate i has ``x_i = y_i = 0`` and 1 otherwise.  Inputs must
+satisfy the **cycle promise**: for every i, one of
+
+* ``y_i = x_i - 1``,
+* ``y_i = x_i + 1``,
+* ``(x_i, y_i) = (0, 0)``,
+* ``(x_i, y_i) = (q - 1, q - 1)``.
+
+The promise is what powers the subnetwork constructions: the allowed
+pairs form a single cycle of length 2q in the "indistinguishability
+graph" (pairs adjacent when one party cannot tell them apart), so a pair
+can be driven all the way around by local relabelings — see
+:func:`cycle_of_pairs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import require, stable_hash64
+from ..errors import PromiseViolation
+
+__all__ = [
+    "satisfies_cycle_promise",
+    "DisjointnessInstance",
+    "allowed_pairs",
+    "cycle_of_pairs",
+    "random_instance",
+]
+
+Pair = Tuple[int, int]
+
+
+def _validate_params(n: int, q: int) -> None:
+    require(n >= 1, f"n must be >= 1, got {n}")
+    require(q >= 3 and q % 2 == 1, f"q must be an odd integer >= 3, got {q}")
+
+
+def _pair_ok(x: int, y: int, q: int) -> bool:
+    return y == x - 1 or y == x + 1 or (x, y) == (0, 0) or (x, y) == (q - 1, q - 1)
+
+
+def satisfies_cycle_promise(x: Sequence[int], y: Sequence[int], q: int) -> bool:
+    """True iff every coordinate pair is promise-allowed."""
+    if len(x) != len(y):
+        return False
+    return all(
+        0 <= xi <= q - 1 and 0 <= yi <= q - 1 and _pair_ok(xi, yi, q)
+        for xi, yi in zip(x, y)
+    )
+
+
+def allowed_pairs(q: int) -> List[Pair]:
+    """All 2q promise-allowed (x_i, y_i) pairs for the given q."""
+    _validate_params(1, q)
+    pairs = [(0, 0), (q - 1, q - 1)]
+    pairs += [(k, k - 1) for k in range(1, q)]
+    pairs += [(k, k + 1) for k in range(0, q - 1)]
+    return sorted(set(pairs))
+
+
+def cycle_of_pairs(q: int) -> List[Pair]:
+    """The allowed pairs in cycle order of the indistinguishability graph.
+
+    Consecutive pairs agree on one party's character (so that party cannot
+    distinguish them); the cycle visits all 2q allowed pairs, with (0, 0)
+    and (q-1, q-1) antipodal.  This is the structure Chen et al. use to
+    show the promise is not ad hoc, and it is why the subnetwork chain
+    labels of Sections 4-5 can be "walked" consistently.
+    """
+    _validate_params(1, q)
+    cycle: List[Pair] = [(0, 0)]
+    x, y = 0, 1  # step off the special pair on Alice's side
+    cycle.append((x, y))
+    # ascend: alternate matching y (Bob blind) then x (Alice blind)
+    while (x, y) != (q - 1, q - 1):
+        if x < y:
+            x = y + 1 if y + 1 <= q - 1 else y  # (y+1, y) unless at the top
+            if x == y:  # reached (q-1, q-1) via Bob's side
+                break
+        else:
+            y = x + 1 if x + 1 <= q - 1 else x
+            if y == x:
+                break
+        cycle.append((x, y))
+    cycle.append((q - 1, q - 1))
+    # descend the other side back toward (0, 0)
+    x, y = q - 2, q - 1
+    while (x, y) != (0, 0) and x >= 0 and y >= 0:
+        cycle.append((x, y))
+        if x > y:
+            x = y - 1
+        else:
+            y = x - 1
+    return cycle
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """One validated DISJOINTNESSCP instance."""
+
+    x: Tuple[int, ...]
+    y: Tuple[int, ...]
+    q: int
+
+    def __post_init__(self):
+        _validate_params(len(self.x), self.q)
+        if len(self.x) != len(self.y):
+            raise PromiseViolation(
+                f"|x| = {len(self.x)} but |y| = {len(self.y)}"
+            )
+        for i, (xi, yi) in enumerate(zip(self.x, self.y)):
+            if not (0 <= xi <= self.q - 1 and 0 <= yi <= self.q - 1):
+                raise PromiseViolation(
+                    f"coordinate {i}: ({xi}, {yi}) outside [0, {self.q - 1}]"
+                )
+            if not _pair_ok(xi, yi, self.q):
+                raise PromiseViolation(
+                    f"coordinate {i}: ({xi}, {yi}) violates the cycle promise"
+                )
+
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+    def evaluate(self) -> int:
+        """DISJOINTNESSCP(x, y): 0 if some coordinate is (0, 0), else 1."""
+        return 0 if any(xi == 0 and yi == 0 for xi, yi in zip(self.x, self.y)) else 1
+
+    def zero_zero_coordinates(self) -> Tuple[int, ...]:
+        """Indices i (0-based) with (x_i, y_i) = (0, 0)."""
+        return tuple(
+            i for i, (xi, yi) in enumerate(zip(self.x, self.y)) if xi == 0 and yi == 0
+        )
+
+    @classmethod
+    def from_strings(cls, x: str, y: str, q: int) -> "DisjointnessInstance":
+        """Build from digit strings, e.g. ``from_strings('3110', '2200', 5)``
+        — the Figure 1 instance."""
+        return cls(tuple(int(ch) for ch in x), tuple(int(ch) for ch in y), q)
+
+    def __str__(self) -> str:
+        xs = "".join(str(v) for v in self.x) if self.q <= 10 else str(self.x)
+        ys = "".join(str(v) for v in self.y) if self.q <= 10 else str(self.y)
+        return f"DISJOINTNESSCP(n={self.n}, q={self.q}, x={xs}, y={ys})"
+
+
+def random_instance(
+    n: int,
+    q: int,
+    seed: int,
+    value: Optional[int] = None,
+    zero_zero_count: Optional[int] = None,
+) -> DisjointnessInstance:
+    """A random promise-satisfying instance.
+
+    ``value`` forces the answer (0 or 1); ``zero_zero_count`` plants an
+    exact number of (0, 0) coordinates (implies ``value = 0`` if > 0).
+    Coordinates are drawn uniformly from the allowed-pair cycle, then
+    patched to honour the constraints.
+    """
+    _validate_params(n, q)
+    rng = np.random.default_rng(stable_hash64((seed, n, q, 0xD15)))
+    pairs = allowed_pairs(q)
+    non_zero_pairs = [p for p in pairs if p != (0, 0)]
+
+    if zero_zero_count is not None:
+        require(0 <= zero_zero_count <= n, "zero_zero_count out of range")
+        if value is not None:
+            expected = 0 if zero_zero_count > 0 else 1
+            require(value == expected, "value inconsistent with zero_zero_count")
+    elif value == 0:
+        zero_zero_count = 1 + int(rng.integers(0, max(1, n // 4)))
+    elif value == 1:
+        zero_zero_count = 0
+
+    chosen: List[Pair] = []
+    if zero_zero_count is None:
+        for _ in range(n):
+            chosen.append(pairs[int(rng.integers(0, len(pairs)))])
+    else:
+        planted = set(
+            int(i) for i in rng.choice(n, size=zero_zero_count, replace=False)
+        ) if zero_zero_count > 0 else set()
+        for i in range(n):
+            if i in planted:
+                chosen.append((0, 0))
+            else:
+                chosen.append(non_zero_pairs[int(rng.integers(0, len(non_zero_pairs)))])
+
+    x = tuple(p[0] for p in chosen)
+    y = tuple(p[1] for p in chosen)
+    return DisjointnessInstance(x, y, q)

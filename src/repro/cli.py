@@ -1,0 +1,134 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1
+    python -m repro thm6 --quick
+    python -m repro gap
+    python -m repro all --quick
+
+Each command prints the experiment's rendered table (the same rows the
+benchmarks assert on).  ``--quick`` shrinks the parameter grid for a
+seconds-scale run; defaults match the benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis.experiments import (
+    exp_cc_bounds,
+    exp_estimate_insensitivity,
+    exp_doubling_heuristic,
+    exp_exponential_gap,
+    exp_fig1,
+    exp_fig2,
+    exp_fig3,
+    exp_known_d_upper_bounds,
+    exp_sensitivity,
+    exp_thm6_reduction,
+    exp_thm7_reduction,
+    exp_thm8_leader_election,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _thm6(quick: bool):
+    return exp_thm6_reduction(q_values=(25,) if quick else (25, 41), seeds=(1,) if quick else (1, 2))
+
+
+def _thm7(quick: bool):
+    return exp_thm7_reduction(q_values=(17,) if quick else (17, 25), seeds=(1,) if quick else (1, 2))
+
+
+def _thm8(quick: bool):
+    if quick:
+        return exp_thm8_leader_election(
+            sizes=(8,), adversaries=("overlap-stars",), seeds=(11,), include_line_up_to=0
+        )
+    return exp_thm8_leader_election()
+
+
+def _ub(quick: bool):
+    return exp_known_d_upper_bounds(sizes=(16,) if quick else (16, 32, 64), seeds=(21,) if quick else (21, 22))
+
+
+def _cc(quick: bool):
+    return exp_cc_bounds(n_values=(64, 256) if quick else (64, 256, 1024))
+
+
+def _gap(quick: bool):
+    return exp_exponential_gap(measured_sizes=(16,) if quick else (16, 32, 64), seeds=(31,) if quick else (31, 32))
+
+
+def _sens(quick: bool):
+    if quick:
+        return exp_sensitivity(n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000)
+    return exp_sensitivity()
+
+
+def _est(quick: bool):
+    if quick:
+        return exp_estimate_insensitivity(q_values=(9,), seeds=(1,), late_factor=150)
+    return exp_estimate_insensitivity()
+
+
+def _heur(quick: bool):
+    if quick:
+        return exp_doubling_heuristic(n=24, thresholds=(0.75,), seeds=(1,), max_rounds=40_000)
+    return exp_doubling_heuristic()
+
+
+#: command name -> (description, runner(quick) -> ExperimentResult)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("Figure 1: type-Γ chains under the three adversaries", lambda q: exp_fig1()),
+    "fig2": ("Figure 2: Λ centipede cascade (x=y=0)", lambda q: exp_fig2()),
+    "fig3": ("Figure 3: Λ centipede (x=2, y=3)", lambda q: exp_fig3()),
+    "thm6": ("Theorem 6: the CFLOOD reduction, end to end", _thm6),
+    "thm7": ("Theorem 7: the CONSENSUS reduction at boundary N'", _thm7),
+    "thm8": ("Theorem 8: diameter-oblivious leader election", _thm8),
+    "ub": ("known-D trivial upper bounds", _ub),
+    "cc": ("DISJOINTNESSCP communication vs Theorem 1", _cc),
+    "gap": ("the headline exponential gap table", _gap),
+    "sens": ("the 1/3 estimate-sensitivity sweep", _sens),
+    "heur": ("the doubling-guess CFLOOD heuristic", _heur),
+    "est": ("N-estimation insensitivity within the horizon", _est),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments (The Cost of Unknown "
+        "Diameter in Dynamic Networks, SPAA 2016).",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment to run ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink parameter grids for a fast run"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:<6} {EXPERIMENTS[name][0]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        _desc, runner = EXPERIMENTS[name]
+        result = runner(args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's contribution, executable.
+
+* :mod:`~repro.core.chains` — chain labels, edge-removal and spoiled
+  schedules (the rules of Sections 4-5 in closed form);
+* :mod:`~repro.core.gamma`, :mod:`~repro.core.lambda_net`,
+  :mod:`~repro.core.upsilon` — the three subnetwork types;
+* :mod:`~repro.core.composition` — composition networks and the
+  Theorem-6 / Theorem-7 mappings;
+* :mod:`~repro.core.simulation` — the Lemma-5 two-party simulation of an
+  arbitrary oracle protocol, with communication accounting;
+* :mod:`~repro.core.reduction` — end-to-end reductions and the
+  lower-bound arithmetic (s = Omega((N / log N)^(1/4)));
+* :mod:`~repro.core.diameter_gap` — diameter-dichotomy measurements.
+"""
+
+from .ablations import (
+    ablated_theorem6_network,
+    cascade_escape_report,
+    find_divergence,
+)
+from .carryover import CarryoverReport, measure_carryover
+from .chains import Chain, NEVER
+from .composition import (
+    CompositionNetwork,
+    ReferenceAdversary,
+    theorem6_network,
+    theorem6_size,
+    theorem7_network,
+    theorem7_sizes,
+)
+from .gamma import GammaSubnetwork
+from .lambda_net import LambdaSubnetwork
+from .reduction import (
+    cflood_lower_bound_flooding_rounds,
+    implied_time_lower_bound,
+    theorem6_parameters,
+)
+from .simulation import (
+    NodeSpy,
+    PartySimulator,
+    ReductionOutcome,
+    TwoPartyReduction,
+    run_reference_execution,
+)
+from .upsilon import UpsilonSubnetwork, make_upsilon
+
+__all__ = [
+    "ablated_theorem6_network",
+    "cascade_escape_report",
+    "find_divergence",
+    "CarryoverReport",
+    "measure_carryover",
+    "Chain",
+    "NEVER",
+    "GammaSubnetwork",
+    "LambdaSubnetwork",
+    "UpsilonSubnetwork",
+    "make_upsilon",
+    "CompositionNetwork",
+    "ReferenceAdversary",
+    "theorem6_network",
+    "theorem6_size",
+    "theorem7_network",
+    "theorem7_sizes",
+    "PartySimulator",
+    "TwoPartyReduction",
+    "ReductionOutcome",
+    "NodeSpy",
+    "run_reference_execution",
+    "cflood_lower_bound_flooding_rounds",
+    "theorem6_parameters",
+    "implied_time_lower_bound",
+]

@@ -1,0 +1,261 @@
+"""Three-node chains: labels, edge-removal schedules, spoiled schedules.
+
+This module encodes, in closed form, the per-round behaviour of one
+vertical chain under each of the three adversaries of Sections 4-5.
+
+A chain has nodes U (top), V (middle), W (bottom); the *top edge* is
+(U, V) and the *bottom edge* is (V, W).  Its behaviour is determined by
+its labels ``(a, b)`` — ``a`` on the top node (derived from Alice's x),
+``b`` on the bottom node (from Bob's y) — which always form a
+promise-allowed pair.
+
+Reference adversary (rules 1-4 shared by type-Γ and type-Λ; rule 5
+differs).  With ``t`` ranging over non-negative integers:
+
+1. ``(a, b) = (2t, 2t-1)``  → top edge removed at the start of round t+1.
+2. ``(a, b) = (2t-1, 2t)``  → bottom edge removed at the start of round t+1.
+3. ``(a, b) = (2t, 2t+1)``  → top edge removed at the start of round t+2
+   if V is receiving in round t+1, else at the start of round t+1.
+4. ``(a, b) = (2t+1, 2t)``  → bottom edge removed likewise (adaptive).
+5. type-Γ: ``(0, 0)`` → both edges removed at round 1, V detached onto
+   the line.  type-Λ: ``(2t, 2t)`` with t <= (q-3)/2 → both edges removed
+   at round t+1 (the cascading removals of the centipedes).
+6. ``(q-1, q-1)`` → untouched.
+
+Alice's simulated adversary (she sees only ``a``):
+
+* ``a = 2t``   → top edge removed at round t+1;
+* ``a = 2t+1`` → bottom edge removed at round t+2.
+
+Bob's simulated adversary mirrors with ``b``.
+
+Spoiled schedules (Section 4).  For Alice (top label ``a``):
+
+* U is never spoiled;
+* V is spoiled from round a/2 + 1 when ``a`` is even (never, within the
+  simulation horizon, when ``a`` is odd);
+* W is spoiled from round floor(a/2) + 1.
+
+Bob's schedule mirrors with ``b`` (W never spoiled; V from b/2 + 1 when
+``b`` even; U from floor(b/2) + 1).  These closed forms reproduce every
+case of the Lemma-3 enumeration; the test suite checks them against the
+lemma exhaustively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from .._util import require
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Chain",
+    "NEVER",
+    "Rule34Mode",
+    "top_edge_present_reference",
+    "bottom_edge_present_reference",
+    "top_edge_present_alice",
+    "bottom_edge_present_alice",
+    "top_edge_present_bob",
+    "bottom_edge_present_bob",
+    "alice_spoil_rounds",
+    "bob_spoil_rounds",
+]
+
+#: How the reference adversary resolves the adaptive rules 3/4.
+#:
+#: * ``"adaptive"`` — the paper's rule: remove at round t+2 if the middle
+#:   is receiving in round t+1, else at t+1.  The unique choice that
+#:   keeps *both* parties' simulations faithful.
+#: * ``"early"`` — ablation: always remove at t+1 (matches Alice's
+#:   schedule; breaks Bob when the middle receives at t+1).
+#: * ``"late"`` — ablation: always remove at t+2 (matches Bob's
+#:   schedule; breaks Alice when the middle sends at t+1).
+Rule34Mode = str  # "adaptive" | "early" | "late"
+
+#: Sentinel spoil round for "never spoiled" (compares greater than any round).
+NEVER = math.inf
+
+# A predicate answering "is the middle node of this chain receiving in
+# round t+1?" — the only adaptivity in the reference adversary.
+MidReceiving = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One vertical chain with its node ids and labels.
+
+    ``group`` is the coordinate index i (1-based); ``slot`` the chain's
+    position within the group/centipede (1-based).  ``top_label`` /
+    ``bottom_label`` may be None on a party's *belief* structure (Alice
+    never learns bottom labels, Bob never learns top labels).
+    """
+
+    group: int
+    slot: int
+    top: int
+    mid: int
+    bottom: int
+    top_label: Optional[int]
+    bottom_label: Optional[int]
+
+    @property
+    def nodes(self) -> Tuple[int, int, int]:
+        return (self.top, self.mid, self.bottom)
+
+
+def _even(v: int) -> bool:
+    return v % 2 == 0
+
+
+def _check_labels(a: int, b: int, q: int) -> None:
+    # Chain labels are promise pairs shifted by 2(j-1) and capped at q-1
+    # (Section 5), so besides |a-b| = 1 the equal *even* pairs (0,0),
+    # (2,2), ..., (q-1,q-1) are legal.  Equal odd pairs never arise.
+    ok = b == a - 1 or b == a + 1 or (a == b and a % 2 == 0)
+    if not ok:
+        raise ConfigurationError(f"labels ({a}, {b}) are not a (shifted) promise pair for q={q}")
+
+
+# ----------------------------------------------------------------------
+# Reference adversary.
+# ----------------------------------------------------------------------
+
+def _rule34_present(t: int, round_: int, mid_receiving: MidReceiving, mode: Rule34Mode) -> bool:
+    """Presence under rules 3/4: removal at t+1 or t+2 per the mode."""
+    if round_ <= t:
+        return True
+    if mode == "early":
+        return False  # removed at t+1
+    if mode == "late":
+        return round_ == t + 1  # removed at t+2
+    if round_ == t + 1:
+        return mid_receiving(t + 1)
+    return False
+
+
+def top_edge_present_reference(
+    a: int,
+    b: int,
+    q: int,
+    round_: int,
+    mid_receiving: MidReceiving,
+    lambda_rule5: bool,
+    rule34: Rule34Mode = "adaptive",
+) -> bool:
+    """Is the top edge present in ``round_`` under the reference adversary?
+
+    ``lambda_rule5`` selects the type-Λ variant of rule 5 (equal even
+    labels removed at round t+1) over the type-Γ variant ((0, 0) removed
+    at round 1; equal labels other than (0,0)/(q-1,q-1) cannot occur in Γ).
+    ``rule34`` selects the adaptive-rule mode (ablations: "early"/"late").
+    """
+    _check_labels(a, b, q)
+    require(round_ >= 1, "rounds are 1-based")
+    if a == b:
+        if a == q - 1:
+            return True  # rule 6: untouched
+        # rule 5 (both variants remove the top edge; they differ in when)
+        t = a // 2 if lambda_rule5 else 0
+        return round_ <= t
+    if not _even(a):
+        return True  # rules 2/4 touch only the bottom edge
+    t = a // 2
+    if b == a - 1:  # rule 1
+        return round_ <= t
+    # b == a + 1: rule 3
+    return _rule34_present(t, round_, mid_receiving, rule34)
+
+
+def bottom_edge_present_reference(
+    a: int,
+    b: int,
+    q: int,
+    round_: int,
+    mid_receiving: MidReceiving,
+    lambda_rule5: bool,
+    rule34: Rule34Mode = "adaptive",
+) -> bool:
+    """Mirror of :func:`top_edge_present_reference` for the bottom edge."""
+    _check_labels(a, b, q)
+    require(round_ >= 1, "rounds are 1-based")
+    if a == b:
+        if a == q - 1:
+            return True
+        t = b // 2 if lambda_rule5 else 0
+        return round_ <= t
+    if not _even(b):
+        return True  # rules 1/3 touch only the top edge
+    t = b // 2
+    if a == b - 1:  # rule 2
+        return round_ <= t
+    # a == b + 1: rule 4
+    return _rule34_present(t, round_, mid_receiving, rule34)
+
+
+# ----------------------------------------------------------------------
+# Alice's simulated adversary (function of the top label only).
+# ----------------------------------------------------------------------
+
+def top_edge_present_alice(a: int, round_: int) -> bool:
+    """Alice removes the top edge of an even-top chain at round a/2 + 1."""
+    require(round_ >= 1, "rounds are 1-based")
+    if _even(a):
+        return round_ <= a // 2
+    return True
+
+
+def bottom_edge_present_alice(a: int, round_: int) -> bool:
+    """Alice removes the bottom edge of an odd-top chain at round
+    (a-1)/2 + 2."""
+    require(round_ >= 1, "rounds are 1-based")
+    if _even(a):
+        return True
+    return round_ <= (a - 1) // 2 + 1
+
+
+# ----------------------------------------------------------------------
+# Bob's simulated adversary (function of the bottom label only).
+# ----------------------------------------------------------------------
+
+def bottom_edge_present_bob(b: int, round_: int) -> bool:
+    """Bob removes the bottom edge of an even-bottom chain at round b/2 + 1."""
+    require(round_ >= 1, "rounds are 1-based")
+    if _even(b):
+        return round_ <= b // 2
+    return True
+
+
+def top_edge_present_bob(b: int, round_: int) -> bool:
+    """Bob removes the top edge of an odd-bottom chain at round
+    (b-1)/2 + 2."""
+    require(round_ >= 1, "rounds are 1-based")
+    if _even(b):
+        return True
+    return round_ <= (b - 1) // 2 + 1
+
+
+# ----------------------------------------------------------------------
+# Spoiled schedules.  A node is spoiled in round r iff r >= spoil_round;
+# "spoiled since the beginning of round t+1" -> spoil_round = t + 1.
+# ----------------------------------------------------------------------
+
+def alice_spoil_rounds(a: int) -> Tuple[float, float, float]:
+    """(U, V, W) spoil rounds for Alice, given the top label ``a``."""
+    if _even(a):
+        t = a // 2
+        return (NEVER, t + 1, t + 1)
+    t = (a - 1) // 2
+    return (NEVER, NEVER, t + 1)
+
+
+def bob_spoil_rounds(b: int) -> Tuple[float, float, float]:
+    """(U, V, W) spoil rounds for Bob, given the bottom label ``b``."""
+    if _even(b):
+        t = b // 2
+        return (t + 1, t + 1, NEVER)
+    t = (b - 1) // 2
+    return (t + 1, NEVER, NEVER)

@@ -1,0 +1,200 @@
+"""Composition networks (Section 6): gluing subnetworks with bridges.
+
+A composition network unions the per-round edges of its subnetworks and
+adds a *bridging edge set* that never changes across rounds.  The two
+mappings the paper uses:
+
+* :func:`theorem6_network` — type-Γ + type-Λ.  Bridges (A_Γ, A_Λ) and
+  (B_Γ, B_Λ) always; when the DISJOINTNESSCP answer is 0, also
+  (L_Γ, L_Λ) hanging the Γ middle line off a Λ mounting point.
+  N = 3nq + 4 regardless of the instance.
+* :func:`theorem7_network` — type-Λ + type-Υ.  No bridge when the answer
+  is 1 (Υ is empty); one mounting-point-to-mounting-point bridge when it
+  is 0.  N doubles with the answer, which is the whole point.
+
+Both are *simple composition mappings*: every sensitive bridge's
+endpoints stay non-spoiled through round (q-1)/2 and the bridge is
+present in every network of the mapping (checked in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..cc.disjointness import DisjointnessInstance
+from ..errors import ConfigurationError
+from ..network.adversaries import Adversary
+from ..network.dynamic import DynamicSchedule
+from ..network.topology import RoundTopology
+from .gamma import GammaSubnetwork
+from .lambda_net import LambdaSubnetwork
+from .subnetworks import ChainSubnetwork
+from .upsilon import UpsilonSubnetwork, make_upsilon
+
+__all__ = [
+    "CompositionNetwork",
+    "ReferenceAdversary",
+    "theorem6_network",
+    "theorem7_network",
+    "theorem6_size",
+    "theorem7_sizes",
+]
+
+Edge = Tuple[int, int]
+ReceivingPolicy = Callable[[int, int], bool]  # (uid, round) -> receiving?
+
+
+def _norm(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class CompositionNetwork:
+    """A fully-known (reference-side) composed dynamic network."""
+
+    instance: DisjointnessInstance
+    subnets: Tuple[ChainSubnetwork, ...]
+    bridges: FrozenSet[Edge]
+    #: which theorem's mapping produced this network ("T6" / "T7")
+    mapping: str
+
+    @property
+    def node_ids(self) -> List[int]:
+        ids: List[int] = []
+        for s in self.subnets:
+            ids.extend(s.node_ids)
+        return ids
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(s.num_nodes for s in self.subnets)
+
+    @property
+    def horizon(self) -> int:
+        """The simulation horizon (q-1)/2 of the reduction."""
+        return (self.instance.q - 1) // 2
+
+    def reference_edges(self, round_: int, receiving_now: Callable[[int], bool]) -> Set[Edge]:
+        """This round's edges under the reference adversary."""
+        edges: Set[Edge] = set(self.bridges)
+        for s in self.subnets:
+            edges |= s.reference_edges(round_, receiving_now)
+        return edges
+
+    def reference_adversary(
+        self, default_receiving: bool = True
+    ) -> "ReferenceAdversary":
+        """An engine adversary playing the reference rules adaptively."""
+        return ReferenceAdversary(self, default_receiving=default_receiving)
+
+    def schedule(
+        self, rounds: int, receiving_policy: Optional[ReceivingPolicy] = None
+    ) -> DynamicSchedule:
+        """Materialize rounds 1..rounds for causality/diameter analysis.
+
+        The adaptive rules 3/4 need to know whether a chain's middle is
+        receiving at its decision round; ``receiving_policy`` supplies
+        the assumption (default: always receiving, which matches the
+        Figure-1 illustration and the latest possible removals).
+        """
+        policy = receiving_policy or (lambda uid, r: True)
+        ids = self.node_ids
+        tops = [
+            RoundTopology(ids, self.reference_edges(r, lambda uid, _r=r: policy(uid, _r)))
+            for r in range(1, rounds + 1)
+        ]
+        return DynamicSchedule(tops)
+
+    # -- bookkeeping helpers for the reduction --------------------------
+    def special_nodes(self) -> Dict[str, int]:
+        """Name -> id for the A*/B* special nodes, per subnetwork kind."""
+        names: Dict[str, int] = {}
+        for s in self.subnets:
+            if isinstance(s, GammaSubnetwork):
+                names["A_gamma"], names["B_gamma"] = s.a_node, s.b_node
+            elif isinstance(s, UpsilonSubnetwork):
+                names["A_upsilon"], names["B_upsilon"] = s.a_node, s.b_node
+            elif isinstance(s, LambdaSubnetwork):
+                names["A_lambda"], names["B_lambda"] = s.a_node, s.b_node
+        return names
+
+
+class ReferenceAdversary(Adversary):
+    """Engine adapter: plays the composition's reference rules.
+
+    Adaptivity: rules 3/4 look at the *committed action* of a chain's
+    middle node in the decision round, which the engine's view provides.
+    When materializing without a view (``schedule``), middles are assumed
+    receiving.
+    """
+
+    def __init__(self, composition: CompositionNetwork, default_receiving: bool = True):
+        super().__init__(composition.node_ids)
+        self.composition = composition
+        self.default_receiving = default_receiving
+
+    def edges(self, round_: int, view) -> Set[Edge]:
+        if view is None:
+            receiving_now = lambda uid: self.default_receiving  # noqa: E731
+        else:
+            receiving_now = view.is_receiving
+        return self.composition.reference_edges(round_, receiving_now)
+
+
+# ----------------------------------------------------------------------
+# The two mappings.
+# ----------------------------------------------------------------------
+
+def theorem6_size(n: int, q: int) -> int:
+    """N = 3nq + 4: (3/2)n(q-1) + 2 Γ nodes plus (3/2)n(q+1) + 2 Λ nodes."""
+    return 3 * n * q + 4
+
+
+def theorem6_network(instance: DisjointnessInstance) -> CompositionNetwork:
+    """The Theorem-6 (CFLOOD) composition: type-Γ + type-Λ."""
+    n, q = instance.n, instance.q
+    gamma = GammaSubnetwork(n, q, x=instance.x, y=instance.y, id_base=1)
+    lam = LambdaSubnetwork(n, q, x=instance.x, y=instance.y, id_base=gamma.id_end)
+    bridges = {
+        _norm(gamma.a_node, lam.a_node),
+        _norm(gamma.b_node, lam.b_node),
+    }
+    if instance.evaluate() == 0:
+        l_gamma = gamma.line_head()
+        l_lambda = lam.first_mounting_point()
+        if l_gamma is None or l_lambda is None:  # pragma: no cover - promise guard
+            raise ConfigurationError("answer-0 instance lost its witnesses")
+        bridges.add(_norm(l_gamma, l_lambda))
+    net = CompositionNetwork(
+        instance=instance,
+        subnets=(gamma, lam),
+        bridges=frozenset(bridges),
+        mapping="T6",
+    )
+    assert net.num_nodes == theorem6_size(n, q)
+    return net
+
+
+def theorem7_sizes(n: int, q: int) -> Tuple[int, int]:
+    """(N when answer is 1, N when answer is 0) for the Theorem-7 mapping."""
+    lam = 3 * n * (q + 1) // 2 + 2
+    return lam, 2 * lam
+
+
+def theorem7_network(instance: DisjointnessInstance) -> CompositionNetwork:
+    """The Theorem-7 (CONSENSUS) composition: type-Λ + type-Υ."""
+    n, q = instance.n, instance.q
+    lam = LambdaSubnetwork(n, q, x=instance.x, y=instance.y, id_base=1)
+    ups = make_upsilon(instance, id_base=lam.id_end)
+    if ups is None:
+        return CompositionNetwork(
+            instance=instance, subnets=(lam,), bridges=frozenset(), mapping="T7"
+        )
+    bridge = _norm(lam.first_mounting_point(), ups.first_mounting_point())
+    return CompositionNetwork(
+        instance=instance,
+        subnets=(lam, ups),
+        bridges=frozenset({bridge}),
+        mapping="T7",
+    )

@@ -1,0 +1,87 @@
+"""The type-Γ subnetwork (Section 4).
+
+Structure in round 0: n groups of (q-1)/2 chains; all chains in group i
+are labeled (x_i, y_i); tops spoke to A_Γ, bottoms to B_Γ.
+
+If DISJOINTNESSCP(x, y) = 0, some group is all-(0,0): the reference
+adversary detaches those middles at round 1 and strings them into a
+*line* of at least (q-1)/2 nodes — the diameter-boosting gadget that the
+Theorem-6 composition hangs off a type-Λ mounting point.  If the answer
+is 1, the subnetwork stays connected with O(1) diameter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .subnetworks import ChainSubnetwork
+
+__all__ = ["GammaSubnetwork"]
+
+Edge = Tuple[int, int]
+
+
+class GammaSubnetwork(ChainSubnetwork):
+    """Type-Γ subnetwork; build with ``x`` and/or ``y`` (beliefs allowed)."""
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        x: Optional[Sequence[int]] = None,
+        y: Optional[Sequence[int]] = None,
+        id_base: int = 1,
+        rule34_mode: str = "adaptive",
+    ):
+        super().__init__(
+            n=n,
+            q=q,
+            chains_per_group=(q - 1) // 2,
+            x=x,
+            y=y,
+            id_base=id_base,
+            lambda_rule5=False,
+            rule34_mode=rule34_mode,
+        )
+
+    def _top_label(self, group: int, slot: int) -> int:
+        return self.x[group - 1]
+
+    def _bottom_label(self, group: int, slot: int) -> int:
+        return self.y[group - 1]
+
+    # ------------------------------------------------------------------
+    def line_node_ids(self) -> List[int]:
+        """Middles of all (0, 0) chains, in (group, slot) order.
+
+        These are the nodes the reference adversary detaches and strings
+        into a line (rule 5).  Needs both inputs; empty iff the
+        DISJOINTNESSCP answer is 1.
+        """
+        self._require_both()
+        return [
+            c.mid
+            for c in self.chains
+            if c.top_label == 0 and c.bottom_label == 0
+        ]
+
+    def line_head(self) -> Optional[int]:
+        """The line end the Theorem-6 composition bridges to L_Λ — this
+        is the node called L_Γ in the paper.  None when the answer is 1."""
+        line = self.line_node_ids()
+        return line[0] if line else None
+
+    def line_far_end(self) -> Optional[int]:
+        """The line node farthest from the bridge — the witness that
+        CFLOOD cannot finish within (q-1)/2 rounds.  None when the
+        answer is 1."""
+        line = self.line_node_ids()
+        return line[-1] if line else None
+
+    def _extra_reference_edges(self, round_: int) -> Set[Edge]:
+        """The (0,0)-middle line, present from round 1 on (rule 5)."""
+        line = self.line_node_ids()
+        return {
+            (min(u, v), max(u, v))
+            for u, v in zip(line, line[1:])
+        }

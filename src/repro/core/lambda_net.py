@@ -1,0 +1,75 @@
+"""The type-Λ subnetwork (Section 5): centipedes with cascading removals.
+
+Structure in round 0: n centipedes, one per coordinate.  Centipede i has
+(q+1)/2 chains whose j-th chain carries labels
+``(min(x_i + 2j - 2, q-1), min(y_i + 2j - 2, q-1))``; the middles form a
+permanent horizontal line; tops spoke to A_Λ, bottoms to B_Λ.
+
+*Mounting points* are the middles of (0, 0) chains (slot 1 of a
+centipede whose coordinate is (0, 0)); they exist iff the
+DISJOINTNESSCP answer is 0.  The cascading rule-5 removals keep a
+mounting point's causal influence crawling along the middle line one
+chain per round, always one step behind the removal wave, so it needs
+Ω(q) rounds to reach A_Λ/B_Λ — yet when the answer is 1 no chain is
+fully removed within the horizon and the diameter stays O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .subnetworks import ChainSubnetwork
+
+__all__ = ["LambdaSubnetwork"]
+
+
+class LambdaSubnetwork(ChainSubnetwork):
+    """Type-Λ subnetwork; build with ``x`` and/or ``y`` (beliefs allowed)."""
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        x: Optional[Sequence[int]] = None,
+        y: Optional[Sequence[int]] = None,
+        id_base: int = 1,
+        rule34_mode: str = "adaptive",
+        rule5_simultaneous: bool = False,
+    ):
+        super().__init__(
+            n=n,
+            q=q,
+            chains_per_group=(q + 1) // 2,
+            x=x,
+            y=y,
+            id_base=id_base,
+            lambda_rule5=True,
+            rule34_mode=rule34_mode,
+            rule5_simultaneous=rule5_simultaneous,
+        )
+
+    def _top_label(self, group: int, slot: int) -> int:
+        return min(self.x[group - 1] + 2 * slot - 2, self.q - 1)
+
+    def _bottom_label(self, group: int, slot: int) -> int:
+        return min(self.y[group - 1] + 2 * slot - 2, self.q - 1)
+
+    # ------------------------------------------------------------------
+    def mounting_points(self) -> List[int]:
+        """Middles of all (0, 0) chains, in centipede order.
+
+        Non-empty iff DISJOINTNESSCP(x, y) = 0.  Needs both inputs —
+        neither party alone can locate a mounting point, which is why
+        mounting points are spoiled for both from round 1.
+        """
+        self._require_both()
+        return [
+            c.mid
+            for c in self.chains
+            if c.top_label == 0 and c.bottom_label == 0
+        ]
+
+    def first_mounting_point(self) -> Optional[int]:
+        """An arbitrary (the first) mounting point, or None."""
+        points = self.mounting_points()
+        return points[0] if points else None

@@ -1,0 +1,125 @@
+"""End-to-end reduction arithmetic (Theorems 6 and 7).
+
+The reduction pipeline converts a time bound into a communication bound:
+
+1. an oracle protocol promises termination within ``s`` flooding rounds
+   on every network of at most N nodes;
+2. set ``q = 120 s + 1`` and ``n = (N - 4) / (3 q)`` (Theorem 6), so the
+   simulation horizon (q-1)/2 = 60 s separates the two diameter regimes;
+3. the two-party simulation spends O(s log N) bits — only the four
+   special nodes' messages ever cross the cut;
+4. Theorem 1 forces Omega(n / q^2) - O(log n) bits, so
+   ``s log N = Omega(n / q^2)`` and with n q ~ N / 3, q ~ s:
+   ``s = Omega((N / log N)^(1/4))``.
+
+This module provides the parameter plumbing and the bound formulas the
+benchmarks print next to measured values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .._util import require
+from ..errors import ConfigurationError
+
+__all__ = [
+    "theorem6_parameters",
+    "cflood_lower_bound_flooding_rounds",
+    "consensus_lower_bound_flooding_rounds",
+    "implied_time_lower_bound",
+    "known_d_upper_bound_flooding_rounds",
+    "exponential_gap_factor",
+]
+
+
+def theorem6_parameters(s: int, big_n: int) -> Tuple[int, int]:
+    """(q, n) from the Theorem-6 proof: q = 120 s + 1, n = (N - 4)/(3 q).
+
+    Raises when N is too small to host even one coordinate group —
+    exactly the regime where the reduction (hence the bound) says
+    nothing, e.g. for the conservative s = N protocol.
+    """
+    require(s >= 1, "s must be >= 1")
+    q = 120 * s + 1
+    n, rem = divmod(big_n - 4, 3 * q)
+    if n < 1:
+        raise ConfigurationError(
+            f"N = {big_n} cannot host the reduction for s = {s} (needs N >= {3 * q + 4})"
+        )
+    if rem != 0:
+        raise ConfigurationError(
+            f"N = {big_n} is not of the form 3nq + 4 for q = {q}; "
+            f"nearest valid N: {3 * n * q + 4}"
+        )
+    return q, n
+
+
+def cflood_lower_bound_flooding_rounds(big_n: int, c: float = 1.0) -> float:
+    """Theorem 6: s = Omega((N / log N)^(1/4)) flooding rounds."""
+    require(big_n >= 4, "N must be >= 4")
+    return c * (big_n / math.log2(big_n)) ** 0.25
+
+
+def consensus_lower_bound_flooding_rounds(big_n: int, c: float = 1.0) -> float:
+    """Theorem 7: same form as Theorem 6 (holds even given N' with
+    accuracy 1/3)."""
+    return cflood_lower_bound_flooding_rounds(big_n, c=c)
+
+
+def known_d_upper_bound_flooding_rounds(big_n: int, c: float = 1.0) -> float:
+    """The trivial known-D upper bounds: O(log N) flooding rounds."""
+    require(big_n >= 2, "N must be >= 2")
+    return c * math.log2(big_n)
+
+
+def exponential_gap_factor(big_n: int) -> float:
+    """The unknown/known complexity ratio ~ (N / log N)^(1/4) / log N.
+
+    The paper calls the gap *exponential* because log s(unknown) grows
+    like (1/4) log N while log s(known) grows like log log N.
+    """
+    return cflood_lower_bound_flooding_rounds(big_n) / known_d_upper_bound_flooding_rounds(big_n)
+
+
+@dataclass(frozen=True)
+class ImpliedBound:
+    """The communication -> time step of the proof, instantiated."""
+
+    n: int
+    q: int
+    big_n: int
+    cc_bound_bits: float
+    per_round_bits: float
+    implied_rounds: float
+    implied_flooding_rounds: float
+
+
+def implied_time_lower_bound(
+    n: int, q: int, log_n_bits: Optional[float] = None, c1: float = 1.0, c2: float = 1.0
+) -> ImpliedBound:
+    """Instantiate ``s = Omega(n / (q^2 log N))`` for concrete (n, q).
+
+    ``log_n_bits`` overrides the per-round frame budget (defaults to
+    log2 of the composed network size, the CONGEST message bound).
+    """
+    from ..cc.bounds import theorem1_lower_bound_bits
+    from .composition import theorem6_size
+
+    big_n = theorem6_size(n, q)
+    per_round = log_n_bits if log_n_bits is not None else math.log2(big_n)
+    cc_bits = theorem1_lower_bound_bits(n, q, c1=c1, c2=c2)
+    rounds = cc_bits / per_round
+    # the answer-1 networks have O(1) diameter (10), so rounds and
+    # flooding rounds agree up to that constant
+    return ImpliedBound(
+        n=n,
+        q=q,
+        big_n=big_n,
+        cc_bound_bits=cc_bits,
+        per_round_bits=per_round,
+        implied_rounds=rounds,
+        implied_flooding_rounds=rounds / 10.0,
+    )

@@ -1,0 +1,373 @@
+"""The executable Lemma-5 machinery: Alice/Bob simulate an oracle protocol.
+
+Given a black-box oracle protocol (any :class:`~repro.sim.node.ProtocolNode`
+factory), a DISJOINTNESSCP instance and a composition mapping, this module
+runs the reduction of Sections 3-6 *for real*:
+
+* :class:`PartySimulator` — one party's partial simulation.  Alice is
+  constructed from x alone (her belief subnetworks carry no bottom
+  labels; touching them raises), simulates exactly her non-spoiled
+  nodes round by round under *her* adversary, and emits per-round frames
+  with the messages of A_Γ/A_Λ.  Bob mirrors.
+* :class:`TwoPartyReduction` — drives both parties in lockstep,
+  exchanging frames (the only cross-talk, every bit counted), for
+  (q-1)/2 rounds, then applies the decision rule: the watched node
+  terminated => answer 1, else 0.
+* :class:`NodeSpy` / :func:`run_reference_execution` — ground truth: the
+  same oracle protocol under the reference adversary on the full
+  network, with every node's actions and deliveries recorded, used by
+  the test suite to verify Lemma 5 (each party's simulated actions and
+  deliveries agree with the reference on all its non-spoiled nodes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .._util import bit_size
+from ..cc.disjointness import DisjointnessInstance
+from ..errors import ConfigurationError, SimulationDiverged
+from ..sim.actions import Receive, Send
+from ..sim.coins import CoinSource
+from ..sim.engine import SynchronousEngine
+from ..sim.node import ProtocolNode
+from ..sim.trace import ExecutionTrace
+from .composition import CompositionNetwork, theorem6_network, theorem7_network
+from .gamma import GammaSubnetwork
+from .lambda_net import LambdaSubnetwork
+
+__all__ = [
+    "OracleFactory",
+    "Frame",
+    "PartySimulator",
+    "TwoPartyReduction",
+    "ReductionOutcome",
+    "NodeSpy",
+    "run_reference_execution",
+]
+
+OracleFactory = Callable[[int], ProtocolNode]
+Edge = Tuple[int, int]
+
+#: A per-round frame: (special-node name, payload or None if silent).
+Frame = Tuple[Tuple[str, Any], ...]
+
+
+def _norm(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+class PartySimulator:
+    """One party's partial simulation of the oracle protocol.
+
+    Parameters
+    ----------
+    party: "alice" or "bob".
+    mapping: "T6" (Γ+Λ) or "T7" (Λ+Υ).
+    n, q: DISJOINTNESSCP parameters.
+    my_input: this party's coordinate string (the *other* string never
+        enters this object — enforced by the belief subnetworks).
+    oracle_factory: uid -> protocol node; must be the same callable the
+        reference execution uses.
+    coin_source: the shared public coins.
+    watch: node id whose termination drives the decision (defaults to
+        A_Γ for T6, A_Λ for T7).
+    """
+
+    def __init__(
+        self,
+        party: str,
+        mapping: str,
+        n: int,
+        q: int,
+        my_input: Tuple[int, ...],
+        oracle_factory: OracleFactory,
+        coin_source: CoinSource,
+        watch: Optional[int] = None,
+    ):
+        if party not in ("alice", "bob"):
+            raise ConfigurationError(f"party must be alice/bob, got {party!r}")
+        if mapping not in ("T6", "T7"):
+            raise ConfigurationError(f"mapping must be T6/T7, got {mapping!r}")
+        self.party = party
+        self.mapping = mapping
+        self.n, self.q = n, q
+        self.horizon = (q - 1) // 2
+        self.coin_source = coin_source
+
+        x = my_input if party == "alice" else None
+        y = my_input if party == "bob" else None
+
+        self.subnets: List = []
+        if mapping == "T6":
+            gamma = GammaSubnetwork(n, q, x=x, y=y, id_base=1)
+            lam = LambdaSubnetwork(n, q, x=x, y=y, id_base=gamma.id_end)
+            self.subnets = [gamma, lam]
+            self.bridges: Set[Edge] = {
+                _norm(gamma.a_node, lam.a_node),
+                _norm(gamma.b_node, lam.b_node),
+            }
+            self.my_specials = (
+                {"A_gamma": gamma.a_node, "A_lambda": lam.a_node}
+                if party == "alice"
+                else {"B_gamma": gamma.b_node, "B_lambda": lam.b_node}
+            )
+            self.peer_specials = (
+                {"B_gamma": gamma.b_node, "B_lambda": lam.b_node}
+                if party == "alice"
+                else {"A_gamma": gamma.a_node, "A_lambda": lam.a_node}
+            )
+            default_watch = gamma.a_node if party == "alice" else gamma.b_node
+        else:
+            lam = LambdaSubnetwork(n, q, x=x, y=y, id_base=1)
+            self.subnets = [lam]
+            self.bridges = set()
+            self.my_specials = (
+                {"A_lambda": lam.a_node} if party == "alice" else {"B_lambda": lam.b_node}
+            )
+            self.peer_specials = (
+                {"B_lambda": lam.b_node} if party == "alice" else {"A_lambda": lam.a_node}
+            )
+            default_watch = lam.a_node if party == "alice" else lam.b_node
+
+        self.watch = watch if watch is not None else default_watch
+
+        # Spoil rounds for my side; my own special nodes never spoil.
+        self.spoil: Dict[int, float] = {}
+        for s in self.subnets:
+            rounds = (
+                s.spoil_rounds_alice() if party == "alice" else s.spoil_rounds_bob()
+            )
+            self.spoil.update(rounds)
+
+        # Node objects for everything that is ever simulated (non-spoiled
+        # at round 0, i.e. all my-side nodes; spoil-round-1 nodes are kept
+        # because they may still act as senders in round 1).
+        self.nodes: Dict[int, ProtocolNode] = {
+            uid: oracle_factory(uid) for uid, sr in self.spoil.items() if sr >= 1
+        }
+        self.round = 0
+        self._last_actions: Dict[int, Any] = {}
+        self.watched_output: Optional[Any] = None
+        self.frames_sent: List[Frame] = []
+        self.bits_sent = 0
+
+    # ------------------------------------------------------------------
+    def _my_edges(self, round_: int) -> Dict[int, List[int]]:
+        """Adjacency under this party's simulated adversary (plus the
+        always-present sensitive bridges)."""
+        edges: Set[Edge] = set(self.bridges)
+        for s in self.subnets:
+            edges |= s.alice_edges(round_) if self.party == "alice" else s.bob_edges(round_)
+        adj: Dict[int, List[int]] = {}
+        for u, v in edges:
+            adj.setdefault(u, []).append(v)
+            adj.setdefault(v, []).append(u)
+        return adj
+
+    def step_actions(self, round_: int) -> Frame:
+        """Phase 1 of a round: compute actions of all still-correct nodes
+        and return the frame of my special nodes' messages."""
+        if round_ != self.round + 1:
+            raise ConfigurationError("rounds must be stepped in order")
+        self.round = round_
+        self._last_actions = {}
+        for uid in sorted(self.nodes):
+            if self.spoil[uid] >= round_:  # non-spoiled at round_-1: action valid
+                self._last_actions[uid] = self.nodes[uid].action(
+                    round_, self.coin_source.coins(uid, round_)
+                )
+        frame_items = []
+        for name in sorted(self.my_specials):
+            uid = self.my_specials[name]
+            action = self._last_actions.get(uid)
+            payload = action.payload if isinstance(action, Send) else None
+            frame_items.append((name, payload))
+        frame = tuple(frame_items)
+        self.frames_sent.append(frame)
+        self.bits_sent += bit_size(frame)
+        return frame
+
+    def step_delivery(self, round_: int, peer_frame: Frame) -> None:
+        """Phase 2: deliver messages to my receiving, non-spoiled nodes."""
+        if round_ != self.round:
+            raise ConfigurationError("step_actions must precede step_delivery")
+        peer_payloads = dict(peer_frame)
+        adj = self._my_edges(round_)
+        peer_ids = {uid: name for name, uid in self.peer_specials.items()}
+        for uid in sorted(self.nodes):
+            if not self.spoil[uid] > round_:  # must be non-spoiled *at* round_
+                continue
+            action = self._last_actions.get(uid)
+            if not isinstance(action, Receive):
+                if isinstance(action, Send):
+                    self.nodes[uid].on_sent(round_)
+                continue
+            payloads = []
+            for nbr in adj.get(uid, ()):
+                if nbr in peer_ids:
+                    p = peer_payloads.get(peer_ids[nbr])
+                    if p is not None:
+                        payloads.append(p)
+                    continue
+                if nbr not in self.nodes or self.spoil.get(nbr, 0) < round_:
+                    raise SimulationDiverged(
+                        f"round {round_}: neighbour {nbr} of non-spoiled node "
+                        f"{uid} is spoiled before round {round_} — Lemma 3/4 "
+                        "would be violated"
+                    )
+                nbr_action = self._last_actions.get(nbr)
+                if isinstance(nbr_action, Send):
+                    payloads.append(nbr_action.payload)
+            payloads.sort(key=repr)
+            self.nodes[uid].on_messages(round_, tuple(payloads))
+        out = self.nodes[self.watch].output()
+        if out is not None and self.watched_output is None:
+            self.watched_output = out
+
+    # ------------------------------------------------------------------
+    def actions_of(self, uid: int) -> Optional[Any]:
+        """This round's action of ``uid`` (None if no longer simulated)."""
+        return self._last_actions.get(uid)
+
+
+@dataclass
+class ReductionOutcome:
+    """Result of one end-to-end reduction run."""
+
+    decision: int  # claimed DISJOINTNESSCP value
+    truth: int
+    rounds_simulated: int
+    watched_terminated_round: Optional[int]
+    bits_alice_to_bob: int
+    bits_bob_to_alice: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_alice_to_bob + self.bits_bob_to_alice
+
+    @property
+    def correct(self) -> bool:
+        return self.decision == self.truth
+
+
+class TwoPartyReduction:
+    """Drives Alice and Bob in lockstep over a shared instance.
+
+    The instance is used only to hand each party *its own* string and to
+    know the ground truth for reporting; the parties' objects never see
+    the other string.
+    """
+
+    def __init__(
+        self,
+        instance: DisjointnessInstance,
+        mapping: str,
+        oracle_factory: OracleFactory,
+        seed: int,
+    ):
+        self.instance = instance
+        self.mapping = mapping
+        coin = CoinSource(seed)
+        self.alice = PartySimulator(
+            "alice", mapping, instance.n, instance.q, instance.x, oracle_factory, coin
+        )
+        self.bob = PartySimulator(
+            "bob", mapping, instance.n, instance.q, instance.y, oracle_factory,
+            CoinSource(seed),
+        )
+
+    def run(self, horizon: Optional[int] = None) -> ReductionOutcome:
+        """Simulate for ``horizon`` (default (q-1)/2) rounds and decide."""
+        T = horizon if horizon is not None else (self.instance.q - 1) // 2
+        terminated_round: Optional[int] = None
+        for r in range(1, T + 1):
+            fa = self.alice.step_actions(r)
+            fb = self.bob.step_actions(r)
+            self.alice.step_delivery(r, fb)
+            self.bob.step_delivery(r, fa)
+            if terminated_round is None and self.alice.watched_output is not None:
+                terminated_round = r
+        decision = 1 if terminated_round is not None else 0
+        return ReductionOutcome(
+            decision=decision,
+            truth=self.instance.evaluate(),
+            rounds_simulated=T,
+            watched_terminated_round=terminated_round,
+            bits_alice_to_bob=self.alice.bits_sent,
+            bits_bob_to_alice=self.bob.bits_sent,
+        )
+
+
+# ----------------------------------------------------------------------
+# Ground truth: reference execution with full observability.
+# ----------------------------------------------------------------------
+
+class NodeSpy(ProtocolNode):
+    """Wraps a node, recording per-round actions and deliveries."""
+
+    def __init__(self, inner: ProtocolNode):
+        super().__init__(inner.uid)
+        self.inner = inner
+        #: round -> ("send", payload) or ("recv", payload tuple)
+        self.history: Dict[int, Tuple[str, Any]] = {}
+
+    def action(self, round_, coins):
+        act = self.inner.action(round_, coins)
+        if isinstance(act, Send):
+            self.history[round_] = ("send", act.payload)
+        else:
+            self.history[round_] = ("recv", None)
+        return act
+
+    def on_messages(self, round_, payloads):
+        self.history[round_] = ("recv", payloads)
+        self.inner.on_messages(round_, payloads)
+
+    def on_sent(self, round_):
+        self.inner.on_sent(round_)
+
+    def output(self):
+        return self.inner.output()
+
+
+@dataclass
+class ReferenceExecution:
+    """The instrumented ground-truth run."""
+
+    composition: CompositionNetwork
+    spies: Dict[int, NodeSpy]
+    trace: ExecutionTrace
+
+
+def run_reference_execution(
+    instance: DisjointnessInstance,
+    mapping: str,
+    oracle_factory: OracleFactory,
+    seed: int,
+    rounds: Optional[int] = None,
+    stop_on_termination: bool = False,
+    network: Optional[CompositionNetwork] = None,
+) -> ReferenceExecution:
+    """Run the oracle protocol on the real composed network.
+
+    Uses the same coin source construction as the party simulators, so
+    per-(node, round) coins match bit for bit.  ``network`` overrides the
+    composed network (used by the ablation studies to plug in a
+    deliberately broken construction).
+    """
+    if network is not None:
+        net = network
+    else:
+        net = theorem6_network(instance) if mapping == "T6" else theorem7_network(instance)
+    spies = {uid: NodeSpy(oracle_factory(uid)) for uid in net.node_ids}
+    engine = SynchronousEngine(
+        dict(spies),
+        net.reference_adversary(),
+        CoinSource(seed),
+    )
+    T = rounds if rounds is not None else net.horizon
+    engine.run(T, stop_on_termination=stop_on_termination)
+    return ReferenceExecution(composition=net, spies=spies, trace=engine.trace)

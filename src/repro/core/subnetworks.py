@@ -1,0 +1,268 @@
+"""Shared machinery for the type-Γ and type-Λ subnetworks.
+
+Both subnetworks are grids of three-node vertical chains hanging between
+two special nodes (A above, B below): every chain's top node has a
+permanent *spoke* to A and every bottom node a permanent spoke to B; the
+adversaries only ever remove the chains' internal top/bottom edges.  They
+differ in
+
+* how chain labels derive from the DISJOINTNESSCP coordinates (Γ: all
+  chains of group i carry (x_i, y_i); Λ: centipede i's j-th chain carries
+  the shifted, capped pair),
+* rule 5 (Γ: (0,0) chains detach their middles onto a line; Λ: equal-even
+  chains cascade), and
+* Λ's permanent horizontal line through each centipede's middles.
+
+A subnetwork instance may be built with only one party's input — the
+*belief* structure used inside the two-party simulation.  Methods that
+need the missing labels raise, which structurally enforces that Alice's
+code never touches y (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .._util import require
+from ..errors import ConfigurationError
+from .chains import (
+    NEVER,
+    Chain,
+    alice_spoil_rounds,
+    bob_spoil_rounds,
+    bottom_edge_present_alice,
+    bottom_edge_present_bob,
+    bottom_edge_present_reference,
+    top_edge_present_alice,
+    top_edge_present_bob,
+    top_edge_present_reference,
+)
+
+__all__ = ["ChainSubnetwork"]
+
+Edge = Tuple[int, int]
+ReceivingNow = Callable[[int], bool]
+
+
+def _edge(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+class ChainSubnetwork:
+    """Base class: a grid of chains between special nodes A and B.
+
+    Parameters
+    ----------
+    n, q:
+        DISJOINTNESSCP parameters.
+    chains_per_group:
+        (q-1)/2 for type-Γ, (q+1)/2 for type-Λ.
+    x, y:
+        Coordinate strings; either may be None to build a one-party
+        belief structure.
+    id_base:
+        First node id used by this subnetwork.  Ids are assigned
+        A, B, then (U, V, W) per chain in (group, slot) order —
+        a fixed scheme independent of x and y, as the reduction requires.
+    lambda_rule5:
+        Selects the type-Λ variant of rule 5 and the centipede line.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        chains_per_group: int,
+        x: Optional[Sequence[int]],
+        y: Optional[Sequence[int]],
+        id_base: int,
+        lambda_rule5: bool,
+        rule34_mode: str = "adaptive",
+        rule5_simultaneous: bool = False,
+    ):
+        require(n >= 1, "n must be >= 1")
+        require(q >= 3 and q % 2 == 1, "q must be odd and >= 3")
+        if x is not None:
+            require(len(x) == n, f"|x| = {len(x)} != n = {n}")
+        if y is not None:
+            require(len(y) == n, f"|y| = {len(y)} != n = {n}")
+        self.n = n
+        self.q = q
+        self.chains_per_group = chains_per_group
+        self.x = tuple(x) if x is not None else None
+        self.y = tuple(y) if y is not None else None
+        self.id_base = id_base
+        self.lambda_rule5 = lambda_rule5
+        #: ablation switches (see core.chains.Rule34Mode and the
+        #: "why cascading removals" paragraph of Section 5); the paper's
+        #: construction is (adaptive, False)
+        self.rule34_mode = rule34_mode
+        self.rule5_simultaneous = rule5_simultaneous
+
+        self.a_node = id_base
+        self.b_node = id_base + 1
+        self.chains: List[Chain] = []
+        uid = id_base + 2
+        for i in range(1, n + 1):
+            for j in range(1, chains_per_group + 1):
+                self.chains.append(
+                    Chain(
+                        group=i,
+                        slot=j,
+                        top=uid,
+                        mid=uid + 1,
+                        bottom=uid + 2,
+                        top_label=self._top_label(i, j) if x is not None else None,
+                        bottom_label=self._bottom_label(i, j) if y is not None else None,
+                    )
+                )
+                uid += 3
+        self.id_end = uid  # one past the last id
+        self._by_mid: Dict[int, Chain] = {c.mid: c for c in self.chains}
+
+    # -- label schemes (overridden by Γ / Λ) ---------------------------
+    def _top_label(self, group: int, slot: int) -> int:
+        raise NotImplementedError
+
+    def _bottom_label(self, group: int, slot: int) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return 2 + 3 * self.n * self.chains_per_group
+
+    @property
+    def node_ids(self) -> range:
+        return range(self.id_base, self.id_end)
+
+    def chain_at(self, group: int, slot: int) -> Chain:
+        idx = (group - 1) * self.chains_per_group + (slot - 1)
+        return self.chains[idx]
+
+    def _require_x(self) -> Tuple[int, ...]:
+        if self.x is None:
+            raise ConfigurationError("this operation needs Alice's labels (x)")
+        return self.x
+
+    def _require_y(self) -> Tuple[int, ...]:
+        if self.y is None:
+            raise ConfigurationError("this operation needs Bob's labels (y)")
+        return self.y
+
+    def _require_both(self) -> None:
+        self._require_x()
+        self._require_y()
+
+    # -- permanent structure -------------------------------------------
+    def spoke_edges(self) -> Set[Edge]:
+        """A-to-top and B-to-bottom spokes (never removed)."""
+        edges: Set[Edge] = set()
+        for c in self.chains:
+            edges.add(_edge(self.a_node, c.top))
+            edges.add(_edge(self.b_node, c.bottom))
+        return edges
+
+    def line_edges(self) -> Set[Edge]:
+        """The permanent horizontal mid lines (type-Λ only; empty for Γ)."""
+        if not self.lambda_rule5:
+            return set()
+        edges: Set[Edge] = set()
+        for i in range(1, self.n + 1):
+            for j in range(1, self.chains_per_group):
+                edges.add(_edge(self.chain_at(i, j).mid, self.chain_at(i, j + 1).mid))
+        return edges
+
+    def round0_edges(self) -> Set[Edge]:
+        """The notional round-0 topology (all chain edges intact)."""
+        edges = self.spoke_edges() | self.line_edges()
+        for c in self.chains:
+            edges.add(_edge(c.top, c.mid))
+            edges.add(_edge(c.mid, c.bottom))
+        return edges
+
+    # -- per-round edges under each adversary ---------------------------
+    def reference_edges(self, round_: int, receiving_now: ReceivingNow) -> Set[Edge]:
+        """Edges in ``round_`` under the reference adversary.
+
+        ``receiving_now(uid)`` must answer whether node ``uid`` committed
+        to receive *in this round* — only consulted for chains whose
+        adaptive (rule 3/4) decision point is this exact round.
+        """
+        self._require_both()
+        edges = self.spoke_edges() | self.line_edges() | self._extra_reference_edges(round_)
+        for c in self.chains:
+            a, b = c.top_label, c.bottom_label
+
+            def mid_recv(_r: int, _mid: int = c.mid) -> bool:
+                return receiving_now(_mid)
+
+            if self.rule5_simultaneous and a == b and a != self.q - 1:
+                continue  # ablation: all equal-even chains die at round 1
+            if top_edge_present_reference(
+                a, b, self.q, round_, mid_recv, self.lambda_rule5, self.rule34_mode
+            ):
+                edges.add(_edge(c.top, c.mid))
+            if bottom_edge_present_reference(
+                a, b, self.q, round_, mid_recv, self.lambda_rule5, self.rule34_mode
+            ):
+                edges.add(_edge(c.mid, c.bottom))
+        return edges
+
+    def _extra_reference_edges(self, round_: int) -> Set[Edge]:
+        """Adversary-added edges (the Γ middle line); none by default."""
+        return set()
+
+    def alice_edges(self, round_: int) -> Set[Edge]:
+        """Edges in ``round_`` under Alice's simulated adversary (x only)."""
+        self._require_x()
+        edges = self.spoke_edges() | self.line_edges()
+        for c in self.chains:
+            a = c.top_label
+            if top_edge_present_alice(a, round_):
+                edges.add(_edge(c.top, c.mid))
+            if bottom_edge_present_alice(a, round_):
+                edges.add(_edge(c.mid, c.bottom))
+        return edges
+
+    def bob_edges(self, round_: int) -> Set[Edge]:
+        """Edges in ``round_`` under Bob's simulated adversary (y only)."""
+        self._require_y()
+        edges = self.spoke_edges() | self.line_edges()
+        for c in self.chains:
+            b = c.bottom_label
+            if top_edge_present_bob(b, round_):
+                edges.add(_edge(c.top, c.mid))
+            if bottom_edge_present_bob(b, round_):
+                edges.add(_edge(c.mid, c.bottom))
+        return edges
+
+    # -- spoiled schedules ----------------------------------------------
+    def spoil_rounds_alice(self) -> Dict[int, float]:
+        """Spoil round per node id, for Alice (B is spoiled from round 1)."""
+        self._require_x()
+        out: Dict[int, float] = {self.a_node: NEVER, self.b_node: 1}
+        for c in self.chains:
+            su, sv, sw = alice_spoil_rounds(c.top_label)
+            out[c.top] = su
+            out[c.mid] = sv
+            out[c.bottom] = sw
+        return out
+
+    def spoil_rounds_bob(self) -> Dict[int, float]:
+        """Spoil round per node id, for Bob (A is spoiled from round 1)."""
+        self._require_y()
+        out: Dict[int, float] = {self.a_node: 1, self.b_node: NEVER}
+        for c in self.chains:
+            su, sv, sw = bob_spoil_rounds(c.bottom_label)
+            out[c.top] = su
+            out[c.mid] = sv
+            out[c.bottom] = sw
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "Λ-style" if self.lambda_rule5 else "Γ-style"
+        return (
+            f"{type(self).__name__}({kind}, n={self.n}, q={self.q}, "
+            f"ids=[{self.id_base}, {self.id_end}))"
+        )

@@ -1,0 +1,52 @@
+"""The type-Υ subnetwork (Section 5).
+
+Under the reference adversary, Υ is an exact copy of the type-Λ
+subnetwork when DISJOINTNESSCP(x, y) = 0, and an *empty* network (no
+nodes at all) when the answer is 1.  Under Alice's and Bob's simulated
+adversaries it is always empty, and every Υ node (when any exist) is
+spoiled for both parties from round 1 — neither party ever simulates Υ,
+which is exactly why its existence (hence N itself) can stay unknown to
+them while the reduction runs.
+
+Because Υ doubles the node count precisely when the answer is 0, the
+best estimate either party can commit to is N' = (4/3)|Λ|, whose
+relative error is exactly 1/3 in both scenarios — the source of the
+"|N'-N|/N <= 1/3" threshold in Theorem 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cc.disjointness import DisjointnessInstance
+from .lambda_net import LambdaSubnetwork
+
+__all__ = ["UpsilonSubnetwork", "make_upsilon"]
+
+
+class UpsilonSubnetwork(LambdaSubnetwork):
+    """A type-Λ clone living in its own id block (non-empty case).
+
+    The special nodes are renamed A_Υ / B_Υ (accessible as ``a_node`` /
+    ``b_node`` like every subnetwork).
+    """
+
+
+def make_upsilon(
+    instance: DisjointnessInstance, id_base: int
+) -> Optional[UpsilonSubnetwork]:
+    """The type-Υ subnetwork for a *fully known* instance.
+
+    Returns None (the empty network) when the answer is 1.  Only the
+    reference side of the reduction may call this — the two-party
+    simulators never can, since they lack the full instance.
+    """
+    if instance.evaluate() == 1:
+        return None
+    return UpsilonSubnetwork(
+        n=instance.n,
+        q=instance.q,
+        x=instance.x,
+        y=instance.y,
+        id_base=id_base,
+    )

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelViolation",
+    "BandwidthExceeded",
+    "DisconnectedTopology",
+    "InvalidAction",
+    "PromiseViolation",
+    "SimulationDiverged",
+    "ProtocolError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelViolation(ReproError):
+    """An execution violated a constraint of the Section-2 network model."""
+
+
+class BandwidthExceeded(ModelViolation):
+    """A node attempted to send a message larger than the CONGEST budget."""
+
+    def __init__(self, bits: int, budget: int, sender: int, round_: int):
+        self.bits = bits
+        self.budget = budget
+        self.sender = sender
+        self.round = round_
+        super().__init__(
+            f"node {sender} sent {bits} bits in round {round_}, "
+            f"exceeding the CONGEST budget of {budget} bits"
+        )
+
+
+class DisconnectedTopology(ModelViolation):
+    """The adversary produced a topology that is not connected."""
+
+
+class InvalidAction(ModelViolation):
+    """A node returned something other than Send/Receive from ``action``."""
+
+
+class PromiseViolation(ReproError):
+    """A DISJOINTNESSCP instance does not satisfy the cycle promise."""
+
+
+class SimulationDiverged(ReproError):
+    """The two-party simulation disagreed with the reference execution.
+
+    Raised only by the self-checking simulation driver; a correct
+    construction never triggers it (that is Lemma 5).
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an internally inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters passed to a constructor or experiment."""

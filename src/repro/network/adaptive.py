@@ -1,0 +1,78 @@
+"""Fully adaptive adversaries: exploiting the committed actions.
+
+The Section-2 model lets the adversary pick each round's topology
+*after* seeing the current coin flips — hence the committed
+send/receive actions.  That power has a sharp consequence this module
+makes executable:
+
+* :class:`AdaptiveBlockingAdversary` partitions nodes into "holders" of
+  a piece of information and the rest (via a caller-supplied state
+  probe — the adversary may inspect protocol states, which the paper
+  explicitly grants), keeps each side internally connected, and joins
+  them by a single crossing edge chosen so that *no information can
+  cross*: a receiving holder is paired with an arbitrary outsider
+  whenever any holder is receiving.  Information crosses only in rounds
+  where **every** holder sends — probability 2^-k with k holders
+  flipping fair coins — so randomized gossip stalls almost completely.
+* Deterministic always-send flooding (:class:`~repro.protocols.flooding.
+  TokenFloodNode`) is immune: every holder sends every round, so the
+  crossing edge always transfers and the flood advances exactly one
+  node per round — the adversary can stretch D to Theta(N) but no
+  further.
+
+This is why the known-D CFLOOD protocol pushes deterministically, and
+why randomized-gossip round bounds (O(D log N) w.h.p.) are stated
+against oblivious schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Set, Tuple
+
+from ..sim.node import ProtocolNode
+from .adversaries import Adversary
+from .generators import line_edges
+
+__all__ = ["AdaptiveBlockingAdversary"]
+
+Edge = Tuple[int, int]
+StateProbe = Callable[[ProtocolNode], bool]
+
+
+class AdaptiveBlockingAdversary(Adversary):
+    """Blocks information flow across the holder/outsider cut.
+
+    ``probe(node) -> bool`` marks the nodes currently holding the
+    information being tracked (e.g. ``lambda n: n.informed`` for a
+    token, ``lambda n: n.best == target`` for max-gossip).
+    """
+
+    def __init__(self, node_ids: Iterable[int], probe: StateProbe):
+        super().__init__(node_ids)
+        self.probe = probe
+        #: per-round record of whether the crossing edge could transfer
+        self.transfer_rounds: List[int] = []
+
+    def edges(self, round_: int, view) -> Set[Edge]:
+        holders = sorted(u for u in self.node_ids if self.probe(view.nodes[u]))
+        outsiders = sorted(u for u in self.node_ids if u not in set(holders))
+        if not holders or not outsiders:
+            return set(line_edges(list(self.node_ids)))
+
+        edges = set(line_edges(holders)) | set(line_edges(outsiders))
+        # crossing edge: a receiving holder blocks the cut entirely
+        receiving_holders = [u for u in holders if view.is_receiving(u)]
+        if receiving_holders:
+            bridge_holder = receiving_holders[0]
+        else:
+            bridge_holder = holders[0]  # all holders send: transfer happens
+        # prefer a sending outsider (sender->sender also transfers nothing)
+        sending_outsiders = [u for u in outsiders if view.is_sending(u)]
+        bridge_outsider = (sending_outsiders or outsiders)[0]
+        u, v = bridge_holder, bridge_outsider
+        edges.add((u, v) if u < v else (v, u))
+
+        transfers = view.is_sending(bridge_holder) and view.is_receiving(bridge_outsider)
+        if transfers:
+            self.transfer_rounds.append(round_)
+        return edges

@@ -1,0 +1,164 @@
+"""One round's topology over an arbitrary node-id set.
+
+The engine works with raw edge iterables; this class is the analysis-side
+representation, offering adjacency, connectivity, and (classic, static)
+eccentricity queries.  Adjacency matrices are numpy boolean arrays so the
+causality computations in :mod:`repro.network.causality` can use matrix
+products instead of Python-level BFS loops (the per-round graphs in the
+lower-bound constructions have thousands of nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelViolation
+
+__all__ = ["RoundTopology"]
+
+Edge = Tuple[int, int]
+
+
+class RoundTopology:
+    """An undirected graph over an explicit node-id set.
+
+    Ids are arbitrary ints; internally they are mapped to dense indices
+    (shared index maps can be passed so that a whole schedule uses one
+    node ordering).
+    """
+
+    def __init__(self, node_ids: Iterable[int], edges: Iterable[Edge]):
+        self.node_ids: Tuple[int, ...] = tuple(sorted(set(node_ids)))
+        self.index: Dict[int, int] = {uid: i for i, uid in enumerate(self.node_ids)}
+        n = len(self.node_ids)
+        seen = set()
+        for u, v in edges:
+            if u == v:
+                raise ModelViolation(f"self-loop on node {u}")
+            if u not in self.index or v not in self.index:
+                raise ModelViolation(f"edge ({u}, {v}) leaves the node set")
+            seen.add((u, v) if u < v else (v, u))
+        self.edges: FrozenSet[Edge] = frozenset(seen)
+        self._adj: np.ndarray | None = None
+        self._n = n
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def adjacency(self) -> np.ndarray:
+        """Boolean adjacency matrix with a True diagonal (self-influence).
+
+        The diagonal matches the paper's causal relation, where
+        ``(U, r) -> (U, r+1)`` always holds.
+        """
+        if self._adj is None:
+            adj = np.eye(self._n, dtype=bool)
+            for u, v in self.edges:
+                iu, iv = self.index[u], self.index[v]
+                adj[iu, iv] = adj[iv, iu] = True
+            self._adj = adj
+        return self._adj
+
+    def neighbors(self, uid: int) -> List[int]:
+        """Sorted neighbour ids of ``uid``."""
+        out = []
+        for u, v in self.edges:
+            if u == uid:
+                out.append(v)
+            elif v == uid:
+                out.append(u)
+        return sorted(out)
+
+    def degree(self, uid: int) -> int:
+        return len(self.neighbors(uid))
+
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Connectivity via boolean matrix squaring (O(n^3 log n) worst,
+        in practice a few numpy products)."""
+        if self._n <= 1:
+            return True
+        reach = self.adjacency().copy()
+        frontier_size = -1
+        while True:
+            new = reach @ reach
+            if new.sum() == reach.sum():
+                break
+            reach = new
+            if reach.sum() == frontier_size:
+                break
+            frontier_size = reach.sum()
+        return bool(reach.all())
+
+    def components(self) -> List[FrozenSet[int]]:
+        """Connected components as frozensets of node ids."""
+        parent = {uid: uid for uid in self.node_ids}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for u, v in self.edges:
+            parent[find(u)] = find(v)
+        groups: Dict[int, set] = {}
+        for uid in self.node_ids:
+            groups.setdefault(find(uid), set()).add(uid)
+        return [frozenset(g) for g in groups.values()]
+
+    def static_eccentricity(self, uid: int) -> int:
+        """BFS eccentricity in this single round's graph (inf -> n)."""
+        dist = {uid: 0}
+        frontier = [uid]
+        adj: Dict[int, List[int]] = {w: [] for w in self.node_ids}
+        for u, v in self.edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in adj[u]:
+                    if w not in dist:
+                        dist[w] = dist[u] + 1
+                        nxt.append(w)
+            frontier = nxt
+        if len(dist) < self._n:
+            return self._n  # unreachable sentinel
+        return max(dist.values())
+
+    def static_diameter(self) -> int:
+        """Classic diameter of this single round's graph."""
+        return max(self.static_eccentricity(uid) for uid in self.node_ids)
+
+    # ------------------------------------------------------------------
+    def union(self, other: "RoundTopology") -> "RoundTopology":
+        """Graph union (used to compose subnetworks)."""
+        return RoundTopology(
+            set(self.node_ids) | set(other.node_ids), set(self.edges) | set(other.edges)
+        )
+
+    def with_edges(self, extra: Iterable[Edge]) -> "RoundTopology":
+        """A copy with extra edges added."""
+        return RoundTopology(self.node_ids, set(self.edges) | set(extra))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoundTopology):
+            return NotImplemented
+        return self.node_ids == other.node_ids and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.node_ids, self.edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundTopology(n={self._n}, m={len(self.edges)})"

@@ -1,0 +1,50 @@
+"""Distributed protocols for dynamic networks.
+
+Upper-bound protocols from the paper (and its trivial-upper-bound
+toolbox), all built on :class:`~repro.sim.node.ProtocolNode`:
+
+* :mod:`~repro.protocols.flooding` — token flooding and randomized
+  max-gossip primitives;
+* :mod:`~repro.protocols.cflood` — confirmed flooding with known D,
+  with the conservative D = N fallback, and a diameter-guessing
+  heuristic (correct only on small-D networks — the point of Theorem 6);
+* :mod:`~repro.protocols.max_id` — MAX / max-id dissemination;
+* :mod:`~repro.protocols.counting` — Mosk-Aoyama-Shah exponential-minimum
+  counting and the majority-counting subroutine of Section 7;
+* :mod:`~repro.protocols.consensus` — known-D consensus and the
+  reduction consensus <- leader election;
+* :mod:`~repro.protocols.leader_election` — the Section-7 protocol:
+  doubling D', two-stage locking, majority counts, O(log N) flooding
+  rounds without knowing D;
+* :mod:`~repro.protocols.hearfrom` — HEAR-FROM-N-NODES and estimating N.
+"""
+
+from .cflood import CFloodConservativeNode, CFloodKnownDNode, cflood_factory
+from .consensus import ConsensusFromLeaderNode, ConsensusKnownDNode, OrConsensusNode
+from .doubling import CFloodDoublingNode
+from .flooding import GossipMaxNode, TokenFloodNode
+from .hearfrom import CountNodesNode, HearFromAllNode, count_rounds_budget
+from .leader_election import LeaderElectNode, StageSchedule
+from .max_id import MaxIdNode, max_rounds_budget
+from .simultaneous import SimultaneousConsensusKnownDNode, StabilizingConsensusNode
+
+__all__ = [
+    "TokenFloodNode",
+    "GossipMaxNode",
+    "MaxIdNode",
+    "max_rounds_budget",
+    "CFloodKnownDNode",
+    "CFloodConservativeNode",
+    "CFloodDoublingNode",
+    "cflood_factory",
+    "ConsensusKnownDNode",
+    "OrConsensusNode",
+    "ConsensusFromLeaderNode",
+    "LeaderElectNode",
+    "StageSchedule",
+    "HearFromAllNode",
+    "CountNodesNode",
+    "count_rounds_budget",
+    "SimultaneousConsensusKnownDNode",
+    "StabilizingConsensusNode",
+]

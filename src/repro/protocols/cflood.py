@@ -1,0 +1,88 @@
+"""Confirmed flooding (CFLOOD).
+
+The source V must flood a token to all nodes *and know when it is done*
+(terminate by outputting a special symbol, correctly only after everyone
+holds the token).  Three variants:
+
+* :class:`CFloodKnownDNode` — the trivial known-D protocol: deterministic
+  push flooding plus round counting; V confirms at the end of round D.
+  One flooding round, zero communication beyond the token.  **Correct
+  only when the supplied ``d_param`` really upper-bounds the dynamic
+  diameter** — fed a small ``d_param`` on a large-D network it confirms
+  too early, which is precisely the failure mode Theorem 6 shows to be
+  unavoidable for any fast unknown-D protocol.
+* :class:`CFloodConservativeNode` — the forced-pessimism fallback when D
+  is unknown: assume D = N - 1 (the worst possible dynamic diameter of a
+  connected N-node network).  Always correct; takes N - 1 rounds, i.e.
+  (N-1)/D flooding rounds — the poly(N) cost the paper's question is
+  about.
+* :func:`cflood_factory` — factory helper binding source/params for the
+  engine and the reduction machinery.
+
+Non-source nodes output an observer symbol immediately: CFLOOD
+termination is *defined* by V's output alone, and this makes the
+engine's all-outputs termination detector coincide with it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from .._util import require
+from ..sim.actions import Action, Receive, Send
+from ..sim.coins import Coins
+from ..sim.node import ProtocolNode
+
+__all__ = ["CFloodKnownDNode", "CFloodConservativeNode", "cflood_factory"]
+
+CONFIRMED = ("cflood", "confirmed")
+OBSERVER = ("cflood", "observer")
+
+
+class CFloodKnownDNode(ProtocolNode):
+    """Known-D confirmed flooding: flood and count ``d_param`` rounds."""
+
+    def __init__(self, uid: int, source: int, d_param: int, token: Any = None):
+        super().__init__(uid)
+        require(d_param >= 1, "d_param must be >= 1")
+        self.source = source
+        self.d_param = d_param
+        self.token = token if token is not None else ("tok", source)
+        self.informed = uid == source
+        self.informed_round: Optional[int] = 0 if self.informed else None
+        self.rounds_seen = 0
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if self.informed:
+            return Send(self.token)
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        if payloads and not self.informed:
+            self.informed = True
+            self.informed_round = round_
+
+    def output(self) -> Optional[Any]:
+        if self.uid == self.source:
+            return CONFIRMED if self.rounds_seen >= self.d_param else None
+        return OBSERVER
+
+
+class CFloodConservativeNode(CFloodKnownDNode):
+    """Unknown-D confirmed flooding via the pessimistic bound D = N - 1."""
+
+    def __init__(self, uid: int, source: int, num_nodes: int, token: Any = None):
+        require(num_nodes >= 2, "need at least 2 nodes")
+        super().__init__(uid, source, d_param=num_nodes - 1, token=token)
+
+
+def cflood_factory(
+    source: int, d_param: Optional[int] = None, num_nodes: Optional[int] = None
+) -> Callable[[int], ProtocolNode]:
+    """Factory for the engine/reduction: known-D if ``d_param`` given,
+    conservative otherwise (then ``num_nodes`` is required)."""
+    if d_param is not None:
+        return lambda uid: CFloodKnownDNode(uid, source, d_param)
+    require(num_nodes is not None, "need d_param or num_nodes")
+    return lambda uid: CFloodConservativeNode(uid, source, num_nodes)

@@ -1,0 +1,101 @@
+"""Consensus protocols.
+
+* :class:`OrConsensusNode` — binary consensus with known D,
+  *deterministic and exact*: nodes holding 1 push a token (always send),
+  nodes holding 0 listen; after D rounds the informed set equals the
+  causal closure of the 1-holders, so deciding "informed?" computes OR
+  with zero error probability.  The cleanest witness that known D
+  removes all difficulty for binary consensus.
+* :class:`ConsensusKnownDNode` — the general known-D protocol: gossip
+  (max id, its value) for Theta(D log N) rounds, then decide the value
+  carried by the largest id seen.  Validity is immediate (the decided
+  value is some node's input); agreement holds w.h.p. because every node
+  converges to the same maximum within the budget.
+* :class:`ConsensusFromLeaderNode` — the reduction CONSENSUS <=
+  LEADERELECT used by Theorem 8's corollary: run the Section-7 leader
+  election with the node's input riding on the id; decide the elected
+  leader's value.  Inherits the leader election's independence from D.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .._util import require
+from ..sim.actions import Action, Receive, Send
+from ..sim.coins import Coins
+from ..sim.node import ProtocolNode
+from .leader_election import LeaderElectNode
+
+__all__ = ["OrConsensusNode", "ConsensusKnownDNode", "ConsensusFromLeaderNode"]
+
+
+class OrConsensusNode(ProtocolNode):
+    """Deterministic known-D binary OR consensus (exact, zero error)."""
+
+    def __init__(self, uid: int, value: int, d_param: int):
+        super().__init__(uid)
+        require(value in (0, 1), "binary consensus needs a 0/1 input")
+        require(d_param >= 1, "d_param must be >= 1")
+        self.value = value
+        self.d_param = d_param
+        self.informed = value == 1
+        self.rounds_seen = 0
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if self.informed:
+            return Send(("or1",))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        if payloads:
+            self.informed = True
+
+    def output(self) -> Optional[Any]:
+        if self.rounds_seen >= self.d_param:
+            return ("decide", 1 if self.informed else 0)
+        return None
+
+
+class ConsensusKnownDNode(ProtocolNode):
+    """Known-D consensus by max-id value gossip with a fixed budget."""
+
+    def __init__(self, uid: int, value: int, total_rounds: int):
+        super().__init__(uid)
+        require(total_rounds >= 1, "total_rounds must be >= 1")
+        self.value = value
+        self.total_rounds = total_rounds
+        self.best_id = uid
+        self.best_value = value
+        self.rounds_seen = 0
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if coins.bit(0.5):
+            return Send(("cns", self.best_id, self.best_value))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 3 and p[0] == "cns":
+                if p[1] > self.best_id:
+                    self.best_id, self.best_value = p[1], p[2]
+
+    def output(self) -> Optional[Any]:
+        if self.rounds_seen >= self.total_rounds:
+            return ("decide", self.best_value)
+        return None
+
+
+class ConsensusFromLeaderNode(LeaderElectNode):
+    """Diameter-oblivious consensus: decide the elected leader's value.
+
+    Needs only the N' estimate (accuracy 1/3 - c), exactly like the
+    underlying leader election.
+    """
+
+    def output(self) -> Optional[Any]:
+        if self.leader is not None and self.leader_value is not None:
+            return ("decide", self.leader_value)
+        return None

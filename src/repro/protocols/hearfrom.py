@@ -1,0 +1,109 @@
+"""HEAR-FROM-N-NODES and estimating N (the full-version toolbox).
+
+* :class:`HearFromAllNode` — with known D the problem is *definitionally*
+  trivial: after D rounds, every node's round-0 state has causally
+  reached everyone (that is what the dynamic diameter means), so a node
+  confirms by counting D rounds: one flooding round.  The node also
+  tracks how many distinct ids it has *explicitly* heard (gossip), which
+  the tests use to sanity-check the causal claim on real schedules.
+* :class:`CountNodesNode` — estimate N with known D: all nodes
+  participate in exponential-minimum counting for a Theta(D log N)
+  budget, then output the estimate.  This is the paper's "obtaining an
+  N' with |N'-N|/N <= 1/3 - c takes O(log N) flooding rounds when D is
+  known" — and, combined with Theorem 8, the unknown-diameter cost of
+  these problems concentrates entirely in this estimation step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .._util import require
+from ..sim.actions import Action, Receive, Send
+from ..sim.coins import Coins
+from ..sim.node import ProtocolNode
+from .counting import (
+    default_components,
+    draw_exponentials,
+    estimate_count,
+    merge_min,
+)
+
+__all__ = ["HearFromAllNode", "CountNodesNode"]
+
+
+class HearFromAllNode(ProtocolNode):
+    """Known-D HEAR-FROM-N-NODES: wait D rounds, gossip ids meanwhile."""
+
+    def __init__(self, uid: int, d_param: int):
+        super().__init__(uid)
+        require(d_param >= 1, "d_param must be >= 1")
+        self.d_param = d_param
+        self.rounds_seen = 0
+        self.heard_ids = {uid}
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if coins.bit(0.5):
+            return Send(("hf", self.uid))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 2 and p[0] == "hf":
+                self.heard_ids.add(p[1])
+
+    def output(self) -> Optional[Any]:
+        return ("heard-all",) if self.rounds_seen >= self.d_param else None
+
+
+class CountNodesNode(ProtocolNode):
+    """Known-D estimate of N via exponential-minimum counting.
+
+    ``total_rounds`` should be at least ``components * Theta(D log N)``;
+    use :func:`count_rounds_budget` to derive it.
+    """
+
+    def __init__(self, uid: int, total_rounds: int, components: int = 64):
+        super().__init__(uid)
+        require(total_rounds >= 1 and components >= 2, "bad budget/components")
+        self.total_rounds = total_rounds
+        self.R = components
+        self.mins = None  # drawn on the first action, via the node's coins
+        self.rounds_seen = 0
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if self.mins is None:
+            self.mins = dict(draw_exponentials(coins, self.R))
+        comp = (round_ - 1) % self.R
+        if coins.bit(0.5):
+            return Send(("cntN", comp, self.mins[comp]))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        if self.mins is None:  # pragma: no cover - action always precedes
+            return
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 3 and p[0] == "cntN":
+                merge_min(self.mins, p[1], p[2])
+
+    @property
+    def estimate(self) -> float:
+        return estimate_count(self.mins or {}, self.R)
+
+    def output(self) -> Optional[Any]:
+        if self.rounds_seen >= self.total_rounds:
+            return ("count", self.estimate)
+        return None
+
+
+def count_rounds_budget(d_param: int, num_nodes: int, components: int = 64, factor: float = 3.0) -> int:
+    """Round budget for :class:`CountNodesNode`: R * Theta(D log N)."""
+    import math
+
+    require(d_param >= 1 and num_nodes >= 2, "need D >= 1 and N >= 2")
+    return max(
+        components,
+        int(math.ceil(components * factor * d_param * max(1.0, math.log2(num_nodes)))),
+    )

@@ -1,0 +1,57 @@
+"""MAX with known D: gossip the maximum for a fixed round budget.
+
+The paper's trivial known-D upper bound for globally-sensitive functions
+such as MAX: run randomized max-gossip for Theta(D log N) rounds, then
+output the best value seen.  Correct w.h.p. against oblivious schedules;
+one deterministic variant (always-send by current holders is impossible
+for MAX since holders change, so randomization is essential here — this
+is exactly where the O(log N) flooding-round factor of the paper's
+trivial upper bounds comes from).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple
+
+from .._util import require
+from ..sim.actions import Action, Receive, Send
+from ..sim.coins import Coins
+from ..sim.node import ProtocolNode
+
+__all__ = ["MaxIdNode", "max_rounds_budget"]
+
+
+def max_rounds_budget(d_param: int, num_nodes: int, factor: float = 4.0) -> int:
+    """The Theta(D log N) round budget used by the known-D protocols."""
+    require(d_param >= 1 and num_nodes >= 2, "need D >= 1 and N >= 2")
+    return max(1, int(math.ceil(factor * d_param * max(1.0, math.log2(num_nodes)))))
+
+
+class MaxIdNode(ProtocolNode):
+    """Known-D MAX: gossip for ``total_rounds`` rounds, then decide.
+
+    ``value`` defaults to the node id (leader election by max id).
+    """
+
+    def __init__(self, uid: int, total_rounds: int, value: Optional[int] = None):
+        super().__init__(uid)
+        require(total_rounds >= 1, "total_rounds must be >= 1")
+        self.total_rounds = total_rounds
+        self.value = uid if value is None else value
+        self.best = self.value
+        self.rounds_seen = 0
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if coins.bit(0.5):
+            return Send(("max", self.best))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 2 and p[0] == "max":
+                self.best = max(self.best, p[1])
+
+    def output(self) -> Optional[Any]:
+        return ("max", self.best) if self.rounds_seen >= self.total_rounds else None

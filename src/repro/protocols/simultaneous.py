@@ -1,0 +1,111 @@
+"""Simultaneous consensus: everyone must decide in the *same round*.
+
+Kuhn, Moses and Oshman [15] proved this problem sensitive to unknown
+diameter even without congestion — the one prior sensitivity result the
+paper starts from.  In the CONGEST model:
+
+* with **known D**, simultaneity is trivial: the decision round
+  T = Theta(D log N) is common knowledge, everyone gossips until T and
+  decides together (:class:`SimultaneousConsensusKnownDNode`);
+* with **unknown D**, no common decision round exists.  The natural
+  doubling protocol (:class:`StabilizingConsensusNode`) has each node
+  decide when its value has been stable for a full phase — safe and
+  live, but nodes decide in *different* rounds: the measured decision
+  spread is the operational signature of the [15] lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .._util import require
+from ..sim.actions import Action, Receive, Send
+from ..sim.coins import Coins
+from ..sim.node import ProtocolNode
+
+__all__ = ["SimultaneousConsensusKnownDNode", "StabilizingConsensusNode"]
+
+
+class SimultaneousConsensusKnownDNode(ProtocolNode):
+    """Known D: gossip (max id, value) until the common round T."""
+
+    def __init__(self, uid: int, value: int, total_rounds: int):
+        super().__init__(uid)
+        require(total_rounds >= 1, "total_rounds must be >= 1")
+        self.value = value
+        self.total_rounds = total_rounds
+        self.best_id = uid
+        self.best_value = value
+        self.rounds_seen = 0
+        self.decided_round: Optional[int] = None
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        self.rounds_seen = round_
+        if round_ >= self.total_rounds and self.decided_round is None:
+            self.decided_round = round_
+        if coins.bit(0.5):
+            return Send(("sc", self.best_id, self.best_value))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 3 and p[0] == "sc":
+                if p[1] > self.best_id:
+                    self.best_id, self.best_value = p[1], p[2]
+
+    def output(self) -> Optional[Any]:
+        if self.decided_round is not None:
+            return ("decide", self.best_value, self.decided_round)
+        return None
+
+
+class StabilizingConsensusNode(ProtocolNode):
+    """Unknown D: decide once the local value survives a doubling phase.
+
+    Phase k spans rounds (2^k .. 2^(k+1)); a node decides at a phase
+    boundary if its best value did not change during the whole phase
+    (and at least ``min_phase`` phases have passed).  Agreement and
+    validity hold in practice on our schedules, but nodes decide at
+    *different* boundaries — simultaneity fails, as [15] proves any
+    unknown-diameter protocol must risk (here: exhibits).
+    """
+
+    def __init__(self, uid: int, value: int, min_phase: int = 2):
+        super().__init__(uid)
+        self.value = value
+        self.best_id = uid
+        self.best_value = value
+        self.min_phase = min_phase
+        self._changed_this_phase = False
+        self.decided_round: Optional[int] = None
+
+    @staticmethod
+    def _phase_of(round_: int) -> int:
+        return max(0, round_.bit_length() - 1)  # phase k spans [2^k, 2^(k+1))
+
+    def action(self, round_: int, coins: Coins) -> Action:
+        if (
+            round_ >= 2
+            and (round_ & (round_ - 1)) == 0  # a power of two: phase boundary
+            and self.decided_round is None
+            and self._phase_of(round_ - 1) >= self.min_phase
+            and not self._changed_this_phase
+        ):
+            self.decided_round = round_
+        if (round_ & (round_ - 1)) == 0:
+            self._changed_this_phase = False
+        if coins.bit(0.5):
+            return Send(("sc", self.best_id, self.best_value))
+        return Receive()
+
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        for p in payloads:
+            if isinstance(p, tuple) and len(p) == 3 and p[0] == "sc":
+                if p[1] > self.best_id:
+                    self.best_id, self.best_value = p[1], p[2]
+                    self._changed_this_phase = True
+
+    def output(self) -> Optional[Any]:
+        if self.decided_round is not None:
+            return ("decide", self.best_value, self.decided_round)
+        return None

@@ -1,0 +1,44 @@
+"""CONGEST synchronous round simulator (the Section-2 model substrate).
+
+The simulator executes a randomized protocol over a dynamic network whose
+per-round topology is chosen by an adversary.  Each round proceeds exactly
+as in the paper's model:
+
+1. every node draws its coins for the round;
+2. every node commits to an action — send one bounded-size message, or
+   receive — as a deterministic function of its state and coins;
+3. the adversary, who sees the protocol, all states, and all coin flips so
+   far (hence the committed actions, but no future coins), picks a
+   connected topology for the round;
+4. each receiving node is handed the payloads of all sending neighbours;
+5. nodes update state; outputs are recorded.
+
+Public API: :class:`~repro.sim.node.ProtocolNode`,
+:class:`~repro.sim.engine.SynchronousEngine`,
+:class:`~repro.sim.coins.CoinSource`, the :mod:`~repro.sim.actions`
+algebra, and the :mod:`~repro.sim.runner` convenience helpers.
+"""
+
+from .actions import Action, Receive, Send
+from .coins import Coins, CoinSource
+from .engine import SynchronousEngine
+from .messages import congest_budget
+from .node import ProtocolNode
+from .runner import ProtocolRun, replicate, run_protocol
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "Action",
+    "Send",
+    "Receive",
+    "Coins",
+    "CoinSource",
+    "SynchronousEngine",
+    "congest_budget",
+    "ProtocolNode",
+    "ProtocolRun",
+    "run_protocol",
+    "replicate",
+    "ExecutionTrace",
+    "RoundRecord",
+]

@@ -1,0 +1,48 @@
+"""The per-round action algebra: a node either sends or receives.
+
+Following the paper's model, in each round a node chooses exactly one of:
+
+* ``Send(payload)`` — broadcast one message of at most O(log N) bits to
+  whichever neighbours happen to be receiving this round;
+* ``Receive()`` — listen; the node will be handed the payloads of all
+  sending neighbours (without learning who sent them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from .._util import bit_size
+
+__all__ = ["Send", "Receive", "Action"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Broadcast ``payload`` this round.
+
+    Payloads should be built from ints, bools, strs and (nested) tuples so
+    that their CONGEST size is well defined; see :func:`repro._util.bit_size`.
+    """
+
+    payload: Any
+
+    @property
+    def bits(self) -> int:
+        """Encoded size of the payload in bits."""
+        return bit_size(self.payload)
+
+    def __repr__(self) -> str:
+        return f"Send({self.payload!r})"
+
+
+@dataclass(frozen=True)
+class Receive:
+    """Listen this round."""
+
+    def __repr__(self) -> str:
+        return "Receive()"
+
+
+Action = Union[Send, Receive]

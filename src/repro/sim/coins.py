@@ -1,0 +1,98 @@
+"""Deterministic coin streams for nodes.
+
+The reduction of Section 3 needs *public coins*: the reference execution
+and Alice's and Bob's partial simulations must all see exactly the same
+coin flips for every (node, round) pair, even though they instantiate
+separate node objects.  We therefore derive an independent PRNG stream
+per (seed, node_id, round) with a stable integer mix — no Python ``hash``
+(randomized per process) and no global stream whose consumption order
+could differ between the full and the partial simulations.
+
+The generator is splitmix64 seeded by an FNV-style mix of
+(seed, node_id, round).  A protocol draws a handful of coins per round,
+and the engine constructs one ``Coins`` per (node, round): constructing a
+``numpy`` Generator here (~20 µs) dominated whole-simulation profiles,
+while splitmix64 stepping is a few hundred nanoseconds of pure Python —
+the classic "optimize the measured bottleneck" trade.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._util import stable_hash64
+
+__all__ = ["Coins", "CoinSource"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+_GAMMA = 0x9E3779B97F4A7C15
+_INV_2_64 = 1.0 / 2.0 ** 64
+
+
+class Coins:
+    """The coin flips available to one node in one round.
+
+    A deterministic splitmix64 stream; draws must happen in a fixed
+    order (the stream is sequential), and all of a node's draws in a
+    round come from this object.
+    """
+
+    __slots__ = ("node_id", "round", "_state")
+
+    def __init__(self, node_id: int, round_: int, state: int):
+        self.node_id = node_id
+        self.round = round_
+        self._state = state & _MASK
+
+    def _next(self) -> int:
+        self._state = (self._state + _GAMMA) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def bit(self, p: float = 0.5) -> bool:
+        """One biased coin: True with probability ``p``."""
+        return self._next() * _INV_2_64 < p
+
+    def uniform(self) -> float:
+        """A uniform draw from [0, 1)."""
+        return self._next() * _INV_2_64
+
+    def exponential(self, rate: float = 1.0) -> float:
+        """An Exp(rate) draw (used by the counting subroutine)."""
+        u = self._next() * _INV_2_64
+        # 1 - u in (0, 1]: log argument never 0
+        return -math.log(1.0 - u) / rate
+
+    def randint(self, n: int) -> int:
+        """A uniform integer in [0, n) (modulo bias < 2^-50 for sane n)."""
+        return self._next() % n
+
+
+class CoinSource:
+    """Derives per-(node, round) coin streams from one public seed.
+
+    Two ``CoinSource`` instances with the same seed produce identical
+    streams, which is what makes the two-party simulation of Lemma 5
+    possible: Alice, Bob, and the reference adversary all construct their
+    own ``CoinSource(seed)`` and stay in perfect agreement.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def coins(self, node_id: int, round_: int) -> Coins:
+        """The coin stream of ``node_id`` in round ``round_``."""
+        return Coins(node_id, round_, stable_hash64((self.seed, node_id, round_)))
+
+    def fork(self, label: int) -> "CoinSource":
+        """An independent source, e.g. for adversary-internal randomness.
+
+        Forked sources never collide with node coin streams because the
+        label is folded with a distinct tag.
+        """
+        return CoinSource(stable_hash64((self.seed, 0x5EED, label)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoinSource(seed={self.seed})"

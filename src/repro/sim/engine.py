@@ -1,0 +1,219 @@
+"""The synchronous round engine.
+
+One round (paper, Section 2):
+
+1. coins are flipped — the engine materializes a per-(node, round) stream;
+2. every node commits to Send/Receive, deterministically in state+coins;
+3. the adversary picks this round's topology.  It is handed an
+   :class:`AdversaryView` containing the committed actions and node states
+   — this is exactly the power the paper grants (the adversary knows the
+   protocol, the states, and all coin flips so far, hence can predict the
+   deterministic actions; it cannot see future coins);
+4. payloads of sending nodes are delivered to receiving neighbours;
+5. outputs are polled for termination.
+
+The engine validates the model invariants (connected topology, CONGEST
+budget, edges within the node set) and records a full
+:class:`~repro.sim.trace.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from .._util import bit_size
+from ..errors import (
+    BandwidthExceeded,
+    DisconnectedTopology,
+    InvalidAction,
+    ModelViolation,
+)
+from .actions import Action, Receive, Send
+from .coins import CoinSource
+from .messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
+from .node import ProtocolNode
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = ["AdversaryView", "SynchronousEngine"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """What the adversary may inspect when choosing a round's topology."""
+
+    round: int
+    actions: Mapping[int, Action]
+    nodes: Mapping[int, ProtocolNode]
+    trace: ExecutionTrace
+
+    def is_receiving(self, uid: int) -> bool:
+        """True iff node ``uid`` committed to receive this round."""
+        return isinstance(self.actions[uid], Receive)
+
+    def is_sending(self, uid: int) -> bool:
+        """True iff node ``uid`` committed to send this round."""
+        return isinstance(self.actions[uid], Send)
+
+
+def _normalize_edges(edges, node_ids: FrozenSet[int]) -> FrozenSet[Edge]:
+    """Normalize to u < v tuples and validate endpoints."""
+    normalized = set()
+    for u, v in edges:
+        if u == v:
+            raise ModelViolation(f"self-loop on node {u}")
+        if u not in node_ids or v not in node_ids:
+            raise ModelViolation(f"edge ({u}, {v}) leaves the node set")
+        normalized.add((u, v) if u < v else (v, u))
+    return frozenset(normalized)
+
+
+def _is_connected(node_ids: FrozenSet[int], edges: FrozenSet[Edge]) -> bool:
+    """Union-find connectivity check over the given node set."""
+    if len(node_ids) <= 1:
+        return True
+    parent = {uid: uid for uid in node_ids}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    components = len(node_ids)
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1
+
+
+class SynchronousEngine:
+    """Runs a protocol over an adversary-controlled dynamic network.
+
+    Parameters
+    ----------
+    nodes:
+        Node objects keyed by id.  Ids need not be contiguous.
+    adversary:
+        Anything with ``edges(round_, view) -> iterable of (u, v)``.
+        See :mod:`repro.network.adversaries`.
+    coin_source:
+        The (public) coin source; pass the same seed to reproduce a run.
+    bandwidth_factor:
+        CONGEST budget multiplier; messages over
+        ``bandwidth_factor * ceil(log2 N)`` bits raise
+        :class:`~repro.errors.BandwidthExceeded`.
+    check_connected:
+        Validate per-round connectivity (the model constraint).  On by
+        default; the lower-bound *subnetworks* are legitimately
+        disconnected in isolation and turn this off.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, ProtocolNode],
+        adversary: Any,
+        coin_source: CoinSource,
+        bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR,
+        check_connected: bool = True,
+    ):
+        self.nodes = dict(nodes)
+        self.node_ids = frozenset(self.nodes)
+        self.adversary = adversary
+        self.coin_source = coin_source
+        self.budget = congest_budget(len(self.nodes), bandwidth_factor)
+        self.check_connected = check_connected
+        self.trace = ExecutionTrace(num_nodes=len(self.nodes))
+        self.round = 0
+
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute one round and return its record."""
+        self.round += 1
+        r = self.round
+
+        # (1)+(2): coins and committed actions, in deterministic id order.
+        actions: Dict[int, Action] = {}
+        for uid in sorted(self.nodes):
+            action = self.nodes[uid].action(r, self.coin_source.coins(uid, r))
+            if not isinstance(action, (Send, Receive)):
+                raise InvalidAction(
+                    f"node {uid} returned {action!r} from action() in round {r}"
+                )
+            actions[uid] = action
+
+        # (3): adversary fixes the topology.
+        view = AdversaryView(round=r, actions=actions, nodes=self.nodes, trace=self.trace)
+        edges = _normalize_edges(self.adversary.edges(r, view), self.node_ids)
+        if self.check_connected and not _is_connected(self.node_ids, edges):
+            raise DisconnectedTopology(f"round {r}: adversary topology is disconnected")
+
+        # (4): delivery.
+        sends: Dict[int, Any] = {}
+        bits: Dict[int, int] = {}
+        receivers = set()
+        for uid, action in actions.items():
+            if isinstance(action, Send):
+                nbits = bit_size(action.payload)
+                if nbits > self.budget:
+                    raise BandwidthExceeded(nbits, self.budget, uid, r)
+                sends[uid] = action.payload
+                bits[uid] = nbits
+            else:
+                receivers.add(uid)
+
+        adjacency: Dict[int, list] = {uid: [] for uid in self.node_ids}
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+        delivered: Dict[int, int] = {}
+        for uid in sorted(receivers):
+            payloads = [sends[nbr] for nbr in adjacency[uid] if nbr in sends]
+            # canonical order: receivers learn nothing from arrival order
+            payloads.sort(key=repr)
+            delivered[uid] = len(payloads)
+            self.nodes[uid].on_messages(r, tuple(payloads))
+        for uid in sends:
+            self.nodes[uid].on_sent(r)
+
+        record = RoundRecord(
+            round=r,
+            edges=edges,
+            sends=sends,
+            bits=bits,
+            receivers=frozenset(receivers),
+            delivered=delivered,
+        )
+        self.trace.append(record)
+
+        # (5): termination bookkeeping.
+        if self.trace.termination_round is None:
+            outputs = {uid: node.output() for uid, node in self.nodes.items()}
+            if all(out is not None for out in outputs.values()):
+                self.trace.termination_round = r
+                self.trace.outputs = outputs
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int,
+        stop: Optional[Callable[[Dict[int, ProtocolNode]], bool]] = None,
+        stop_on_termination: bool = True,
+    ) -> ExecutionTrace:
+        """Run until termination, a custom stop predicate, or ``max_rounds``."""
+        while self.round < max_rounds:
+            self.step()
+            if stop_on_termination and self.trace.termination_round is not None:
+                break
+            if stop is not None and stop(self.nodes):
+                break
+        self.trace.outputs = {uid: node.output() for uid, node in self.nodes.items()}
+        return self.trace

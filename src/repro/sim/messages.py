@@ -1,0 +1,27 @@
+"""CONGEST bandwidth accounting.
+
+The paper adopts the standard CONGEST model with O(log N) message sizes.
+We make the hidden constant explicit: a message may carry at most
+``bandwidth_factor * ceil(log2 N)`` bits.  All protocols in
+:mod:`repro.protocols` fit comfortably inside the default factor (their
+payloads are a small constant number of ids/counters); the engine raises
+:class:`~repro.errors.BandwidthExceeded` on violation rather than
+silently truncating, so an accidentally chatty protocol is caught by the
+test suite instead of corrupting measurements.
+"""
+
+from __future__ import annotations
+
+from .._util import bits_for_ids
+
+__all__ = ["DEFAULT_BANDWIDTH_FACTOR", "congest_budget"]
+
+#: Default multiplier for the O(log N) message-size budget.  Large enough
+#: for a payload of a handful of ids, counters and a quantized exponential;
+#: still Theta(log N).
+DEFAULT_BANDWIDTH_FACTOR = 24
+
+
+def congest_budget(num_nodes: int, bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR) -> int:
+    """Maximum message size in bits for a network of ``num_nodes`` nodes."""
+    return bandwidth_factor * bits_for_ids(num_nodes)

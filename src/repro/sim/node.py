@@ -1,0 +1,68 @@
+"""The protocol-node interface executed by the engine.
+
+Determinism contract
+--------------------
+The two-party simulation (Lemma 5) runs *independent copies* of the same
+node in different processes-of-thought (the reference execution, Alice's
+partial simulation, Bob's partial simulation) and relies on them staying
+bit-identical.  A node implementation must therefore be a deterministic
+function of:
+
+* its constructor inputs (id, problem input, protocol parameters),
+* the per-round :class:`~repro.sim.coins.Coins` passed to :meth:`action`,
+* the payload multisets passed to :meth:`on_messages`.
+
+In particular nodes must not read global RNGs, wall-clock time, or the
+topology (which the model hides from them anyway).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
+
+from .actions import Action
+from .coins import Coins
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode(ABC):
+    """One node of a distributed protocol.
+
+    Subclasses implement :meth:`action` (called once per round, before the
+    adversary fixes the topology) and :meth:`on_messages` (called in the
+    same round iff the node chose to receive).  :meth:`output` reports the
+    node's final output once decided, and drives termination detection.
+    """
+
+    def __init__(self, uid: int):
+        self.uid = uid
+
+    @abstractmethod
+    def action(self, round_: int, coins: Coins) -> Action:
+        """Commit to this round's action.
+
+        May mutate state (e.g. cache coin draws the node will need when
+        messages arrive), but must be deterministic in (state, round,
+        coins).
+        """
+
+    @abstractmethod
+    def on_messages(self, round_: int, payloads: Tuple[Any, ...]) -> None:
+        """Handle the payloads received this round.
+
+        Called only if :meth:`action` returned ``Receive()``; ``payloads``
+        is canonically sorted (nodes do not learn sender identities from
+        ordering) and may be empty.
+        """
+
+    def on_sent(self, round_: int) -> None:
+        """Optional hook invoked after a successful send. Default: no-op."""
+
+    def output(self) -> Optional[Any]:
+        """The node's final output, or ``None`` while undecided."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(uid={self.uid})"

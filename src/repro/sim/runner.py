@@ -1,0 +1,118 @@
+"""Convenience drivers: run a protocol to termination, replicate over seeds.
+
+These helpers standardize how all experiments execute protocols, so that
+"time complexity over average coin flips" (the paper's measure) is
+computed the same way everywhere: fixed adversary and input, many public
+seeds, report the distribution of termination rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .coins import CoinSource
+from .engine import SynchronousEngine
+from .node import ProtocolNode
+from .trace import ExecutionTrace
+
+__all__ = ["ProtocolRun", "run_protocol", "replicate", "ReplicationSummary"]
+
+NodeFactory = Callable[[], Dict[int, ProtocolNode]]
+AdversaryFactory = Callable[[], Any]
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome of one execution."""
+
+    trace: ExecutionTrace
+    terminated: bool
+    rounds: int
+    outputs: Dict[int, Any]
+
+    @property
+    def total_bits(self) -> int:
+        return self.trace.total_bits()
+
+
+def run_protocol(
+    make_nodes: NodeFactory,
+    make_adversary: AdversaryFactory,
+    seed: int,
+    max_rounds: int,
+    bandwidth_factor: int = 24,
+    check_connected: bool = True,
+) -> ProtocolRun:
+    """Run one protocol execution to termination (or ``max_rounds``)."""
+    nodes = make_nodes()
+    engine = SynchronousEngine(
+        nodes,
+        make_adversary(),
+        CoinSource(seed),
+        bandwidth_factor=bandwidth_factor,
+        check_connected=check_connected,
+    )
+    trace = engine.run(max_rounds)
+    terminated = trace.termination_round is not None
+    rounds = trace.termination_round if terminated else trace.rounds
+    return ProtocolRun(trace=trace, terminated=terminated, rounds=rounds, outputs=trace.outputs)
+
+
+@dataclass
+class ReplicationSummary:
+    """Aggregate over seeds of one (protocol, adversary, input) cell."""
+
+    runs: List[ProtocolRun]
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def termination_rate(self) -> float:
+        return sum(r.terminated for r in self.runs) / max(1, len(self.runs))
+
+    @property
+    def mean_rounds(self) -> float:
+        return mean(r.rounds for r in self.runs)
+
+    @property
+    def median_rounds(self) -> float:
+        return median(r.rounds for r in self.runs)
+
+    @property
+    def max_rounds(self) -> int:
+        return max(r.rounds for r in self.runs)
+
+    @property
+    def mean_bits(self) -> float:
+        return mean(r.total_bits for r in self.runs)
+
+    def error_rate(self, correct: Callable[[ProtocolRun], bool]) -> float:
+        """Fraction of runs whose outcome fails the ``correct`` predicate."""
+        return sum(not correct(r) for r in self.runs) / max(1, len(self.runs))
+
+
+def replicate(
+    make_nodes: NodeFactory,
+    make_adversary: AdversaryFactory,
+    seeds: Sequence[int],
+    max_rounds: int,
+    bandwidth_factor: int = 24,
+    check_connected: bool = True,
+) -> ReplicationSummary:
+    """Run the same cell under each seed and aggregate."""
+    runs = [
+        run_protocol(
+            make_nodes,
+            make_adversary,
+            seed,
+            max_rounds,
+            bandwidth_factor=bandwidth_factor,
+            check_connected=check_connected,
+        )
+        for seed in seeds
+    ]
+    return ReplicationSummary(runs=runs)

@@ -1,0 +1,76 @@
+"""Tests for tables, fitting, and sweeps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import crossover_x, loglog_slope
+from repro.analysis.sweep import cartesian_sweep
+from repro.analysis.tables import format_float, render_series, render_table
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(True) == "yes"
+        assert format_float(7) == "7"
+        assert format_float(3.14159) == "3.14"
+        assert format_float(1e-9) == "1.000e-09"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+    def test_render_series(self):
+        out = render_series("s", [1, 2], [3, 4], "x", "y")
+        assert "s" in out and "3" in out
+
+
+class TestFitting:
+    def test_slope_of_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [x**2.0 for x in xs]
+        slope, _ = loglog_slope(xs, ys)
+        assert slope == pytest.approx(2.0)
+
+    @given(st.floats(-2, 2))
+    def test_recovers_exponent(self, p):
+        xs = [10.0, 100.0, 1000.0]
+        ys = [x**p for x in xs]
+        slope, _ = loglog_slope(xs, ys)
+        assert slope == pytest.approx(p, abs=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            loglog_slope([1, -2], [1, 2])
+
+    def test_crossover_found(self):
+        xs = [1, 2, 3, 4]
+        a = [0, 1, 4, 9]
+        b = [2, 2, 2, 2]
+        cx = crossover_x(xs, a, b)
+        assert 2 < cx <= 3
+
+    def test_crossover_none(self):
+        assert crossover_x([1, 2], [0, 0], [1, 1]) is None
+
+    def test_crossover_at_start(self):
+        assert crossover_x([5, 6], [9, 9], [1, 1]) == 5.0
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = cartesian_sweep(
+            {"a": [1, 2], "b": ["x", "y"]},
+            lambda a, b: {"out": f"{a}{b}"},
+        )
+        assert len(rows) == 4
+        assert {"a": 1, "b": "y", "out": "1y"} in rows
+
+    def test_result_keys_win(self):
+        rows = cartesian_sweep({"a": [1]}, lambda a: {"a": 99})
+        assert rows[0]["a"] == 99

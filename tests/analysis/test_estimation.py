@@ -1,0 +1,33 @@
+"""Tests for the N-estimation insensitivity experiment."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import exp_estimate_insensitivity
+from repro.analysis.experiments.estimation import _bare_lambda_network
+from repro.cc.disjointness import random_instance
+from repro.core.composition import theorem7_network
+
+
+class TestEstimateInsensitivity:
+    def test_identical_within_horizon(self):
+        r = exp_estimate_insensitivity(q_values=(9,), seeds=(1,), late_factor=20)
+        (row,) = r.rows
+        assert row[5] == row[6]  # bit-identical estimates at the horizon
+
+    def test_bare_lambda_matches_full_lambda_block(self):
+        inst = random_instance(2, 9, seed=1, value=0, zero_zero_count=1)
+        bare = _bare_lambda_network(inst)
+        full = theorem7_network(inst)
+        # the Λ block is structurally identical in both worlds
+        assert bare.subnets[0].num_nodes == full.subnets[0].num_nodes
+        recv = lambda uid: True
+        for r in (1, 2, 5):
+            bare_edges = bare.subnets[0].reference_edges(r, recv)
+            full_edges = full.subnets[0].reference_edges(r, recv)
+            assert bare_edges == full_edges
+
+    def test_true_sizes_differ_twofold(self):
+        inst = random_instance(2, 9, seed=1, value=0, zero_zero_count=1)
+        bare = _bare_lambda_network(inst)
+        full = theorem7_network(inst)
+        assert full.num_nodes == 2 * bare.num_nodes

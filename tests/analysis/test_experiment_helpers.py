@@ -1,0 +1,51 @@
+"""Tests for the experiment-harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.protocols import measured_diameter
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RotatingStarAdversary,
+    StaticAdversary,
+)
+from repro.network.generators import line_edges
+
+
+class TestMeasuredDiameter:
+    def test_static_line(self):
+        ids = list(range(1, 9))
+        adv = StaticAdversary(ids, line_edges(ids))
+        assert measured_diameter(adv) == len(ids) - 1
+
+    def test_overlapping_stars(self):
+        ids = list(range(1, 13))
+        assert measured_diameter(OverlappingStarsAdversary(ids)) <= 3
+
+    def test_rotating_star_theta_n(self):
+        ids = list(range(1, 9))
+        assert measured_diameter(RotatingStarAdversary(ids)) == len(ids) - 1
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        r = ExperimentResult(
+            exp_id="EXP-X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[[1, 2.5]],
+            notes=["a note"],
+            summary={"k": 7},
+        )
+        out = r.render()
+        assert "[EXP-X] demo" in out
+        assert "2.5" in out
+        assert "summary: k=7" in out
+        assert "note: a note" in out
+
+    def test_empty_summary_and_notes(self):
+        r = ExperimentResult(exp_id="EXP-Y", title="t", headers=["x"], rows=[[1]])
+        out = r.render()
+        assert "summary" not in out and "note" not in out

@@ -1,0 +1,104 @@
+"""Smoke tests: every EXP-* experiment runs at a tiny configuration and
+produces the structural claims its benchmark relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    exp_cc_bounds,
+    exp_exponential_gap,
+    exp_fig1,
+    exp_fig2,
+    exp_fig3,
+    exp_known_d_upper_bounds,
+    exp_sensitivity,
+    exp_thm6_reduction,
+    exp_thm7_reduction,
+    exp_thm8_leader_election,
+)
+
+
+class TestFigureExperiments:
+    def test_fig1_reproduces_paper_example(self):
+        r = exp_fig1()
+        assert r.summary["answer"] == 0
+        assert r.summary["line_nodes"] == 2  # (q-1)/2 for q = 5
+        # the (0,0) group is fully removed under the reference adversary
+        # in round 1
+        ref_rows = {row[0]: row for row in r.rows if row[2] == "reference"}
+        assert ref_rows[4][3] == "./."
+        # Bob diverges on the |_0^1 chain at round 1 (paper's example)
+        bob_rows = {row[0]: row for row in r.rows if row[2] == "bob"}
+        assert bob_rows[3][3] == "+/."
+
+    def test_fig2_cascade_and_containment(self):
+        r = exp_fig2()
+        assert not r.summary["first_mid_reaches_A_by_horizon"]
+        assert not r.summary["first_mid_reaches_B_by_horizon"]
+        # chain j holds until round j-1 and is gone at round j
+        assert r.rows[0][2] == "./."
+        assert r.rows[1][2] == "+/+" and r.rows[1][3] == "./."
+
+    def test_fig3_shifted_cascade(self):
+        r = exp_fig3()
+        labels = [row[1] for row in r.rows]
+        assert labels == ["|_3^2", "|_5^4", "|_6^6", "|_6^6"]
+
+
+class TestReductionExperiments:
+    def test_thm6_tiny(self):
+        r = exp_thm6_reduction(q_values=(25,), n=2, seeds=(1,))
+        assert len(r.rows) == 4  # 2 truths x 2 oracles
+        by_oracle = {}
+        for row in r.rows:
+            by_oracle.setdefault(row[3], []).append(row)
+        # fast oracle decides 1 everywhere; conservative decides 0
+        assert all(row[4] == 1 for row in by_oracle["fast(D=10)"])
+        assert all(row[4] == 0 for row in by_oracle["conserv(D=N-1)"])
+        # the fast oracle's confirm is premature exactly on truth-0 rows
+        for row in by_oracle["fast(D=10)"]:
+            assert row[11] == (row[2] == 1)
+
+    def test_thm7_tiny(self):
+        r = exp_thm7_reduction(q_values=(17,), n=2, seeds=(1,))
+        # boundary N': the protocol stalls, so decision 0 everywhere
+        assert all(row[6] == 0 for row in r.rows)
+        assert all(abs(row[5] - 1 / 3) < 0.01 for row in r.rows)
+
+    def test_cc_tiny(self):
+        r = exp_cc_bounds(n_values=(64,), q_values=(5,), seed=1)
+        (row,) = r.rows
+        n, q = row[0], row[1]
+        # measured protocols dominate the lower-bound formula
+        bound = row[-1]
+        assert all(bits >= bound for bits in row[3:7])
+
+
+class TestProtocolExperiments:
+    def test_thm8_tiny(self):
+        r = exp_thm8_leader_election(
+            sizes=(8,), adversaries=("overlap-stars",), seeds=(11,),
+            include_line_up_to=0,
+        )
+        (row,) = r.rows
+        assert row[4] == "1/1"  # elected ok
+
+    def test_known_d_tiny(self):
+        r = exp_known_d_upper_bounds(sizes=(12,), seeds=(21,))
+        assert {row[0] for row in r.rows} == {
+            "CFLOOD", "CONSENSUS", "MAX", "HEARFROM-N", "COUNT-N",
+        }
+        assert all(row[5] for row in r.rows)  # all correct
+
+    def test_gap_formula_rows(self):
+        r = exp_exponential_gap(measured_sizes=(), formula_sizes=(10**3, 10**6), seeds=())
+        assert len(r.rows) == 2
+        assert 0.15 < r.summary["floor_loglog_slope"] < 0.3
+
+    @pytest.mark.slow
+    def test_sensitivity_boundary(self):
+        r = exp_sensitivity(n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000)
+        by_err = {row[0]: row for row in r.rows}
+        assert by_err[0.0][3] == "1/1"
+        assert by_err[0.45][4] == "1/1"  # stalled

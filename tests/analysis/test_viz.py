@@ -1,0 +1,94 @@
+"""Tests for the ASCII construction renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.viz import edge_glyph, render_rounds, render_subnetwork_round
+from repro.cc.disjointness import DisjointnessInstance
+from repro.core.gamma import GammaSubnetwork
+from repro.core.lambda_net import LambdaSubnetwork
+
+
+@pytest.fixture
+def gamma(fig1_instance):
+    return GammaSubnetwork(fig1_instance.n, fig1_instance.q, x=fig1_instance.x, y=fig1_instance.y)
+
+
+class TestRenderer:
+    def test_edge_glyph(self):
+        assert edge_glyph(True) == "|"
+        assert edge_glyph(False) == " "
+
+    def test_reference_frame_shape(self, gamma):
+        frame = render_subnetwork_round(gamma, 1, "reference")
+        lines = frame.split("\n")
+        assert lines[0] == "[reference r1]"
+        assert lines[1].startswith("A")
+        assert lines[-1].startswith("B")
+        assert len(lines) == 8
+
+    def test_belief_frames_show_question_marks(self, fig1_instance):
+        alice = GammaSubnetwork(fig1_instance.n, fig1_instance.q, x=fig1_instance.x)
+        frame = render_subnetwork_round(alice, 1, "alice")
+        assert "?" in frame  # bottom labels unknown to Alice
+
+    def test_reference_requires_both_labels(self, fig1_instance):
+        alice = GammaSubnetwork(fig1_instance.n, fig1_instance.q, x=fig1_instance.x)
+        with pytest.raises(Exception):
+            render_subnetwork_round(alice, 1, "reference")
+
+    def test_unknown_adversary_rejected(self, gamma):
+        with pytest.raises(ValueError):
+            render_subnetwork_round(gamma, 1, "carol")
+
+    def test_zero_group_loses_both_edges_in_frame(self, gamma):
+        frame = render_subnetwork_round(gamma, 1, "reference", group=4)
+        top_edges = frame.split("\n")[3]
+        bottom_edges = frame.split("\n")[5]
+        assert "|" not in top_edges and "|" not in bottom_edges
+
+    def test_lambda_line_rendered(self):
+        lam = LambdaSubnetwork(1, 7, x=(0,), y=(0,))
+        frame = render_subnetwork_round(lam, 1, "reference")
+        assert "o---o" in frame  # the permanent middle line
+
+    def test_render_rounds_concatenates(self, gamma):
+        out = render_rounds(gamma, 2, "reference")
+        assert "[reference r1]" in out and "[reference r2]" in out
+
+    def test_group_filter(self, gamma):
+        all_frame = render_subnetwork_round(gamma, 1, "reference")
+        one_group = render_subnetwork_round(gamma, 1, "reference", group=1)
+        assert len(one_group) < len(all_frame)
+
+
+class TestSpoiledRenderer:
+    def test_spoiled_map_matches_schedule(self, fig1_instance):
+        from repro.analysis.viz import render_spoiled_round
+
+        g = GammaSubnetwork(
+            fig1_instance.n, fig1_instance.q, x=fig1_instance.x, y=fig1_instance.y
+        )
+        frame = render_spoiled_round(g, 1, "alice", group=4)  # the (0,0) group
+        lines = frame.split("\n")
+        assert "#" not in lines[1]  # tops never spoil for Alice
+        assert "#" in lines[2] and "#" in lines[3]  # mids/bottoms at round 1
+
+    def test_unknown_party_rejected(self, fig1_instance):
+        from repro.analysis.viz import render_spoiled_round
+
+        g = GammaSubnetwork(fig1_instance.n, fig1_instance.q, x=fig1_instance.x)
+        with pytest.raises(ValueError):
+            render_spoiled_round(g, 1, "carol")
+
+    def test_bob_mirror(self, fig1_instance):
+        from repro.analysis.viz import render_spoiled_round
+
+        g = GammaSubnetwork(
+            fig1_instance.n, fig1_instance.q, x=fig1_instance.x, y=fig1_instance.y
+        )
+        frame = render_spoiled_round(g, 1, "bob", group=4)
+        lines = frame.split("\n")
+        assert "#" in lines[1] and "#" in lines[2]  # tops/mids spoil for Bob
+        assert "#" not in lines[3]  # bottoms never spoil for Bob

@@ -1,0 +1,108 @@
+"""Tests for DISJOINTNESSCP and the cycle promise."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cc.disjointness import (
+    DisjointnessInstance,
+    allowed_pairs,
+    cycle_of_pairs,
+    random_instance,
+    satisfies_cycle_promise,
+)
+from repro.errors import PromiseViolation
+
+from ..conftest import disjointness_instances, odd_q
+
+
+class TestPromise:
+    def test_allowed_pairs_count(self):
+        for q in (3, 5, 7, 11):
+            assert len(allowed_pairs(q)) == 2 * q
+
+    def test_promise_examples(self):
+        assert satisfies_cycle_promise((0, 3), (1, 2), 5)
+        assert satisfies_cycle_promise((0,), (0,), 5)
+        assert satisfies_cycle_promise((4,), (4,), 5)
+
+    def test_promise_rejections(self):
+        assert not satisfies_cycle_promise((2,), (2,), 5)  # equal interior
+        assert not satisfies_cycle_promise((0,), (2,), 5)  # gap of 2
+        assert not satisfies_cycle_promise((0,), (5,), 5)  # out of range
+        assert not satisfies_cycle_promise((0, 1), (1,), 5)  # length mismatch
+
+    def test_instance_validation(self):
+        with pytest.raises(PromiseViolation):
+            DisjointnessInstance((2,), (2,), 5)
+        with pytest.raises(PromiseViolation):
+            DisjointnessInstance((0, 1), (1,), 5)
+        with pytest.raises(PromiseViolation):
+            DisjointnessInstance((9,), (8,), 5)
+
+
+class TestCycleStructure:
+    @given(odd_q(3, 15))
+    def test_cycle_visits_all_pairs_once(self, q):
+        cyc = cycle_of_pairs(q)
+        assert len(cyc) == 2 * q
+        assert set(cyc) == set(allowed_pairs(q))
+
+    @given(odd_q(3, 15))
+    def test_consecutive_pairs_indistinguishable_to_one_party(self, q):
+        cyc = cycle_of_pairs(q)
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert a[0] == b[0] or a[1] == b[1]
+
+    @given(odd_q(3, 15))
+    def test_special_pairs_antipodal(self, q):
+        cyc = cycle_of_pairs(q)
+        i = cyc.index((0, 0))
+        j = cyc.index((q - 1, q - 1))
+        assert abs(i - j) == q  # antipodal on a 2q-cycle
+
+
+class TestEvaluate:
+    def test_figure1_instance(self):
+        inst = DisjointnessInstance.from_strings("3110", "2200", 5)
+        assert inst.evaluate() == 0
+        assert inst.zero_zero_coordinates() == (3,)
+
+    def test_answer_one(self):
+        inst = DisjointnessInstance((1, 4), (2, 4), 5)
+        assert inst.evaluate() == 1
+        assert inst.zero_zero_coordinates() == ()
+
+    @given(disjointness_instances())
+    def test_evaluate_matches_definition(self, inst):
+        expected = 0 if any(a == 0 and b == 0 for a, b in zip(inst.x, inst.y)) else 1
+        assert inst.evaluate() == expected
+
+
+class TestRandomInstances:
+    @given(st.integers(1, 50), odd_q(3, 13), st.integers(0, 1000))
+    def test_random_satisfies_promise(self, n, q, seed):
+        inst = random_instance(n, q, seed)
+        assert satisfies_cycle_promise(inst.x, inst.y, q)
+
+    @given(st.integers(1, 50), odd_q(3, 13), st.integers(0, 100))
+    def test_forced_values(self, n, q, seed):
+        assert random_instance(n, q, seed, value=0).evaluate() == 0
+        assert random_instance(n, q, seed, value=1).evaluate() == 1
+
+    @given(st.integers(2, 30), odd_q(3, 9), st.integers(0, 100))
+    def test_exact_zero_zero_count(self, n, q, seed):
+        k = seed % (n + 1)
+        inst = random_instance(n, q, seed, zero_zero_count=k)
+        assert len(inst.zero_zero_coordinates()) == k
+
+    def test_deterministic_in_seed(self):
+        a = random_instance(20, 7, seed=5)
+        b = random_instance(20, 7, seed=5)
+        assert (a.x, a.y) == (b.x, b.y)
+
+    def test_inconsistent_constraints_rejected(self):
+        with pytest.raises(Exception):
+            random_instance(5, 5, seed=1, value=1, zero_zero_count=2)

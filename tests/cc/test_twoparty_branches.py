@@ -1,0 +1,68 @@
+"""Branch-coverage tests for the two-party protocols."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.cc.disjointness import DisjointnessInstance, allowed_pairs
+from repro.cc.protocols import MinListProtocol
+from repro.cc.twoparty import run_two_party
+
+from ..conftest import disjointness_instances
+
+
+def _instance_with_zero_sets(n_zero_x: int, n_zero_y: int, q: int = 5):
+    """An instance where Alice has ``n_zero_x`` zeros and Bob ``n_zero_y``.
+
+    Alice-zero coordinates use (0, 1); Bob-zero coordinates use (1, 0);
+    filler uses (q-1, q-1) so the answer is 1.
+    """
+    pairs = [(0, 1)] * n_zero_x + [(1, 0)] * n_zero_y + [(q - 1, q - 1)] * 3
+    return DisjointnessInstance(
+        tuple(p[0] for p in pairs), tuple(p[1] for p in pairs), q
+    )
+
+
+class TestMinListBranches:
+    def test_bob_lists_when_smaller(self):
+        inst = _instance_with_zero_sets(n_zero_x=5, n_zero_y=1)
+        a = MinListProtocol("alice", inst.x, inst.n, inst.q)
+        b = MinListProtocol("bob", inst.y, inst.n, inst.q)
+        res = run_two_party(a, b, seed=1)
+        assert res.answer == 1
+        assert res.turns == 3  # count -> bob lists -> alice answers
+
+    def test_alice_lists_when_smaller(self):
+        inst = _instance_with_zero_sets(n_zero_x=1, n_zero_y=5)
+        a = MinListProtocol("alice", inst.x, inst.n, inst.q)
+        b = MinListProtocol("bob", inst.y, inst.n, inst.q)
+        res = run_two_party(a, b, seed=1)
+        assert res.answer == 1
+        assert res.turns == 4  # count -> list-please -> alice lists -> bob answers
+
+    def test_empty_zero_sets(self):
+        inst = _instance_with_zero_sets(n_zero_x=0, n_zero_y=0)
+        a = MinListProtocol("alice", inst.x, inst.n, inst.q)
+        b = MinListProtocol("bob", inst.y, inst.n, inst.q)
+        assert run_two_party(a, b, seed=1).answer == 1
+
+    @given(inst=disjointness_instances(min_n=1, max_n=20))
+    def test_turn_count_bounded(self, inst):
+        a = MinListProtocol("alice", inst.x, inst.n, inst.q)
+        b = MinListProtocol("bob", inst.y, inst.n, inst.q)
+        res = run_two_party(a, b, seed=1)
+        assert res.turns <= 4
+        assert res.answer == inst.evaluate()
+
+
+class TestAllowedPairsStructure:
+    @given(inst=disjointness_instances())
+    def test_every_coordinate_is_an_allowed_pair(self, inst):
+        pairs = set(allowed_pairs(inst.q))
+        assert all(p in pairs for p in zip(inst.x, inst.y))
+
+    def test_zero_zero_and_top_are_the_only_equal_pairs(self):
+        for q in (3, 5, 9):
+            equal = [p for p in allowed_pairs(q) if p[0] == p[1]]
+            assert equal == [(0, 0), (q - 1, q - 1)]

@@ -1,0 +1,121 @@
+"""Tests for the two-party framework and reference protocols."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import bit_size
+from repro.cc.bounds import corollary2_bound_bits, theorem1_lower_bound_bits
+from repro.cc.disjointness import random_instance
+from repro.cc.protocols import (
+    MinListProtocol,
+    SamplingProtocol,
+    SendAllProtocol,
+    ZeroBitmaskProtocol,
+)
+from repro.cc.twoparty import Party, Transcript, run_two_party
+from repro.errors import ProtocolError
+
+from ..conftest import disjointness_instances
+
+
+class TestTranscript:
+    def test_bit_accounting(self):
+        t = Transcript()
+        t.record("alice", (1, 2))
+        t.record("bob", True)
+        assert t.total_bits == bit_size((1, 2)) + bit_size(True)
+        assert t.bits_from("alice") == bit_size((1, 2))
+        assert len(t) == 2
+
+
+class TestDriver:
+    def test_role_validated(self):
+        with pytest.raises(ProtocolError):
+            SendAllProtocol("carol", (0,), 1, 3)
+
+    def test_no_answer_raises(self):
+        class Mute(Party):
+            def turn(self, incoming, rng):
+                return None, None
+
+        with pytest.raises(ProtocolError):
+            run_two_party(Mute("alice"), Mute("bob"), seed=1, max_turns=5)
+
+
+EXACT_PROTOCOLS = [SendAllProtocol, ZeroBitmaskProtocol, MinListProtocol]
+
+
+class TestExactProtocols:
+    @pytest.mark.parametrize("proto", EXACT_PROTOCOLS)
+    @given(inst=disjointness_instances(max_n=12))
+    def test_always_correct(self, proto, inst):
+        alice = proto("alice", inst.x, inst.n, inst.q)
+        bob = proto("bob", inst.y, inst.n, inst.q)
+        res = run_two_party(alice, bob, seed=1)
+        assert res.answer == inst.evaluate()
+
+    def test_bitmask_is_linear(self):
+        for n in (32, 64, 128):
+            inst = random_instance(n, 5, seed=1, value=1)
+            a = ZeroBitmaskProtocol("alice", inst.x, n, 5)
+            b = ZeroBitmaskProtocol("bob", inst.y, n, 5)
+            res = run_two_party(a, b, seed=1)
+            assert res.total_bits <= 4 * n + 16
+
+    def test_minlist_beats_sendall_on_sparse(self):
+        inst = random_instance(512, 9, seed=2, zero_zero_count=1)
+        bits = {}
+        for proto in (SendAllProtocol, MinListProtocol):
+            a = proto("alice", inst.x, inst.n, inst.q)
+            b = proto("bob", inst.y, inst.n, inst.q)
+            bits[proto.__name__] = run_two_party(a, b, seed=1).total_bits
+        assert bits["MinListProtocol"] < bits["SendAllProtocol"]
+
+
+class TestSampling:
+    def test_one_sided_zero_answers(self):
+        # answer 0 claims are always genuine hits
+        inst = random_instance(64, 5, seed=3, zero_zero_count=32)
+        a, b = SamplingProtocol.build_pair(inst.x, inst.y, 64, 5, seed=9, samples=32)
+        res = run_two_party(a, b, seed=1)
+        if res.answer == 0:
+            assert inst.evaluate() == 0
+
+    def test_never_claims_zero_on_answer_one(self):
+        inst = random_instance(64, 5, seed=4, value=1)
+        a, b = SamplingProtocol.build_pair(inst.x, inst.y, 64, 5, seed=9, samples=32)
+        res = run_two_party(a, b, seed=1)
+        assert res.answer == 1
+
+    def test_misses_rare_witness_sometimes(self):
+        # with 4 samples over 256 coordinates and a single witness, the
+        # protocol errs for at least one seed — sampling cannot be exact
+        inst = random_instance(256, 5, seed=5, zero_zero_count=1)
+        answers = set()
+        for seed in range(12):
+            a, b = SamplingProtocol.build_pair(inst.x, inst.y, 256, 5, seed=seed, samples=4)
+            answers.add(run_two_party(a, b, seed=1).answer)
+        assert 1 in answers
+
+
+class TestBounds:
+    def test_formula_values(self):
+        assert theorem1_lower_bound_bits(10**6, 101) > 0
+        assert theorem1_lower_bound_bits(100, 99) == 0.0  # floored at 0
+
+    def test_corollary_matches_theorem(self):
+        assert corollary2_bound_bits(10**5, 31) == theorem1_lower_bound_bits(10**5, 31)
+
+    @given(st.integers(10, 10**6), st.integers(1, 50))
+    def test_nonnegative(self, n, t):
+        q = 2 * t + 1
+        assert theorem1_lower_bound_bits(n, q) >= 0.0
+
+    def test_monotone_in_n(self):
+        assert theorem1_lower_bound_bits(10**6, 11) > theorem1_lower_bound_bits(10**4, 11)
+
+    def test_decreasing_in_q(self):
+        assert theorem1_lower_bound_bits(10**6, 11) > theorem1_lower_bound_bits(10**6, 101)

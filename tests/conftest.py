@@ -1,0 +1,56 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.cc.disjointness import DisjointnessInstance, allowed_pairs
+
+# Keep hypothesis fast and deterministic in CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def odd_q(min_q: int = 3, max_q: int = 13):
+    """Strategy: odd q in [min_q, max_q]."""
+    return st.integers(min_q // 2, (max_q - 1) // 2).map(lambda t: 2 * t + 1)
+
+
+@st.composite
+def disjointness_instances(draw, min_n=1, max_n=6, min_q=3, max_q=11, value=None):
+    """Strategy: promise-satisfying DISJOINTNESSCP instances."""
+    q = draw(odd_q(min_q, max_q))
+    n = draw(st.integers(min_n, max_n))
+    pairs = allowed_pairs(q)
+    non_zero = [p for p in pairs if p != (0, 0)]
+    if value == 0:
+        witness = draw(st.integers(0, n - 1))
+        chosen = [
+            (0, 0) if i == witness else draw(st.sampled_from(pairs))
+            for i in range(n)
+        ]
+    elif value == 1:
+        chosen = [draw(st.sampled_from(non_zero)) for _ in range(n)]
+    else:
+        chosen = [draw(st.sampled_from(pairs)) for _ in range(n)]
+    x = tuple(p[0] for p in chosen)
+    y = tuple(p[1] for p in chosen)
+    return DisjointnessInstance(x, y, q)
+
+
+@pytest.fixture
+def fig1_instance() -> DisjointnessInstance:
+    """The Figure-1 instance: n=4, q=5, x=3110, y=2200."""
+    return DisjointnessInstance.from_strings("3110", "2200", 5)
+
+
+@pytest.fixture
+def small_ids():
+    return list(range(1, 9))

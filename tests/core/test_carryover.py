@@ -1,0 +1,51 @@
+"""Tests for the HFN/MAX carry-over measurements."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cc.disjointness import random_instance
+from repro.core.carryover import measure_carryover
+
+from ..conftest import disjointness_instances
+
+
+class TestCarryover:
+    @pytest.mark.parametrize("q", [17, 25])
+    def test_answer0_blocks_hfn_and_max(self, q):
+        inst = random_instance(3, q, seed=1, value=0, zero_zero_count=1)
+        report = measure_carryover(inst)
+        assert report.hfn_blocked_within_horizon
+        assert report.max_blocked_within_horizon
+        # the blockage scales with q (the Omega(q) of the theorem)
+        assert report.far_to_a_rounds > report.horizon
+
+    @pytest.mark.parametrize("q", [17, 25])
+    def test_answer1_easy(self, q):
+        inst = random_instance(3, q, seed=1, value=1)
+        report = measure_carryover(inst)
+        assert not report.hfn_blocked_within_horizon
+        assert not report.max_blocked_within_horizon
+        assert report.hear_from_all_rounds <= 10  # the constant diameter
+
+    def test_blockage_grows_with_q(self):
+        times = []
+        for q in (9, 17, 25):
+            inst = random_instance(2, q, seed=2, value=0, zero_zero_count=1)
+            times.append(measure_carryover(inst).far_to_a_rounds)
+        assert times[0] < times[1] < times[2]
+
+    @given(inst=disjointness_instances(min_n=1, max_n=3, min_q=9, max_q=11, value=0))
+    @settings(max_examples=8)
+    def test_hfn_time_at_least_line_length(self, inst):
+        # hearing from the far line node requires walking the line plus
+        # crossing into Λ: at least ~(q-1)/2 rounds
+        report = measure_carryover(inst)
+        assert report.hear_from_all_rounds >= (inst.q - 1) // 2
+
+    def test_hear_all_equals_far_node_time_on_answer0(self):
+        # the far line node is the last to influence A_Γ
+        inst = random_instance(3, 17, seed=3, value=0, zero_zero_count=1)
+        report = measure_carryover(inst)
+        assert report.hear_from_all_rounds == report.far_to_a_rounds

@@ -1,0 +1,227 @@
+"""Exhaustive verification of the chain rules against Lemma 3.
+
+For every q, every (possibly shifted) promise label pair, every round in
+the simulation horizon, and both behaviours of the middle node, we check:
+
+* edge removals are monotone (a removed edge stays removed);
+* the Lemma-3 conditions: for any node Z non-spoiled for a party at
+  round r, (i) the symmetric difference between Z's reference neighbours
+  S and simulated neighbours S' contains only the (receiving) middle
+  node, and (ii) every member of S' is the far special node or a node
+  non-spoiled for that party at round r-1;
+* the explicit spoiled/non-spoiled enumeration of the Lemma-3 proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.chains import (
+    NEVER,
+    alice_spoil_rounds,
+    bob_spoil_rounds,
+    bottom_edge_present_alice,
+    bottom_edge_present_bob,
+    bottom_edge_present_reference,
+    top_edge_present_alice,
+    top_edge_present_bob,
+    top_edge_present_reference,
+)
+from repro.errors import ConfigurationError
+
+QS = (5, 7, 9, 13)
+
+
+def chain_label_pairs(q, lambda_rule5):
+    """All label pairs a chain can carry in a type-Γ / type-Λ subnetwork."""
+    pairs = [(k, k - 1) for k in range(1, q)] + [(k, k + 1) for k in range(q - 1)]
+    pairs += [(0, 0), (q - 1, q - 1)]
+    if lambda_rule5:
+        # Λ shifts (0,0) coordinates to equal even labels
+        pairs += [(2 * t, 2 * t) for t in range(1, (q - 1) // 2)]
+    return sorted(set(pairs))
+
+
+def neighbor_sets(a, b, q, r, mid_recv, lambda_rule5, party):
+    """(S, S') per node for one chain hanging between A and B.
+
+    Node names: 'U', 'V', 'W' plus the specials 'A', 'B'.
+    """
+    recv = lambda _r: mid_recv
+    top_ref = top_edge_present_reference(a, b, q, r, recv, lambda_rule5)
+    bot_ref = bottom_edge_present_reference(a, b, q, r, recv, lambda_rule5)
+    if party == "alice":
+        top_sim = top_edge_present_alice(a, r)
+        bot_sim = bottom_edge_present_alice(a, r)
+    else:
+        top_sim = top_edge_present_bob(b, r)
+        bot_sim = bottom_edge_present_bob(b, r)
+
+    def sets(top, bot):
+        return {
+            "U": {"A"} | ({"V"} if top else set()),
+            "V": ({"U"} if top else set()) | ({"W"} if bot else set()),
+            "W": ({"V"} if bot else set()) | {"B"},
+        }
+
+    return sets(top_ref, bot_ref), sets(top_sim, bot_sim)
+
+
+def spoil(party, a, b):
+    if party == "alice":
+        return dict(zip("UVW", alice_spoil_rounds(a)))
+    return dict(zip("UVW", bob_spoil_rounds(b)))
+
+
+class TestLemma3Exhaustive:
+    @pytest.mark.parametrize("q", QS)
+    @pytest.mark.parametrize("lambda_rule5", [False, True])
+    @pytest.mark.parametrize("party", ["alice", "bob"])
+    def test_lemma3_conditions(self, q, lambda_rule5, party):
+        horizon = (q - 1) // 2
+        far_special = "B" if party == "alice" else "A"
+        for a, b in chain_label_pairs(q, lambda_rule5):
+            if not lambda_rule5 and a == b and a not in (0, q - 1):
+                continue  # equal interior labels cannot occur in type-Γ
+            sp = spoil(party, a, b)
+            for r, mid_recv in itertools.product(range(1, horizon + 1), (True, False)):
+                S, Sp = neighbor_sets(a, b, q, r, mid_recv, lambda_rule5, party)
+                for z in "UVW":
+                    if r >= sp[z]:
+                        continue  # Z spoiled at r: lemma says nothing
+                    if z == "V" and not mid_recv:
+                        continue  # lemma applies only to *receiving* nodes
+                    diff = (S[z] - Sp[z]) | (Sp[z] - S[z])
+                    if z == "V":
+                        # a receiving non-spoiled middle sees identical
+                        # neighbour sets under both adversaries
+                        assert diff == set(), (a, b, q, r, z, diff)
+                    else:
+                        # (i): differing neighbours are exactly a receiving V
+                        assert diff <= {"V"}, (a, b, q, r, z, diff)
+                        if diff:
+                            assert mid_recv, (a, b, q, r, z)
+                    # (ii): S' members are the far special or non-spoiled at r-1
+                    for m in Sp[z]:
+                        if m in ("A", "B"):
+                            assert m == far_special or (
+                                m == ("A" if party == "alice" else "B")
+                            )
+                            continue
+                        assert r - 1 < sp[m], (a, b, q, r, z, m)
+
+    @pytest.mark.parametrize("q", QS)
+    @pytest.mark.parametrize("lambda_rule5", [False, True])
+    def test_removals_monotone(self, q, lambda_rule5):
+        for a, b in chain_label_pairs(q, lambda_rule5):
+            if not lambda_rule5 and a == b and a not in (0, q - 1):
+                continue
+            for mid_recv in (True, False):
+                recv = lambda _r: mid_recv
+                for fn in (top_edge_present_reference, bottom_edge_present_reference):
+                    history = [fn(a, b, q, r, recv, lambda_rule5) for r in range(1, q + 3)]
+                    # once False, never True again
+                    assert all(
+                        not (not cur and nxt) for cur, nxt in zip(history, history[1:])
+                    ), (a, b, fn.__name__)
+
+
+class TestLemma3Enumeration:
+    """The explicit cases from the Lemma-3 proof text."""
+
+    def test_even_top_chains_for_alice(self):
+        # |_{2t+1}^{2t} and |_{2t-1}^{2t}: U never spoiled, V and W
+        # non-spoiled iff r <= t
+        for t in range(0, 5):
+            a = 2 * t
+            su, sv, sw = alice_spoil_rounds(a)
+            assert su == NEVER
+            assert sv == t + 1 and sw == t + 1
+
+    def test_odd_top_chains_for_alice(self):
+        # |_{2t}^{2t+1}: U and V always non-spoiled, W non-spoiled iff r <= t
+        for t in range(0, 5):
+            a = 2 * t + 1
+            su, sv, sw = alice_spoil_rounds(a)
+            assert su == NEVER and sv == NEVER
+            assert sw == t + 1
+
+    def test_2t_minus_1_top_for_alice(self):
+        # |_{2t}^{2t-1}: W non-spoiled iff r <= t - 1
+        for t in range(1, 5):
+            a = 2 * t - 1
+            _, _, sw = alice_spoil_rounds(a)
+            assert sw == t  # spoiled from round t => non-spoiled iff r <= t-1
+
+    def test_bob_mirror(self):
+        for t in range(0, 5):
+            su, sv, sw = bob_spoil_rounds(2 * t)
+            assert sw == NEVER and su == t + 1 and sv == t + 1
+            su, sv, sw = bob_spoil_rounds(2 * t + 1)
+            assert sw == NEVER and sv == NEVER and su == t + 1
+
+    def test_q_minus_1_chain_never_touched(self):
+        q = 9
+        recv = lambda _r: True
+        for r in range(1, q + 3):
+            assert top_edge_present_reference(q - 1, q - 1, q, r, recv, False)
+            assert bottom_edge_present_reference(q - 1, q - 1, q, r, recv, True)
+
+    def test_zero_zero_gamma_removed_at_round_1(self):
+        recv = lambda _r: True
+        assert not top_edge_present_reference(0, 0, 9, 1, recv, False)
+        assert not bottom_edge_present_reference(0, 0, 9, 1, recv, False)
+
+    def test_equal_even_lambda_cascade(self):
+        # (2t, 2t) removed at round t+1 in type-Λ (Figure 2)
+        recv = lambda _r: True
+        for t in range(0, 4):
+            a = 2 * t
+            assert top_edge_present_reference(a, a, 9, t, recv, True) if t >= 1 else True
+            assert not top_edge_present_reference(a, a, 9, t + 1, recv, True)
+            assert not bottom_edge_present_reference(a, a, 9, t + 1, recv, True)
+
+    def test_adaptive_rule3(self):
+        # (2t, 2t+1): top removed at t+2 if V receiving in t+1, else t+1
+        q, t = 9, 2
+        a, b = 2 * t, 2 * t + 1
+        receiving = lambda _r: True
+        sending = lambda _r: False
+        assert top_edge_present_reference(a, b, q, t, receiving, False)
+        assert top_edge_present_reference(a, b, q, t + 1, receiving, False)
+        assert not top_edge_present_reference(a, b, q, t + 2, receiving, False)
+        assert not top_edge_present_reference(a, b, q, t + 1, sending, False)
+
+    def test_adaptive_rule4(self):
+        # (2t+1, 2t): bottom removed at t+2 if V receiving in t+1, else t+1
+        q, t = 9, 2
+        a, b = 2 * t + 1, 2 * t
+        receiving = lambda _r: True
+        sending = lambda _r: False
+        assert bottom_edge_present_reference(a, b, q, t + 1, receiving, False)
+        assert not bottom_edge_present_reference(a, b, q, t + 2, receiving, False)
+        assert not bottom_edge_present_reference(a, b, q, t + 1, sending, False)
+
+    def test_alice_adversary_rules(self):
+        # a = 2t: top removed at t+1; a = 2t+1: bottom removed at t+2
+        assert top_edge_present_alice(4, 2)
+        assert not top_edge_present_alice(4, 3)
+        assert bottom_edge_present_alice(4, 100)
+        assert bottom_edge_present_alice(5, 3)
+        assert not bottom_edge_present_alice(5, 4)
+        assert top_edge_present_alice(5, 100)
+
+    def test_bob_adversary_rules(self):
+        assert bottom_edge_present_bob(4, 2)
+        assert not bottom_edge_present_bob(4, 3)
+        assert top_edge_present_bob(5, 3)
+        assert not top_edge_present_bob(5, 4)
+
+    def test_invalid_labels_rejected(self):
+        recv = lambda _r: True
+        with pytest.raises(ConfigurationError):
+            top_edge_present_reference(3, 3, 9, 1, recv, True)  # equal odd
+        with pytest.raises(ConfigurationError):
+            top_edge_present_reference(0, 2, 9, 1, recv, True)  # gap 2

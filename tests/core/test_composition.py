@@ -1,0 +1,141 @@
+"""Tests for the composition networks (Theorem-6/7 mappings)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.composition import (
+    theorem6_network,
+    theorem6_size,
+    theorem7_network,
+    theorem7_sizes,
+)
+from repro.core.diameter_gap import ANSWER1_DIAMETER_BOUND, measure_dichotomy
+from repro.core.gamma import GammaSubnetwork
+from repro.core.lambda_net import LambdaSubnetwork
+
+from ..conftest import disjointness_instances
+
+
+class TestTheorem6Mapping:
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    def test_size_formula(self, inst):
+        net = theorem6_network(inst)
+        assert net.num_nodes == theorem6_size(inst.n, inst.q) == 3 * inst.n * inst.q + 4
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    def test_ids_fixed_scheme(self, inst):
+        net = theorem6_network(inst)
+        assert net.node_ids == list(range(1, net.num_nodes + 1))
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    def test_bridge_structure(self, inst):
+        net = theorem6_network(inst)
+        gamma, lam = net.subnets
+        assert isinstance(gamma, GammaSubnetwork) and isinstance(lam, LambdaSubnetwork)
+        a_bridge = (min(gamma.a_node, lam.a_node), max(gamma.a_node, lam.a_node))
+        b_bridge = (min(gamma.b_node, lam.b_node), max(gamma.b_node, lam.b_node))
+        assert a_bridge in net.bridges and b_bridge in net.bridges
+        assert len(net.bridges) == (3 if inst.evaluate() == 0 else 2)
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    @settings(max_examples=15)
+    def test_connected_every_round(self, inst):
+        net = theorem6_network(inst)
+        sched = net.schedule(inst.q + 3)
+        assert sched.all_connected()
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    @settings(max_examples=10)
+    def test_connected_with_sending_middles(self, inst):
+        net = theorem6_network(inst)
+        sched = net.schedule(inst.q + 3, receiving_policy=lambda uid, r: False)
+        assert sched.all_connected()
+
+    def test_simple_mapping_sensitive_bridges(self, fig1_instance):
+        # (A_Γ, A_Λ) endpoints never spoil for Alice; (B_Γ, B_Λ) for Bob
+        net = theorem6_network(fig1_instance)
+        gamma, lam = net.subnets
+        sa = {**gamma.spoil_rounds_alice(), **lam.spoil_rounds_alice()}
+        sb = {**gamma.spoil_rounds_bob(), **lam.spoil_rounds_bob()}
+        horizon = net.horizon
+        for uid in (gamma.a_node, lam.a_node):
+            assert sa[uid] > horizon
+        for uid in (gamma.b_node, lam.b_node):
+            assert sb[uid] > horizon
+        # the line bridge's endpoints are spoiled for both from round 1
+        l_gamma, l_lambda = gamma.line_head(), lam.first_mounting_point()
+        assert sa[l_gamma] == 1 and sb[l_gamma] == 1
+        assert sa[l_lambda] == 1 and sb[l_lambda] == 1
+
+
+class TestTheorem7Mapping:
+    @given(inst=disjointness_instances(min_q=5, max_q=9, value=1))
+    def test_answer1_is_bare_lambda(self, inst):
+        net = theorem7_network(inst)
+        assert len(net.subnets) == 1
+        assert net.bridges == frozenset()
+        n1, _ = theorem7_sizes(inst.n, inst.q)
+        assert net.num_nodes == n1
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9, value=0))
+    def test_answer0_doubles(self, inst):
+        net = theorem7_network(inst)
+        assert len(net.subnets) == 2
+        n1, n0 = theorem7_sizes(inst.n, inst.q)
+        assert net.num_nodes == n0 == 2 * n1
+        assert len(net.bridges) == 1
+        (u, v), = net.bridges
+        lam, ups = net.subnets
+        assert u == lam.first_mounting_point()
+        assert v == ups.first_mounting_point()
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9))
+    @settings(max_examples=15)
+    def test_connected_every_round(self, inst):
+        net = theorem7_network(inst)
+        sched = net.schedule(inst.q + 3)
+        assert sched.all_connected()
+
+    def test_best_estimate_error_is_one_third(self):
+        n1, n0 = theorem7_sizes(3, 9)
+        n_prime = 2 * n1 * n0 / (n1 + n0)  # minimax estimate
+        err1 = abs(n_prime - n1) / n1
+        err0 = abs(n_prime - n0) / n0
+        assert err1 == pytest.approx(1 / 3)
+        assert err0 == pytest.approx(1 / 3)
+
+
+class TestDiameterDichotomy:
+    @pytest.mark.parametrize("q", [9, 25])
+    def test_answer1_diameter_at_most_10(self, q):
+        from repro.cc.disjointness import random_instance
+
+        inst = random_instance(3, q, seed=1, value=1)
+        report = measure_dichotomy(inst, "T6")
+        assert report.dynamic_diameter is not None
+        assert report.dynamic_diameter <= ANSWER1_DIAMETER_BOUND
+        if report.horizon >= ANSWER1_DIAMETER_BOUND:
+            # with the paper's q = 120s + 1 sizing the horizon always
+            # dominates the constant diameter; tiny q can undercut it
+            assert not report.flood_exceeds_horizon
+
+    @pytest.mark.parametrize("q", [9, 17])
+    def test_answer0_flood_exceeds_horizon(self, q):
+        from repro.cc.disjointness import random_instance
+
+        inst = random_instance(3, q, seed=1, value=0, zero_zero_count=1)
+        report = measure_dichotomy(inst, "T6", compute_diameter=False)
+        assert report.flood_exceeds_horizon
+
+    def test_answer0_diameter_grows_with_q(self):
+        from repro.cc.disjointness import random_instance
+
+        diameters = []
+        for q in (9, 17):
+            inst = random_instance(2, q, seed=1, value=0, zero_zero_count=1)
+            report = measure_dichotomy(inst, "T6")
+            diameters.append(report.dynamic_diameter)
+        assert diameters[0] is not None and diameters[1] is not None
+        assert diameters[1] > diameters[0] >= (9 - 1) // 2

@@ -1,0 +1,86 @@
+"""Tests for the reduction parameter arithmetic and bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.composition import theorem6_size
+from repro.core.reduction import (
+    cflood_lower_bound_flooding_rounds,
+    consensus_lower_bound_flooding_rounds,
+    exponential_gap_factor,
+    implied_time_lower_bound,
+    known_d_upper_bound_flooding_rounds,
+    theorem6_parameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTheorem6Parameters:
+    def test_round_trip(self):
+        s = 3
+        q = 120 * s + 1
+        n = 7
+        big_n = theorem6_size(n, q)
+        assert theorem6_parameters(s, big_n) == (q, n)
+
+    def test_rejects_small_n(self):
+        # the conservative protocol's s = N can never be instantiated
+        with pytest.raises(ConfigurationError):
+            theorem6_parameters(s=100, big_n=100)
+
+    def test_rejects_misaligned_n(self):
+        with pytest.raises(ConfigurationError, match="nearest valid"):
+            theorem6_parameters(s=1, big_n=3 * 121 * 2 + 5)
+
+    @given(st.integers(1, 20), st.integers(1, 50))
+    def test_consistency(self, s, n):
+        q = 120 * s + 1
+        big_n = theorem6_size(n, q)
+        q2, n2 = theorem6_parameters(s, big_n)
+        assert (q2, n2) == (q, n)
+
+
+class TestBoundFormulas:
+    def test_quarter_power_shape(self):
+        # multiplying N by 16 (and ignoring the log) ~doubles the bound
+        a = cflood_lower_bound_flooding_rounds(10**4)
+        b = cflood_lower_bound_flooding_rounds(16 * 10**4)
+        assert 1.7 < b / a < 2.1
+
+    def test_consensus_same_form(self):
+        assert consensus_lower_bound_flooding_rounds(10**5) == (
+            cflood_lower_bound_flooding_rounds(10**5)
+        )
+
+    def test_known_d_logarithmic(self):
+        assert known_d_upper_bound_flooding_rounds(2**10) == pytest.approx(10.0)
+
+    @given(st.integers(16, 10**8))
+    def test_gap_factor_positive(self, n):
+        assert exponential_gap_factor(n) > 0
+
+    def test_gap_grows(self):
+        assert exponential_gap_factor(10**8) > exponential_gap_factor(10**4)
+
+
+class TestImpliedBound:
+    def test_pipeline_instantiation(self):
+        b = implied_time_lower_bound(n=10**6, q=101)
+        assert b.big_n == 3 * 10**6 * 101 + 4
+        assert b.cc_bound_bits > 0
+        assert b.implied_rounds == pytest.approx(b.cc_bound_bits / b.per_round_bits)
+        assert b.implied_flooding_rounds == pytest.approx(b.implied_rounds / 10.0)
+
+    def test_degenerate_bound_floors_at_zero(self):
+        b = implied_time_lower_bound(n=100, q=99)
+        assert b.cc_bound_bits == 0.0
+        assert b.implied_rounds == 0.0
+
+    def test_custom_frame_budget(self):
+        b = implied_time_lower_bound(n=10**6, q=101, log_n_bits=1000.0)
+        assert b.per_round_bits == 1000.0

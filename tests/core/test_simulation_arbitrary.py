@@ -1,0 +1,102 @@
+"""Lemma 5 against *arbitrary* protocols.
+
+Lemma 5 quantifies over every oracle protocol.  Gossip and flooding are
+friendly workloads; this file stress-tests the two-party simulation with
+a protocol whose action and payload are a rolling hash of its *entire*
+history (inputs, coins, every received payload).  Any divergence —
+a message delivered in one execution but not the other, a different
+payload, a different order — permanently changes the node's hash state
+and surfaces as a payload mismatch within a round or two.  Hypothesis
+drives the protocol's behaviour seed and the instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import stable_hash64
+from repro.cc.disjointness import random_instance
+from repro.core.simulation import TwoPartyReduction, run_reference_execution
+from repro.sim.actions import Receive, Send
+from repro.sim.node import ProtocolNode
+
+from ..conftest import disjointness_instances
+
+
+class ChaoticNode(ProtocolNode):
+    """Deterministic but structureless: everything feeds a rolling hash.
+
+    * action: send iff a coin meets a state-dependent bias;
+    * payload: a 20-bit digest of the full history;
+    * on_messages: folds every payload (in delivered order) into state.
+    """
+
+    def __init__(self, uid: int, behavior_seed: int):
+        super().__init__(uid)
+        self.state = stable_hash64((behavior_seed, uid))
+
+    def action(self, round_, coins):
+        bias = 0.25 + 0.5 * ((self.state >> 8) % 256) / 255.0
+        if coins.bit(bias):
+            digest = (self.state ^ (self.state >> 17)) % (1 << 20)
+            self.state = stable_hash64((self.state, 0x5E2D, round_))
+            return Send(("c", digest))
+        self.state = stable_hash64((self.state, 0x2ECF, round_))
+        return Receive()
+
+    def on_messages(self, round_, payloads):
+        for p in payloads:
+            self.state = stable_hash64((self.state, p[1]))
+
+    def output(self):
+        return None
+
+
+def chaotic_factory(behavior_seed: int):
+    return lambda uid: ChaoticNode(uid, behavior_seed)
+
+
+def assert_chaotic_fidelity(inst, mapping, behavior_seed, seed):
+    factory = chaotic_factory(behavior_seed)
+    T = (inst.q - 1) // 2
+    ref = run_reference_execution(inst, mapping, factory, seed, rounds=T)
+    red = TwoPartyReduction(inst, mapping, factory, seed)
+    for r in range(1, T + 1):
+        fa = red.alice.step_actions(r)
+        fb = red.bob.step_actions(r)
+        for party in (red.alice, red.bob):
+            for uid in party.nodes:
+                if party.spoil[uid] >= r:
+                    act = party.actions_of(uid)
+                    kind, payload = ref.spies[uid].history[r]
+                    if isinstance(act, Send):
+                        assert kind == "send" and payload == act.payload, (
+                            party.party, uid, r,
+                        )
+                    else:
+                        assert kind == "recv", (party.party, uid, r)
+        red.alice.step_delivery(r, fb)
+        red.bob.step_delivery(r, fa)
+    # final states of never-spoiled nodes must agree bit for bit
+    for party in (red.alice, red.bob):
+        for uid, node in party.nodes.items():
+            if party.spoil[uid] > T:
+                assert node.state == ref.spies[uid].inner.state, (party.party, uid)
+
+
+class TestLemma5Arbitrary:
+    @pytest.mark.parametrize("mapping", ["T6", "T7"])
+    @pytest.mark.parametrize("behavior_seed", [1, 99, 4242])
+    def test_chaotic_protocol(self, mapping, behavior_seed):
+        inst = random_instance(3, 9, seed=behavior_seed, value=behavior_seed % 2)
+        assert_chaotic_fidelity(inst, mapping, behavior_seed, seed=7)
+
+    @given(
+        inst=disjointness_instances(min_n=1, max_n=3, min_q=5, max_q=9),
+        behavior_seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=10)
+    def test_chaotic_protocol_property(self, inst, behavior_seed):
+        assert_chaotic_fidelity(inst, "T6", behavior_seed, seed=behavior_seed % 1000)

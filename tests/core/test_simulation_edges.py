@@ -1,0 +1,109 @@
+"""Edge-case tests for the two-party simulation machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import bit_size
+from repro.cc.disjointness import DisjointnessInstance, random_instance
+from repro.core.simulation import NodeSpy, PartySimulator, TwoPartyReduction
+from repro.errors import ConfigurationError
+from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
+from repro.sim.actions import Receive, Send
+from repro.sim.coins import CoinSource
+
+
+def gossip(uid):
+    return GossipMaxNode(uid)
+
+
+class TestStepOrdering:
+    def _alice(self, inst):
+        return PartySimulator(
+            "alice", "T6", inst.n, inst.q, inst.x, gossip, CoinSource(1)
+        )
+
+    def test_rounds_must_be_sequential(self, fig1_instance):
+        alice = self._alice(fig1_instance)
+        alice.step_actions(1)
+        with pytest.raises(ConfigurationError):
+            alice.step_actions(3)
+
+    def test_delivery_requires_matching_actions(self, fig1_instance):
+        alice = self._alice(fig1_instance)
+        alice.step_actions(1)
+        with pytest.raises(ConfigurationError):
+            alice.step_delivery(2, ())
+
+    def test_frame_structure(self, fig1_instance):
+        alice = self._alice(fig1_instance)
+        frame = alice.step_actions(1)
+        names = [name for name, _ in frame]
+        assert names == ["A_gamma", "A_lambda"]
+        assert alice.bits_sent == bit_size(frame)
+        assert alice.frames_sent == [frame]
+
+    def test_bob_frame_names(self, fig1_instance):
+        bob = PartySimulator(
+            "bob", "T6", fig1_instance.n, fig1_instance.q,
+            fig1_instance.y, gossip, CoinSource(1),
+        )
+        frame = bob.step_actions(1)
+        assert [name for name, _ in frame] == ["B_gamma", "B_lambda"]
+
+    def test_t7_frames_single_special(self, fig1_instance):
+        alice = PartySimulator(
+            "alice", "T7", fig1_instance.n, fig1_instance.q,
+            fig1_instance.x, gossip, CoinSource(1),
+        )
+        frame = alice.step_actions(1)
+        assert [name for name, _ in frame] == ["A_lambda"]
+
+
+class TestNodeSpy:
+    def test_records_send_and_receive(self):
+        spy = NodeSpy(TokenFloodNode(2, source=1))
+        act = spy.action(1, CoinSource(1).coins(2, 1))
+        assert isinstance(act, Receive)
+        spy.on_messages(1, (("tok", 1),))
+        assert spy.history[1] == ("recv", (("tok", 1),))
+        act = spy.action(2, CoinSource(1).coins(2, 2))
+        assert isinstance(act, Send)
+        assert spy.history[2] == ("send", ("tok", 1))
+
+    def test_delegates_output(self):
+        spy = NodeSpy(TokenFloodNode(1, source=1))
+        assert spy.output() == ("informed",)
+
+
+class TestReductionHorizonOverride:
+    def test_custom_horizon(self, fig1_instance):
+        red = TwoPartyReduction(fig1_instance, "T6", gossip, seed=1)
+        out = red.run(horizon=1)
+        assert out.rounds_simulated == 1
+
+    def test_zero_horizon_decides_zero(self, fig1_instance):
+        red = TwoPartyReduction(fig1_instance, "T6", gossip, seed=1)
+        out = red.run(horizon=0)
+        assert out.decision == 0 and out.total_bits == 0
+
+
+class TestSpoilBookkeeping:
+    def test_spoil_rounds_monotone_with_labels(self):
+        # larger labels spoil later: the removal wave moves outward
+        inst = DisjointnessInstance((0, 2, 4), (1, 3, 5), 7)
+        alice = PartySimulator("alice", "T6", 3, 7, inst.x, gossip, CoinSource(1))
+        gamma = alice.subnets[0]
+        spoil = gamma.spoil_rounds_alice()
+        mids = [gamma.chain_at(g, 1).mid for g in (1, 2, 3)]
+        assert spoil[mids[0]] < spoil[mids[1]] < spoil[mids[2]]
+
+    def test_specials_never_spoil_for_owner(self, fig1_instance):
+        alice = PartySimulator(
+            "alice", "T6", fig1_instance.n, fig1_instance.q,
+            fig1_instance.x, gossip, CoinSource(1),
+        )
+        for uid in alice.my_specials.values():
+            assert alice.spoil[uid] > 10**9
+        for uid in alice.peer_specials.values():
+            assert alice.spoil[uid] == 1

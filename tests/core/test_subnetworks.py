@@ -1,0 +1,161 @@
+"""Tests for the Γ/Λ/Υ subnetwork builders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.cc.disjointness import DisjointnessInstance
+from repro.core.gamma import GammaSubnetwork
+from repro.core.lambda_net import LambdaSubnetwork
+from repro.core.upsilon import UpsilonSubnetwork, make_upsilon
+from repro.errors import ConfigurationError
+
+from ..conftest import disjointness_instances
+
+
+class TestGammaStructure:
+    def test_sizes(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        assert g.num_nodes == 2 + 3 * 4 * 2  # 2 specials + n groups * (q-1)/2 * 3
+        assert g.num_nodes == len(list(g.node_ids))
+        assert 3 * 4 * (5 - 1) // 2 + 2 == g.num_nodes
+
+    def test_ids_contiguous_from_base(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y, id_base=10)
+        assert g.a_node == 10 and g.b_node == 11
+        assert list(g.node_ids) == list(range(10, 10 + g.num_nodes))
+
+    def test_group_labels_uniform(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        for c in g.chains:
+            assert c.top_label == fig1_instance.x[c.group - 1]
+            assert c.bottom_label == fig1_instance.y[c.group - 1]
+
+    def test_spokes_always_present(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        for r in (1, 2, 5):
+            edges = g.reference_edges(r, lambda uid: True)
+            for c in g.chains:
+                assert (min(g.a_node, c.top), max(g.a_node, c.top)) in edges
+                assert (min(g.b_node, c.bottom), max(g.b_node, c.bottom)) in edges
+
+    def test_line_nodes_iff_answer_zero(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        line = g.line_node_ids()
+        assert len(line) == (5 - 1) // 2  # one full group of (0,0) chains
+        assert g.line_head() == line[0]
+        assert g.line_far_end() == line[-1]
+
+        one = DisjointnessInstance((1, 4), (2, 4), 5)
+        g1 = GammaSubnetwork(2, 5, x=one.x, y=one.y)
+        assert g1.line_node_ids() == []
+        assert g1.line_head() is None
+
+    def test_line_nodes_form_reference_line(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        line = g.line_node_ids()
+        edges = g.reference_edges(1, lambda uid: True)
+        for u, v in zip(line, line[1:]):
+            assert (min(u, v), max(u, v)) in edges
+
+    @given(inst=disjointness_instances(min_q=5, max_q=9, value=0))
+    def test_answer0_has_at_least_half_q_line_nodes(self, inst):
+        g = GammaSubnetwork(inst.n, inst.q, x=inst.x, y=inst.y)
+        assert len(g.line_node_ids()) >= (inst.q - 1) // 2
+
+
+class TestBeliefEnforcement:
+    def test_alice_belief_cannot_touch_y(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=None)
+        g.alice_edges(1)  # fine
+        g.spoil_rounds_alice()  # fine
+        with pytest.raises(ConfigurationError):
+            g.bob_edges(1)
+        with pytest.raises(ConfigurationError):
+            g.spoil_rounds_bob()
+        with pytest.raises(ConfigurationError):
+            g.reference_edges(1, lambda uid: True)
+        with pytest.raises(ConfigurationError):
+            g.line_node_ids()
+
+    def test_bob_belief_cannot_touch_x(self, fig1_instance):
+        lam = LambdaSubnetwork(4, 5, x=None, y=fig1_instance.y)
+        lam.bob_edges(1)
+        lam.spoil_rounds_bob()
+        with pytest.raises(ConfigurationError):
+            lam.alice_edges(1)
+        with pytest.raises(ConfigurationError):
+            lam.mounting_points()
+
+    def test_belief_chain_labels_partial(self, fig1_instance):
+        g = GammaSubnetwork(4, 5, x=fig1_instance.x, y=None)
+        assert all(c.bottom_label is None for c in g.chains)
+        assert all(c.top_label is not None for c in g.chains)
+
+
+class TestLambdaStructure:
+    def test_sizes(self, fig1_instance):
+        lam = LambdaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        assert lam.num_nodes == 2 + 3 * 4 * 3  # (q+1)/2 = 3 chains per centipede
+
+    def test_shifted_capped_labels(self):
+        lam = LambdaSubnetwork(1, 7, x=(2,), y=(3,))
+        labels = [(c.top_label, c.bottom_label) for c in lam.chains]
+        assert labels == [(2, 3), (4, 5), (6, 6), (6, 6)]
+
+    def test_labels_for_zero_coordinate(self):
+        lam = LambdaSubnetwork(1, 7, x=(0,), y=(0,))
+        labels = [(c.top_label, c.bottom_label) for c in lam.chains]
+        assert labels == [(0, 0), (2, 2), (4, 4), (6, 6)]
+
+    def test_mid_line_edges_permanent_all_adversaries(self):
+        lam = LambdaSubnetwork(2, 7, x=(0, 1), y=(0, 2))
+        mids = [c.mid for c in lam.chains if c.group == 1]
+        for r in (1, 2, 3, 6):
+            for edges in (
+                lam.reference_edges(r, lambda uid: True),
+                lam.alice_edges(r),
+                lam.bob_edges(r),
+            ):
+                for u, v in zip(mids, mids[1:]):
+                    assert (min(u, v), max(u, v)) in edges
+
+    def test_mounting_points_iff_zero_zero(self, fig1_instance):
+        lam = LambdaSubnetwork(4, 5, x=fig1_instance.x, y=fig1_instance.y)
+        points = lam.mounting_points()
+        assert len(points) == 1  # exactly one (0,0) coordinate in Fig-1
+        assert lam.first_mounting_point() == points[0]
+        # mounting point is the middle of the witness centipede's 1st chain
+        witness = fig1_instance.zero_zero_coordinates()[0] + 1
+        assert points[0] == lam.chain_at(witness, 1).mid
+
+    def test_cascade_rounds(self):
+        # chain j carries labels (2j-2, 2j-2) and loses both edges at the
+        # start of round j (Figure 2's cascade); the capped last chain is
+        # never touched
+        lam = LambdaSubnetwork(1, 7, x=(0,), y=(0,))
+        receiving = lambda uid: True
+        for j, c in enumerate(lam.chains, start=1):
+            top = (min(c.top, c.mid), max(c.top, c.mid))
+            bottom = (min(c.mid, c.bottom), max(c.mid, c.bottom))
+            for r in range(1, 8):
+                edges = lam.reference_edges(r, receiving)
+                expected = (r < j) or c.top_label == 6
+                assert (top in edges) == expected, (j, r)
+                assert (bottom in edges) == expected, (j, r)
+
+
+class TestUpsilon:
+    @given(inst=disjointness_instances(value=1))
+    def test_empty_on_answer_one(self, inst):
+        assert make_upsilon(inst, id_base=100) is None
+
+    @given(inst=disjointness_instances(value=0))
+    def test_clone_on_answer_zero(self, inst):
+        ups = make_upsilon(inst, id_base=1000)
+        assert isinstance(ups, UpsilonSubnetwork)
+        lam = LambdaSubnetwork(inst.n, inst.q, x=inst.x, y=inst.y)
+        assert ups.num_nodes == lam.num_nodes
+        assert ups.a_node == 1000
+        assert ups.mounting_points()  # same witnesses, shifted ids

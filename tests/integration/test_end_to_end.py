@@ -1,0 +1,110 @@
+"""Integration tests spanning the whole stack.
+
+These compose the pieces the way the paper does: estimate N with the
+known-D toolbox, feed the estimate into the diameter-oblivious leader
+election; run the full reduction pipeline and confirm the
+communication/time accounting; replay a reference execution through the
+engine against the adaptive reference adversary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.disjointness import random_instance
+from repro.core.composition import theorem6_network
+from repro.core.simulation import TwoPartyReduction, run_reference_execution
+from repro.network.adversaries import OverlappingStarsAdversary
+from repro.network.causality import dynamic_diameter
+from repro.protocols.cflood import CFloodKnownDNode
+from repro.protocols.flooding import GossipMaxNode
+from repro.protocols.hearfrom import CountNodesNode, count_rounds_budget
+from repro.protocols.leader_election import LeaderElectNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+class TestEstimateThenElect:
+    """The paper's punchline composition: with known D you can buy an N'
+    in O(log N) flooding rounds, and that N' unlocks diameter-oblivious
+    leader election — the unknown-D cost concentrates in estimation."""
+
+    def test_pipeline(self):
+        n = 14
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        d = 2
+
+        # stage 1: estimate N with the known-D counting protocol
+        budget = count_rounds_budget(d, n)
+        counters = {u: CountNodesNode(u, total_rounds=budget) for u in ids}
+        SynchronousEngine(counters, adv, CoinSource(3)).run(budget + 2)
+        n_prime = counters[1].estimate
+        assert abs(n_prime - n) / n < 1 / 3 - 0.05
+
+        # stage 2: leader election with that estimate, D forgotten
+        nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
+        trace = SynchronousEngine(nodes, adv, CoinSource(4)).run(40_000)
+        assert trace.termination_round is not None
+        assert {o[1] for o in trace.outputs.values()} == {n}
+
+
+class TestReferenceEngineAgainstAdaptiveAdversary:
+    def test_reference_execution_connected_and_faithful(self):
+        inst = random_instance(3, 9, seed=2, value=0)
+        ref = run_reference_execution(
+            inst, "T6", lambda uid: GossipMaxNode(uid), seed=5, rounds=6
+        )
+        # the engine validated per-round connectivity while the adaptive
+        # reference adversary reacted to committed actions
+        assert ref.trace.rounds == 6
+        assert ref.composition.num_nodes == len(ref.spies)
+        # the realized schedule has the claimed answer-0 shape: the far
+        # line node heard nothing (gossip cannot cross into the line)
+        gamma = ref.composition.subnets[0]
+        far = gamma.line_far_end()
+        assert ref.spies[far].inner.best <= max(gamma.line_node_ids())
+
+    def test_fast_oracle_end_to_end_on_real_network(self):
+        # run the fast CFLOOD oracle on the real answer-0 network long
+        # enough and confirm its premature output is a genuine error
+        inst = random_instance(2, 17, seed=3, value=0)
+        net = theorem6_network(inst)
+        src = net.special_nodes()["A_gamma"]
+        ref = run_reference_execution(
+            inst, "T6",
+            lambda uid: CFloodKnownDNode(uid, source=src, d_param=10),
+            seed=1, rounds=10, stop_on_termination=False,
+        )
+        assert ref.spies[src].inner.output() is not None  # confirmed...
+        uninformed = [u for u, spy in ref.spies.items() if not spy.inner.informed]
+        assert uninformed  # ...while someone still lacks the token
+
+
+class TestAccountingConsistency:
+    def test_reduction_bits_scale_with_horizon(self):
+        inst_small = random_instance(2, 9, seed=1, value=1)
+        inst_large = random_instance(2, 25, seed=1, value=1)
+        fac = lambda uid: GossipMaxNode(uid)
+        small = TwoPartyReduction(inst_small, "T6", fac, seed=1).run()
+        large = TwoPartyReduction(inst_large, "T6", fac, seed=1).run()
+        assert large.total_bits > small.total_bits
+        # per-round frame cost is O(log N): within 4x across these sizes
+        ps = small.total_bits / small.rounds_simulated
+        pl = large.total_bits / large.rounds_simulated
+        assert pl < 4 * ps
+
+    def test_engine_trace_diameter_matches_construction(self):
+        inst = random_instance(2, 9, seed=4, value=1)
+        ref = run_reference_execution(
+            inst, "T6", lambda uid: GossipMaxNode(uid), seed=2, rounds=12
+        )
+        from repro.network.dynamic import DynamicSchedule
+        from repro.network.topology import RoundTopology
+
+        ids = ref.composition.node_ids
+        sched = DynamicSchedule(
+            [RoundTopology(ids, edges) for edges in ref.trace.edge_schedule()]
+        )
+        d = dynamic_diameter(sched, max_diameter=40, start_rounds=[0])
+        assert d is not None and d <= 10

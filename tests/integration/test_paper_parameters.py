@@ -1,0 +1,62 @@
+"""Integration at the paper's exact parameter geometry: q = 120 s + 1.
+
+The Theorem-6 proof fixes q = 120 s + 1 and n = (N - 4)/(3 q), making
+the horizon (q-1)/2 = 60 s.  These tests run the whole pipeline at the
+smallest such geometry (s = 1, q = 121) — the real constants, not toy
+ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.disjointness import random_instance
+from repro.core.composition import theorem6_network, theorem6_size
+from repro.core.diameter_gap import measure_dichotomy
+from repro.core.reduction import theorem6_parameters
+from repro.core.simulation import TwoPartyReduction
+from repro.protocols.cflood import cflood_factory
+
+S = 1
+Q = 120 * S + 1  # 121
+N_COORD = 1
+BIG_N = theorem6_size(N_COORD, Q)  # 367
+
+
+class TestPaperGeometry:
+    def test_parameters_round_trip(self):
+        assert theorem6_parameters(S, BIG_N) == (Q, N_COORD)
+        assert (Q - 1) // 2 == 60 * S  # the horizon is exactly 60 s
+
+    def test_answer1_terminates_within_horizon(self):
+        # a 10-flooding-round oracle (s = 1 on D = 10 networks) must
+        # terminate by round 60 s: 10 <= 60  — with slack for Markov
+        inst = random_instance(N_COORD, Q, seed=1, value=1)
+        net = theorem6_network(inst)
+        assert net.num_nodes == BIG_N
+        fac = cflood_factory(source=net.special_nodes()["A_gamma"], d_param=10)
+        out = TwoPartyReduction(inst, "T6", fac, seed=1).run()
+        assert out.rounds_simulated == 60 * S
+        assert out.decision == 1 and out.correct
+
+    def test_answer0_flood_blocked_for_60s_rounds(self):
+        inst = random_instance(N_COORD, Q, seed=2, value=0, zero_zero_count=1)
+        report = measure_dichotomy(inst, "T6", compute_diameter=False)
+        assert report.horizon == 60 * S
+        assert report.flood_time_from_a > 60 * S
+
+    def test_conservative_oracle_cannot_fit(self):
+        # the s = N conservative protocol has no valid instance geometry:
+        # the reduction says nothing about it (and indeed it is correct)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            theorem6_parameters(s=BIG_N, big_n=BIG_N)
+
+    def test_communication_envelope_at_scale(self):
+        inst = random_instance(N_COORD, Q, seed=3, value=1)
+        net = theorem6_network(inst)
+        fac = cflood_factory(source=net.special_nodes()["A_gamma"], d_param=10)
+        out = TwoPartyReduction(inst, "T6", fac, seed=1).run()
+        # O(s log N): 60 rounds x a few-hundred-bit frame
+        assert out.total_bits < 60 * S * 64 * 10

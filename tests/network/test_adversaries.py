@@ -1,0 +1,102 @@
+"""Tests for the adversary classes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.adversaries import (
+    FunctionAdversary,
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    RotatingStarAdversary,
+    ScheduleAdversary,
+    ShiftingLineAdversary,
+    StaticAdversary,
+    TIntervalAdversary,
+)
+from repro.network.generators import line_edges
+from repro.network.topology import RoundTopology
+
+
+IDS = list(range(1, 9))
+
+
+def _connected(ids, edges):
+    return RoundTopology(ids, edges).is_connected()
+
+
+class TestStaticAndSchedule:
+    def test_static_constant(self):
+        adv = StaticAdversary(IDS, line_edges(IDS))
+        assert set(adv.edges(1, None)) == set(adv.edges(99, None))
+
+    def test_schedule_playback_and_tail(self):
+        sched = StaticAdversary(IDS, line_edges(IDS)).schedule(3)
+        adv = ScheduleAdversary(sched)
+        assert set(adv.edges(2, None)) == sched.topology(2).edges
+        assert set(adv.edges(50, None)) == sched.topology(3).edges
+
+    def test_function_adversary(self):
+        adv = FunctionAdversary(IDS, lambda r, v: line_edges(IDS))
+        assert _connected(IDS, adv.edges(1, None))
+
+
+class TestRandomFamilies:
+    @given(st.integers(0, 1000), st.integers(1, 30))
+    def test_random_connected_every_round(self, seed, r):
+        adv = RandomConnectedAdversary(IDS, seed=seed)
+        assert _connected(IDS, adv.edges(r, None))
+
+    def test_random_deterministic_per_round(self):
+        a = RandomConnectedAdversary(IDS, seed=5)
+        b = RandomConnectedAdversary(IDS, seed=5)
+        assert set(a.edges(3, None)) == set(b.edges(3, None))
+
+    @given(st.integers(0, 1000), st.integers(1, 30))
+    def test_shifting_line_connected(self, seed, r):
+        adv = ShiftingLineAdversary(IDS, seed=seed)
+        edges = set(adv.edges(r, None))
+        assert len(edges) == len(IDS) - 1
+        assert _connected(IDS, edges)
+
+    def test_shifting_line_reshuffle_every(self):
+        adv = ShiftingLineAdversary(IDS, seed=1, reshuffle_every=3)
+        assert set(adv.edges(1, None)) == set(adv.edges(3, None))
+        assert set(adv.edges(3, None)) != set(adv.edges(4, None))
+
+    def test_reshuffle_every_validated(self):
+        with pytest.raises(ConfigurationError):
+            ShiftingLineAdversary(IDS, seed=1, reshuffle_every=0)
+
+
+class TestStars:
+    def test_rotating_star_center_moves(self):
+        adv = RotatingStarAdversary(IDS)
+        e1, e2 = set(adv.edges(1, None)), set(adv.edges(2, None))
+        assert e1 != e2
+        assert _connected(IDS, e1)
+
+    def test_overlapping_stars_connected_and_churning(self):
+        adv = OverlappingStarsAdversary(IDS)
+        for r in range(1, 10):
+            assert _connected(IDS, adv.edges(r, None))
+        assert set(adv.edges(1, None)) != set(adv.edges(2, None))
+
+    def test_star_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            RotatingStarAdversary([1])
+
+
+class TestTInterval:
+    def test_stable_within_interval(self):
+        adv = TIntervalAdversary(IDS, seed=2, interval=4)
+        assert set(adv.edges(1, None)) == set(adv.edges(4, None))
+        assert set(adv.edges(4, None)) != set(adv.edges(5, None))
+
+    @given(st.integers(1, 6), st.integers(1, 20))
+    def test_connected_every_round(self, interval, r):
+        adv = TIntervalAdversary(IDS, seed=3, interval=interval)
+        assert _connected(IDS, adv.edges(r, None))

@@ -1,0 +1,141 @@
+"""Tests for the causal relation and the dynamic diameter (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    RotatingStarAdversary,
+    StaticAdversary,
+)
+from repro.network.causality import (
+    causal_closure,
+    dynamic_diameter,
+    eccentricity_from,
+    flood_completion_time,
+    reaches_all_within,
+)
+from repro.network.dynamic import DynamicSchedule
+from repro.network.generators import clique_edges, line_edges, star_edges
+from repro.network.topology import RoundTopology
+
+
+def static_schedule(ids, edges):
+    return DynamicSchedule([RoundTopology(ids, edges)])
+
+
+class TestStaticDiameters:
+    def test_line(self):
+        ids = list(range(6))
+        assert dynamic_diameter(static_schedule(ids, line_edges(ids))) == 5
+
+    def test_star(self):
+        ids = list(range(6))
+        assert dynamic_diameter(static_schedule(ids, star_edges(0, ids))) == 2
+
+    def test_clique(self):
+        ids = list(range(6))
+        assert dynamic_diameter(static_schedule(ids, clique_edges(ids))) == 1
+
+    def test_single_node(self):
+        # a lone node influences itself instantly; D = 1 by the
+        # "minimum z >= 1 checked" convention of eccentricity_from
+        ids = [1]
+        sched = static_schedule(ids, [])
+        assert eccentricity_from(sched, 0, 3) == 1
+
+    def test_cap_returns_none(self):
+        ids = list(range(10))
+        sched = static_schedule(ids, line_edges(ids))
+        assert dynamic_diameter(sched, max_diameter=3) is None
+
+
+class TestDynamicSchedules:
+    def test_rotating_star_is_slow(self):
+        ids = list(range(8))
+        d = dynamic_diameter(RotatingStarAdversary(ids).schedule(10))
+        assert d == len(ids) - 1  # Theta(N) despite per-round diameter 2
+
+    def test_overlapping_stars_is_fast(self):
+        ids = list(range(12))
+        d = dynamic_diameter(OverlappingStarsAdversary(ids).schedule(14))
+        assert d <= 3
+
+    @given(st.integers(0, 200))
+    def test_connected_schedule_diameter_at_most_n_minus_1(self, seed):
+        ids = list(range(7))
+        sched = RandomConnectedAdversary(ids, seed=seed).schedule(10)
+        d = dynamic_diameter(sched, max_diameter=len(ids))
+        assert d is not None and 1 <= d <= len(ids) - 1
+
+
+class TestClosureAndFlood:
+    def test_closure_grows_monotonically(self):
+        ids = list(range(6))
+        sched = static_schedule(ids, line_edges(ids))
+        prev = frozenset({0})
+        for z in range(1, 6):
+            cur = causal_closure(sched, [0], start_round=0, rounds=z)
+            assert prev <= cur
+            assert len(cur) == z + 1  # one new line node per round
+            prev = cur
+
+    def test_flood_completion_matches_eccentricity(self):
+        ids = list(range(6))
+        sched = static_schedule(ids, line_edges(ids))
+        assert flood_completion_time(sched, 0) == 5
+        assert flood_completion_time(sched, 3) == 3  # middle node is closer
+
+    def test_flood_never_exceeds_diameter(self):
+        ids = list(range(8))
+        for seed in range(5):
+            sched = RandomConnectedAdversary(ids, seed=seed).schedule(12)
+            d = dynamic_diameter(sched, max_diameter=20)
+            for src in ids:
+                t = flood_completion_time(sched, src, max_rounds=20)
+                assert t is not None and t <= d
+
+    def test_flood_incomplete_on_disconnected_static(self):
+        ids = [1, 2, 3]
+        sched = DynamicSchedule([RoundTopology(ids, [(1, 2)])])
+        assert flood_completion_time(sched, 1, max_rounds=10) is None
+
+    def test_reaches_all_within(self):
+        ids = list(range(5))
+        sched = static_schedule(ids, line_edges(ids))
+        assert reaches_all_within(sched, 0, 4)
+        assert not reaches_all_within(sched, 0, 3)
+
+
+class TestDynamicScheduleContainer:
+    def test_rounds_one_based_and_tail_repeat(self):
+        ids = [1, 2, 3]
+        t1 = RoundTopology(ids, [(1, 2), (2, 3)])
+        t2 = RoundTopology(ids, [(1, 3), (2, 3)])
+        sched = DynamicSchedule([t1, t2])
+        assert sched.topology(1) is t1
+        assert sched.topology(2) is t2
+        assert sched.topology(9) is t2
+
+    def test_round_zero_rejected(self):
+        ids = [1, 2]
+        sched = static_schedule(ids, [(1, 2)])
+        with pytest.raises(Exception):
+            sched.topology(0)
+
+    def test_mixed_node_sets_rejected(self):
+        t1 = RoundTopology([1, 2], [(1, 2)])
+        t2 = RoundTopology([1, 3], [(1, 3)])
+        with pytest.raises(Exception):
+            DynamicSchedule([t1, t2])
+
+    def test_all_connected(self):
+        ids = [1, 2, 3]
+        good = static_schedule(ids, line_edges(ids))
+        assert good.all_connected()
+        bad = DynamicSchedule([RoundTopology(ids, [(1, 2)])])
+        assert not bad.all_connected()

@@ -1,0 +1,120 @@
+"""Tests for RoundTopology and the generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelViolation
+from repro.network.generators import (
+    binary_tree_edges,
+    clique_edges,
+    line_edges,
+    random_connected_edges,
+    random_tree_edges,
+    ring_edges,
+    star_edges,
+)
+from repro.network.topology import RoundTopology
+
+
+class TestRoundTopology:
+    def test_normalizes_and_dedups_edges(self):
+        t = RoundTopology([1, 2, 3], [(2, 1), (1, 2), (2, 3)])
+        assert t.edges == frozenset({(1, 2), (2, 3)})
+        assert t.num_edges == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ModelViolation):
+            RoundTopology([1, 2], [(1, 1)])
+
+    def test_rejects_foreign_edge(self):
+        with pytest.raises(ModelViolation):
+            RoundTopology([1, 2], [(1, 5)])
+
+    def test_neighbors_and_degree(self):
+        t = RoundTopology([1, 2, 3], line_edges([1, 2, 3]))
+        assert t.neighbors(2) == [1, 3]
+        assert t.degree(1) == 1
+
+    def test_adjacency_has_true_diagonal(self):
+        t = RoundTopology([1, 2], [(1, 2)])
+        adj = t.adjacency()
+        assert adj.dtype == bool
+        assert adj.diagonal().all()
+        assert adj[0, 1] and adj[1, 0]
+
+    def test_connectivity(self):
+        assert RoundTopology([1, 2, 3], line_edges([1, 2, 3])).is_connected()
+        assert not RoundTopology([1, 2, 3], [(1, 2)]).is_connected()
+        assert RoundTopology([7], []).is_connected()
+
+    def test_components(self):
+        t = RoundTopology([1, 2, 3, 4], [(1, 2), (3, 4)])
+        comps = {frozenset(c) for c in t.components()}
+        assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_static_diameter_line(self):
+        t = RoundTopology(range(5), line_edges(list(range(5))))
+        assert t.static_diameter() == 4
+
+    def test_static_diameter_star(self):
+        t = RoundTopology(range(5), star_edges(0, list(range(1, 5))))
+        assert t.static_diameter() == 2
+
+    def test_static_eccentricity_disconnected_sentinel(self):
+        t = RoundTopology([1, 2, 3], [(1, 2)])
+        assert t.static_eccentricity(3) == 3
+
+    def test_union_and_with_edges(self):
+        a = RoundTopology([1, 2], [(1, 2)])
+        b = RoundTopology([2, 3], [(2, 3)])
+        u = a.union(b)
+        assert u.edges == frozenset({(1, 2), (2, 3)})
+        w = a.with_edges([(1, 2)])
+        assert w == a
+
+    def test_equality_and_hash(self):
+        a = RoundTopology([1, 2], [(1, 2)])
+        b = RoundTopology([1, 2], [(2, 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestGenerators:
+    def test_line(self):
+        assert line_edges([3, 1, 2]) == {(3, 1), (1, 2)}
+
+    def test_ring(self):
+        edges = ring_edges([1, 2, 3])
+        assert len(edges) == 3
+        t = RoundTopology([1, 2, 3], edges)
+        assert all(t.degree(u) == 2 for u in [1, 2, 3])
+
+    def test_star(self):
+        assert star_edges(5, [1, 2, 5]) == {(5, 1), (5, 2)}
+
+    def test_clique(self):
+        assert len(clique_edges(list(range(5)))) == 10
+
+    def test_binary_tree(self):
+        edges = binary_tree_edges([0, 1, 2, 3, 4])
+        assert edges == {(0, 1), (0, 2), (1, 3), (1, 4)}
+
+    @given(st.integers(1, 40), st.integers(0, 2**32))
+    def test_random_tree_is_spanning(self, n, seed):
+        ids = list(range(n))
+        rng = np.random.default_rng(seed)
+        edges = random_tree_edges(ids, rng)
+        assert len(edges) == n - 1
+        assert RoundTopology(ids, edges).is_connected()
+
+    @given(st.integers(2, 25), st.integers(0, 2**32), st.floats(0.0, 0.5))
+    def test_random_connected_is_connected(self, n, seed, p):
+        ids = list(range(n))
+        rng = np.random.default_rng(seed)
+        edges = random_connected_edges(ids, rng, extra_edge_prob=p)
+        t = RoundTopology(ids, edges)
+        assert t.is_connected()
+        assert t.num_edges >= n - 1

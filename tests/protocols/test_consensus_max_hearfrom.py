@@ -1,0 +1,147 @@
+"""Tests for known-D consensus, MAX, and HEAR-FROM-N."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+)
+from repro.network.causality import causal_closure, dynamic_diameter
+from repro.protocols.consensus import ConsensusKnownDNode
+from repro.protocols.hearfrom import HearFromAllNode
+from repro.protocols.max_id import MaxIdNode, max_rounds_budget
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+IDS = list(range(1, 15))
+
+
+def run(nodes, adv, seed=1, max_rounds=2000):
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    return eng.run(max_rounds), nodes
+
+
+class TestMaxId:
+    def test_budget_formula(self):
+        assert max_rounds_budget(2, 16) == 32
+        assert max_rounds_budget(1, 2, factor=1.0) == 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_learn_max(self, seed):
+        adv = OverlappingStarsAdversary(IDS)
+        budget = max_rounds_budget(2, len(IDS))
+        trace, nodes = run({u: MaxIdNode(u, total_rounds=budget) for u in IDS}, adv, seed)
+        assert trace.termination_round == budget
+        assert all(trace.outputs[u] == ("max", max(IDS)) for u in IDS)
+
+    def test_custom_values(self):
+        adv = OverlappingStarsAdversary(IDS)
+        budget = max_rounds_budget(2, len(IDS))
+        values = {u: 1000 - u for u in IDS}
+        trace, nodes = run(
+            {u: MaxIdNode(u, total_rounds=budget, value=values[u]) for u in IDS}, adv
+        )
+        assert all(trace.outputs[u] == ("max", 999) for u in IDS)
+
+
+class TestConsensusKnownD:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_agreement_and_validity(self, seed):
+        adv = OverlappingStarsAdversary(IDS)
+        budget = max_rounds_budget(2, len(IDS))
+        values = {u: u % 2 for u in IDS}
+        trace, nodes = run(
+            {u: ConsensusKnownDNode(u, values[u], total_rounds=budget) for u in IDS},
+            adv,
+            seed,
+        )
+        decisions = {o[1] for o in trace.outputs.values()}
+        assert len(decisions) == 1
+        assert decisions.pop() in set(values.values())
+
+    def test_unanimity_preserved(self):
+        adv = RandomConnectedAdversary(IDS, seed=3)
+        budget = max_rounds_budget(8, len(IDS))
+        trace, nodes = run(
+            {u: ConsensusKnownDNode(u, 1, total_rounds=budget) for u in IDS}, adv
+        )
+        assert {o[1] for o in trace.outputs.values()} == {1}
+
+    def test_decides_max_id_value_whp(self):
+        adv = OverlappingStarsAdversary(IDS)
+        budget = max_rounds_budget(2, len(IDS))
+        trace, nodes = run(
+            {u: ConsensusKnownDNode(u, u % 2, total_rounds=budget) for u in IDS}, adv
+        )
+        assert {o[1] for o in trace.outputs.values()} == {max(IDS) % 2}
+
+
+class TestHearFromAll:
+    def test_terminates_after_d(self):
+        adv = OverlappingStarsAdversary(IDS)
+        d = dynamic_diameter(adv.schedule(20), max_diameter=20)
+        trace, nodes = run({u: HearFromAllNode(u, d_param=d) for u in IDS}, adv)
+        assert trace.termination_round == d
+
+    def test_causal_guarantee_holds(self):
+        # the definitional claim behind the protocol: within D rounds
+        # every node's round-0 state causally reaches everyone
+        adv = OverlappingStarsAdversary(IDS)
+        sched = adv.schedule(20)
+        d = dynamic_diameter(sched, max_diameter=20)
+        for u in IDS:
+            reached = causal_closure(sched, [u], start_round=0, rounds=d)
+            assert reached == frozenset(IDS)
+
+    def test_gossip_side_channel_collects_ids(self):
+        adv = OverlappingStarsAdversary(IDS)
+        trace, nodes = run({u: HearFromAllNode(u, d_param=100) for u in IDS}, adv, max_rounds=100)
+        # after 100 gossip rounds on a D=2 network, ids spread widely
+        assert all(len(nodes[u].heard_ids) > len(IDS) // 2 for u in IDS)
+
+
+class TestOrConsensus:
+    """Deterministic known-D binary consensus: exact, zero error."""
+
+    def _decide(self, values, adv, ids, d):
+        from repro.protocols.consensus import OrConsensusNode
+
+        nodes = {u: OrConsensusNode(u, values[u], d_param=d) for u in ids}
+        trace = SynchronousEngine(nodes, adv, CoinSource(1)).run(d + 2)
+        assert trace.termination_round == d
+        decisions = {o[1] for o in trace.outputs.values()}
+        assert len(decisions) == 1
+        return decisions.pop()
+
+    def test_or_semantics_exact(self):
+        from repro.network.adversaries import StaticAdversary
+        from repro.network.generators import line_edges
+
+        ids = list(range(1, 11))
+        adv = StaticAdversary(ids, line_edges(ids))
+        d = len(ids) - 1
+        # a single 1 at the far end still wins: OR
+        values = {u: 0 for u in ids}
+        values[ids[-1]] = 1
+        assert self._decide(values, adv, ids, d) == 1
+        # all-zero stays zero (validity, deterministically)
+        assert self._decide({u: 0 for u in ids}, adv, ids, d) == 0
+        # all-one stays one
+        assert self._decide({u: 1 for u in ids}, adv, ids, d) == 1
+
+    def test_exact_on_every_seedless_schedule(self):
+        # determinism: identical outcome across coin seeds (no coins used)
+        ids = list(range(1, 9))
+        adv = OverlappingStarsAdversary(ids)
+        from repro.protocols.consensus import OrConsensusNode
+
+        outcomes = set()
+        for seed in range(4):
+            nodes = {u: OrConsensusNode(u, 1 if u == 3 else 0, d_param=2) for u in ids}
+            trace = SynchronousEngine(nodes, adv, CoinSource(seed)).run(4)
+            outcomes.add(tuple(sorted((u, o[1]) for u, o in trace.outputs.items())))
+        assert len(outcomes) == 1
+        assert all(v == 1 for _, v in next(iter(outcomes)))

@@ -1,0 +1,125 @@
+"""Tests for exponential-minimum counting and the majority threshold."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.adversaries import OverlappingStarsAdversary
+from repro.protocols.counting import (
+    GRID_BASE,
+    default_components,
+    dequantize,
+    draw_exponentials,
+    estimate_count,
+    majority_threshold,
+    merge_min,
+    quantize_up,
+)
+from repro.protocols.hearfrom import CountNodesNode, count_rounds_budget
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+class TestQuantization:
+    @given(st.floats(1e-12, 1e12))
+    def test_quantize_up_never_shrinks(self, v):
+        assert dequantize(quantize_up(v)) >= v * (1 - 1e-9)
+
+    @given(st.floats(1e-6, 1e6))
+    def test_quantize_within_one_step(self, v):
+        assert dequantize(quantize_up(v)) <= v * GRID_BASE * (1 + 1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            quantize_up(0.0)
+
+
+class TestEstimator:
+    def test_missing_components_give_zero(self):
+        assert estimate_count({0: 1}, components=4) == 0.0
+        assert estimate_count({}, components=4) == 0.0
+
+    def test_single_component_gives_zero(self):
+        assert estimate_count({0: 1}, components=1) == 0.0
+
+    def test_merge_min_keeps_minimum(self):
+        mins = {0: 5}
+        assert merge_min(mins, 0, 3)
+        assert not merge_min(mins, 0, 4)
+        assert mins[0] == 3
+        assert merge_min(mins, 1, 7)
+
+    def test_estimator_concentrates(self):
+        # aggregate R-component minima over k simulated participants
+        k, R = 50, 64
+        coins = CoinSource(1)
+        mins = {}
+        for node in range(k):
+            draws = draw_exponentials(coins.coins(node, 1), R)
+            for c, j in draws.items():
+                merge_min(mins, c, j)
+        est = estimate_count(mins, R)
+        assert 0.6 * k < est < 1.4 * k
+
+    def test_partial_aggregation_undercounts(self):
+        # seeing only half the participants can only lower the estimate
+        k, R = 40, 64
+        coins = CoinSource(2)
+        all_mins, half_mins = {}, {}
+        for node in range(k):
+            draws = draw_exponentials(coins.coins(node, 1), R)
+            for c, j in draws.items():
+                merge_min(all_mins, c, j)
+                if node < k // 2:
+                    merge_min(half_mins, c, j)
+        assert estimate_count(half_mins, R) <= estimate_count(all_mins, R)
+
+
+class TestMajorityThreshold:
+    @given(st.floats(0.01, 1 / 3), st.integers(10, 10**6))
+    def test_threshold_algebra(self, c, n):
+        # for any N' with |N' - N|/N <= 1/3 - c: N/2 < tau < N
+        for err in (-(1 / 3 - c), 0.0, (1 / 3 - c)):
+            n_prime = (1 + err) * n
+            tau = majority_threshold(n_prime)
+            assert tau > n / 2
+            assert tau < n * (1 + 1e-9)
+
+    def test_boundary_degenerates(self):
+        # at err = +1/3 exactly, tau reaches N: the full count can no
+        # longer clear it (given any undercount at all)
+        n = 99
+        tau = majority_threshold((1 + 1 / 3) * n)
+        assert tau == pytest.approx(n)
+
+    def test_default_components_floor(self):
+        assert default_components(4) == 32
+        assert default_components(2**20) == 80
+
+
+class TestCountNodesProtocol:
+    @pytest.mark.parametrize("n", [12, 24])
+    def test_estimates_within_one_third(self, n):
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        budget = count_rounds_budget(2, n)
+        nodes = {u: CountNodesNode(u, total_rounds=budget) for u in ids}
+        eng = SynchronousEngine(nodes, adv, CoinSource(8))
+        trace = eng.run(budget + 2)
+        assert trace.termination_round is not None
+        for u in ids:
+            assert abs(nodes[u].estimate - n) / n < 1 / 3
+
+    def test_all_nodes_agree_roughly(self):
+        n = 16
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        budget = count_rounds_budget(2, n)
+        nodes = {u: CountNodesNode(u, total_rounds=budget) for u in ids}
+        SynchronousEngine(nodes, adv, CoinSource(9)).run(budget + 2)
+        ests = [nodes[u].estimate for u in ids]
+        assert max(ests) - min(ests) < 0.2 * n

@@ -1,0 +1,69 @@
+"""Tests for the doubling-guess CFLOOD heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.adversaries import OverlappingStarsAdversary, StaticAdversary
+from repro.network.generators import lollipop_edges
+from repro.protocols.doubling import CFloodDoublingNode, DoublingSchedule
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+class TestDoublingSchedule:
+    def test_phase_structure(self):
+        s = DoublingSchedule(16, components=8)
+        assert s.flood_budget(3) == 8
+        assert s.phase_length(1) == s.flood_budget(1) + s.count_budget(1)
+
+    def test_locate_stages(self):
+        s = DoublingSchedule(16, components=8)
+        k, stage, off, length = s.locate(1)
+        assert (k, stage, off) == (1, "flood", 1)
+        k, stage, off, length = s.locate(s.flood_budget(1) + 1)
+        assert (k, stage, off) == (1, "count", 1)
+        total1 = s.phase_length(1)
+        k, stage, off, _ = s.locate(total1 + 1)
+        assert (k, stage, off) == (2, "flood", 1)
+
+    def test_locate_rejects_round_zero(self):
+        with pytest.raises(Exception):
+            DoublingSchedule(8).locate(0)
+
+
+class TestDoublingHeuristic:
+    def _run(self, ids, adv, seed=1, thr=0.75, max_rounds=40_000):
+        n = len(ids)
+        nodes = {
+            u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
+            for u in ids
+        }
+        eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+        trace = eng.run(max_rounds)
+        return trace, nodes
+
+    def test_confirms_with_full_coverage_on_benign_schedule(self):
+        ids = list(range(1, 17))
+        trace, nodes = self._run(ids, OverlappingStarsAdversary(ids))
+        assert trace.termination_round is not None
+        assert all(nodes[u].informed for u in ids)
+
+    def test_premature_on_lollipop(self):
+        ids = list(range(1, 25))
+        clique, path = ids[:19], ids[19:]
+        adv = StaticAdversary(ids, lollipop_edges(clique, path))
+        trace, nodes = self._run(ids, adv)
+        assert trace.termination_round is not None  # it *does* confirm...
+        informed = sum(nodes[u].informed for u in ids)
+        assert informed < len(ids)  # ...while the tail is uninformed
+
+    def test_source_records_estimates(self):
+        ids = list(range(1, 13))
+        trace, nodes = self._run(ids, OverlappingStarsAdversary(ids))
+        assert nodes[1].estimates  # (phase, estimate) history
+        assert all(est >= 0 for _, est in nodes[1].estimates)
+
+    def test_threshold_validated(self):
+        with pytest.raises(Exception):
+            CFloodDoublingNode(1, source=1, num_nodes=8, threshold=0.0)

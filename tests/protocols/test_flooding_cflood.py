@@ -1,0 +1,120 @@
+"""Tests for flooding primitives and CFLOOD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    RotatingStarAdversary,
+    StaticAdversary,
+)
+from repro.network.causality import dynamic_diameter
+from repro.network.generators import line_edges
+from repro.protocols.cflood import (
+    CONFIRMED,
+    OBSERVER,
+    CFloodConservativeNode,
+    CFloodKnownDNode,
+    cflood_factory,
+)
+from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+IDS = list(range(1, 9))
+
+
+def run(nodes, adv, seed=1, max_rounds=500):
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    return eng.run(max_rounds), nodes
+
+
+class TestTokenFlood:
+    def test_completes_in_exactly_d_on_line(self):
+        adv = StaticAdversary(IDS, line_edges(IDS))
+        trace, nodes = run({u: TokenFloodNode(u, source=1) for u in IDS}, adv)
+        assert trace.termination_round == len(IDS) - 1
+        assert all(nodes[u].informed for u in IDS)
+        # node k is informed exactly at round k-1 on the line
+        for k, u in enumerate(IDS):
+            assert nodes[u].informed_round == k
+
+    def test_completes_in_d_on_any_schedule(self):
+        for adv in (
+            OverlappingStarsAdversary(IDS),
+            RotatingStarAdversary(IDS),
+            RandomConnectedAdversary(IDS, seed=4),
+        ):
+            d = dynamic_diameter(adv.schedule(40), max_diameter=40)
+            trace, nodes = run({u: TokenFloodNode(u, source=1) for u in IDS}, adv)
+            assert trace.termination_round is not None
+            assert trace.termination_round <= d
+
+    def test_custom_token(self):
+        ids = [1, 2, 3, 4]
+        adv = StaticAdversary(ids, line_edges(ids))
+        trace, nodes = run(
+            {u: TokenFloodNode(u, source=1, token=("p", 42)) for u in ids}, adv
+        )
+        assert all(nodes[u].informed for u in ids)
+
+
+class TestGossipMax:
+    def test_converges_whp(self):
+        adv = RandomConnectedAdversary(IDS, seed=7)
+        nodes = {u: GossipMaxNode(u) for u in IDS}
+        eng = SynchronousEngine(nodes, adv, CoinSource(3))
+        eng.run(200, stop=lambda ns: all(n.best == max(IDS) for n in ns.values()))
+        assert all(n.best == max(IDS) for n in nodes.values())
+
+    def test_never_outputs(self):
+        assert GossipMaxNode(1).output() is None
+
+    def test_best_is_monotone_max(self):
+        n = GossipMaxNode(5)
+        n.on_messages(1, (("max", 3), ("max", 9)))
+        assert n.best == 9
+        n.on_messages(2, (("max", 4),))
+        assert n.best == 9
+
+
+class TestCFloodKnownD:
+    def test_correct_with_true_d(self):
+        adv = StaticAdversary(IDS, line_edges(IDS))
+        d = len(IDS) - 1
+        trace, nodes = run({u: CFloodKnownDNode(u, 1, d_param=d) for u in IDS}, adv)
+        assert trace.termination_round == d
+        assert trace.outputs[1] == CONFIRMED
+        assert all(trace.outputs[u] == OBSERVER for u in IDS[1:])
+        assert all(nodes[u].informed for u in IDS)
+
+    def test_premature_confirm_with_small_d(self):
+        # fed D=2 on a line of diameter 7, the source confirms while the
+        # far end is uninformed — the failure Theorem 6 proves inevitable
+        adv = StaticAdversary(IDS, line_edges(IDS))
+        trace, nodes = run({u: CFloodKnownDNode(u, 1, d_param=2) for u in IDS}, adv)
+        assert trace.termination_round == 2
+        assert not nodes[IDS[-1]].informed
+
+    def test_conservative_always_correct(self):
+        for adv in (
+            StaticAdversary(IDS, line_edges(IDS)),
+            OverlappingStarsAdversary(IDS),
+            RandomConnectedAdversary(IDS, seed=9),
+        ):
+            trace, nodes = run(
+                {u: CFloodConservativeNode(u, 1, num_nodes=len(IDS)) for u in IDS}, adv
+            )
+            assert trace.termination_round == len(IDS) - 1
+            assert all(nodes[u].informed for u in IDS)
+
+    def test_factory_variants(self):
+        f = cflood_factory(source=1, d_param=3)
+        assert isinstance(f(2), CFloodKnownDNode)
+        g = cflood_factory(source=1, num_nodes=8)
+        assert isinstance(g(2), CFloodConservativeNode)
+        with pytest.raises(Exception):
+            cflood_factory(source=1)

@@ -1,0 +1,155 @@
+"""Tests for the Section-7 leader-election protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    StaticAdversary,
+)
+from repro.network.generators import line_edges
+from repro.protocols.consensus import ConsensusFromLeaderNode
+from repro.protocols.leader_election import STAGE_NAMES, LeaderElectNode, StageSchedule
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def elect(ids, adv, n_est, seed, max_rounds=40_000, node_cls=LeaderElectNode, **kw):
+    nodes = {u: node_cls(u, n_estimate=n_est, **kw) for u in ids}
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    trace = eng.run(max_rounds)
+    return trace, nodes
+
+
+class TestStageSchedule:
+    def test_phase_lengths(self):
+        s = StageSchedule(16, alpha=2.0, components=8)
+        assert s.flood_budget(1) == 2 * 2 * 4
+        assert s.count_budget(1) == 8 * s.flood_budget(1)
+        assert s.phase_length(1) == 2 * (s.flood_budget(1) + s.count_budget(1))
+
+    def test_locate_covers_all_rounds(self):
+        s = StageSchedule(16, components=8)
+        total = s.rounds_through_phase(3)
+        seen = set()
+        prev_key = None
+        for r in range(1, total + 1):
+            phase, stage, off, length = s.locate(r)
+            assert 1 <= off <= length
+            assert 0 <= stage <= 3
+            key = (phase, stage)
+            if key != prev_key:
+                assert off == 1  # stages begin at offset 1
+                seen.add(key)
+                prev_key = key
+        assert seen == {(k, s_) for k in (1, 2, 3) for s_ in range(4)}
+
+    @given(st.integers(1, 10**6))
+    def test_locate_deterministic(self, r):
+        a = StageSchedule(32, components=8)
+        b = StageSchedule(32, components=8)
+        assert a.locate(r) == b.locate(r)
+
+    def test_budgets_double_with_phase(self):
+        s = StageSchedule(64)
+        assert s.flood_budget(4) == 2 * s.flood_budget(3)
+
+    def test_stage_names(self):
+        assert len(STAGE_NAMES) == 4
+
+
+class TestElection:
+    def test_unique_max_leader_small_d(self):
+        ids = list(range(1, 13))
+        trace, nodes = elect(ids, OverlappingStarsAdversary(ids), 12, seed=1)
+        assert trace.termination_round is not None
+        leaders = {o[1] for o in trace.outputs.values()}
+        assert leaders == {12}
+        assert nodes[12].elected_round is not None
+
+    def test_unique_leader_static_line(self):
+        ids = list(range(1, 9))
+        trace, nodes = elect(
+            ids, StaticAdversary(ids, line_edges(ids)), 8, seed=2, max_rounds=60_000
+        )
+        assert trace.termination_round is not None
+        assert {o[1] for o in trace.outputs.values()} == {8}
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_agreement_across_seeds(self, seed):
+        ids = list(range(1, 11))
+        trace, nodes = elect(ids, RandomConnectedAdversary(ids, seed=6), 10, seed=seed)
+        assert trace.termination_round is not None
+        assert len({o[1] for o in trace.outputs.values()}) == 1
+
+    def test_estimate_error_within_bound_ok(self):
+        # c = 1/3 - 0.25 > 0: protocol must still elect
+        ids = list(range(1, 13))
+        for err in (-0.25, 0.25):
+            trace, _ = elect(ids, OverlappingStarsAdversary(ids), (1 + err) * 12, seed=7)
+            assert trace.termination_round is not None, err
+
+    def test_overestimate_beyond_third_stalls(self):
+        # tau >= N: no candidate can ever claim a majority
+        ids = list(range(1, 13))
+        trace, nodes = elect(
+            ids, OverlappingStarsAdversary(ids), 1.5 * 12, seed=8, max_rounds=15_000
+        )
+        assert trace.termination_round is None
+        assert all(o is None for o in trace.outputs.values())
+
+    def test_pre_lock_count_limits_rollback_traffic(self):
+        # Section 7's "avoid excessive lock roll back": without the
+        # pre-lock majority count, failed lock acquisitions (and hence
+        # unlock floods) multiply
+        ids = list(range(1, 11))
+        traffic = {}
+        for skip in (False, True):
+            nodes = {
+                u: LeaderElectNode(u, n_estimate=10, skip_seen_count=skip)
+                for u in ids
+            }
+            eng = SynchronousEngine(
+                nodes, StaticAdversary(ids, line_edges(ids)), CoinSource(3)
+            )
+            trace = eng.run(80_000)
+            assert trace.termination_round is not None
+            traffic[skip] = (
+                sum(n.lock_floods_started for n in nodes.values()),
+                sum(n.unlocks_issued for n in nodes.values()),
+            )
+        assert traffic[True][0] > traffic[False][0]
+        assert traffic[True][1] > traffic[False][1]
+        assert traffic[False][1] == 0  # the paper's design: no roll-back
+
+    def test_never_two_leaders(self):
+        ids = list(range(1, 11))
+        for seed in range(6):
+            trace, nodes = elect(ids, OverlappingStarsAdversary(ids), 10, seed=seed)
+            self_declared = [u for u in ids if nodes[u].leader == u]
+            assert len(self_declared) <= 1
+
+
+class TestConsensusFromLeader:
+    def test_decides_leader_value(self):
+        ids = list(range(1, 11))
+        nodes = {
+            u: ConsensusFromLeaderNode(u, n_estimate=10, value=u % 3) for u in ids
+        }
+        eng = SynchronousEngine(nodes, OverlappingStarsAdversary(ids), CoinSource(5))
+        trace = eng.run(40_000)
+        assert trace.termination_round is not None
+        decisions = {o[1] for o in trace.outputs.values()}
+        assert len(decisions) == 1  # agreement
+        assert decisions.pop() in {u % 3 for u in ids}  # validity
+
+    def test_validity_unanimous(self):
+        ids = list(range(1, 9))
+        nodes = {u: ConsensusFromLeaderNode(u, n_estimate=8, value=1) for u in ids}
+        eng = SynchronousEngine(nodes, OverlappingStarsAdversary(ids), CoinSource(6))
+        trace = eng.run(40_000)
+        assert {o[1] for o in trace.outputs.values()} == {1}

@@ -1,0 +1,88 @@
+"""Tests for simultaneous consensus (the Kuhn-Moses-Oshman contrast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.adversaries import OverlappingStarsAdversary, StaticAdversary
+from repro.network.generators import line_edges
+from repro.protocols.max_id import max_rounds_budget
+from repro.protocols.simultaneous import (
+    SimultaneousConsensusKnownDNode,
+    StabilizingConsensusNode,
+)
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def run(nodes, adv, seed=1, max_rounds=4000):
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    trace = eng.run(max_rounds)
+    return trace, nodes
+
+
+class TestKnownD:
+    def test_everyone_decides_same_round(self):
+        ids = list(range(1, 15))
+        adv = OverlappingStarsAdversary(ids)
+        T = max_rounds_budget(2, len(ids))
+        trace, nodes = run(
+            {u: SimultaneousConsensusKnownDNode(u, u % 2, total_rounds=T) for u in ids},
+            adv,
+        )
+        outs = list(trace.outputs.values())
+        decide_rounds = {o[2] for o in outs}
+        assert decide_rounds == {T}  # simultaneity
+        assert len({o[1] for o in outs}) == 1  # agreement
+        assert outs[0][1] == max(ids) % 2  # max id's value won
+
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_validity(self, seed):
+        ids = list(range(1, 9))
+        adv = OverlappingStarsAdversary(ids)
+        T = max_rounds_budget(2, len(ids))
+        trace, _ = run(
+            {u: SimultaneousConsensusKnownDNode(u, 1, total_rounds=T) for u in ids},
+            adv,
+            seed,
+        )
+        assert {o[1] for o in trace.outputs.values()} == {1}
+
+
+class TestUnknownDStabilizing:
+    def test_agreement_but_not_simultaneity_on_line(self):
+        ids = list(range(1, 13))
+        adv = StaticAdversary(ids, line_edges(ids))
+        trace, nodes = run(
+            {u: StabilizingConsensusNode(u, u % 2) for u in ids}, adv, max_rounds=8000
+        )
+        outs = list(trace.outputs.values())
+        assert all(o is not None for o in outs)
+        assert len({o[1] for o in outs}) == 1  # agreement still holds
+        decide_rounds = {o[2] for o in outs}
+        # ...but decisions spread across rounds: simultaneity violated,
+        # the [15] sensitivity made visible
+        assert len(decide_rounds) > 1
+
+    def test_decides_at_power_of_two_boundaries(self):
+        ids = list(range(1, 9))
+        adv = OverlappingStarsAdversary(ids)
+        trace, nodes = run(
+            {u: StabilizingConsensusNode(u, 0) for u in ids}, adv, max_rounds=4000
+        )
+        for out in trace.outputs.values():
+            r = out[2]
+            assert r & (r - 1) == 0  # power of two
+
+    def test_min_phase_delays_decisions(self):
+        ids = list(range(1, 9))
+        adv = OverlappingStarsAdversary(ids)
+        _, eager = run(
+            {u: StabilizingConsensusNode(u, 0, min_phase=2) for u in ids}, adv
+        )
+        _, patient = run(
+            {u: StabilizingConsensusNode(u, 0, min_phase=5) for u in ids}, adv
+        )
+        assert min(n.decided_round for n in patient.values()) >= min(
+            n.decided_round for n in eager.values()
+        )

@@ -1,0 +1,67 @@
+"""Tests for the deterministic coin streams."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.coins import CoinSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = CoinSource(7).coins(3, 5)
+        b = CoinSource(7).coins(3, 5)
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_distinct_nodes_distinct_streams(self):
+        a = CoinSource(7).coins(3, 5)
+        b = CoinSource(7).coins(4, 5)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_distinct_rounds_distinct_streams(self):
+        a = CoinSource(7).coins(3, 5)
+        b = CoinSource(7).coins(3, 6)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = CoinSource(7).coins(3, 5)
+        b = CoinSource(8).coins(3, 5)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_fork_independent(self):
+        src = CoinSource(7)
+        assert src.fork(1).seed != src.seed
+        assert src.fork(1).seed == src.fork(1).seed
+        assert src.fork(1).seed != src.fork(2).seed
+
+
+class TestDistributions:
+    @given(st.integers(0, 2**32), st.integers(1, 1000), st.integers(1, 1000))
+    def test_uniform_in_range(self, seed, node, rnd):
+        c = CoinSource(seed).coins(node, rnd)
+        for _ in range(5):
+            assert 0.0 <= c.uniform() < 1.0
+
+    @given(st.integers(0, 2**32))
+    def test_exponential_positive(self, seed):
+        c = CoinSource(seed).coins(1, 1)
+        for _ in range(5):
+            assert c.exponential(1.0) > 0.0
+
+    @given(st.integers(0, 2**32), st.integers(2, 100))
+    def test_randint_in_range(self, seed, n):
+        c = CoinSource(seed).coins(1, 1)
+        for _ in range(5):
+            assert 0 <= c.randint(n) < n
+
+    def test_bit_bias(self):
+        c = CoinSource(123).coins(1, 1)
+        heads = sum(c.bit(0.8) for _ in range(2000))
+        assert 1450 <= heads <= 1750  # ~0.8 of 2000 with slack
+
+    def test_exponential_mean(self):
+        c = CoinSource(5).coins(2, 2)
+        draws = [c.exponential(4.0) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 0.2 < mean < 0.3  # Exp(4) has mean 0.25

@@ -1,0 +1,88 @@
+"""Determinism property tests: the bedrock of the reduction machinery.
+
+Everything in this library assumes that a (protocol, adversary, seed)
+triple replays bit-identically — the two-party simulation compares
+executions across contexts, and the experiment numbers claim
+reproducibility.  These tests pin that down with hypothesis.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.adversaries import (
+    OverlappingStarsAdversary,
+    RandomConnectedAdversary,
+    ShiftingLineAdversary,
+)
+from repro.protocols.flooding import GossipMaxNode
+from repro.protocols.leader_election import LeaderElectNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def run_gossip(n, adv_cls, adv_seed, seed, rounds):
+    ids = list(range(1, n + 1))
+    adv = adv_cls(ids, seed=adv_seed) if adv_cls is not OverlappingStarsAdversary else adv_cls(ids)
+    nodes = {u: GossipMaxNode(u) for u in ids}
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng.run(rounds, stop_on_termination=False)
+    return eng.trace, nodes
+
+
+class TestTraceDeterminism:
+    @given(
+        n=st.integers(3, 12),
+        seed=st.integers(0, 2**32),
+        adv_seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15)
+    def test_same_seed_identical_traces(self, n, seed, adv_seed):
+        t1, n1 = run_gossip(n, RandomConnectedAdversary, adv_seed, seed, 12)
+        t2, n2 = run_gossip(n, RandomConnectedAdversary, adv_seed, seed, 12)
+        for r1, r2 in zip(t1.records, t2.records):
+            assert r1.edges == r2.edges
+            assert r1.sends == r2.sends
+            assert r1.receivers == r2.receivers
+        assert {u: x.best for u, x in n1.items()} == {u: x.best for u, x in n2.items()}
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=10)
+    def test_different_seeds_different_behaviour(self, seed):
+        t1, _ = run_gossip(8, ShiftingLineAdversary, 1, seed, 10)
+        t2, _ = run_gossip(8, ShiftingLineAdversary, 1, seed + 1, 10)
+        # the coin streams differ, so the send/receive pattern differs
+        assert any(
+            r1.sends.keys() != r2.sends.keys() for r1, r2 in zip(t1.records, t2.records)
+        )
+
+    def test_leader_election_replays(self):
+        ids = list(range(1, 9))
+        results = []
+        for _ in range(2):
+            nodes = {u: LeaderElectNode(u, n_estimate=8) for u in ids}
+            eng = SynchronousEngine(nodes, OverlappingStarsAdversary(ids), CoinSource(9))
+            trace = eng.run(30_000)
+            results.append((trace.termination_round, dict(trace.outputs)))
+        assert results[0] == results[1]
+
+
+class TestBitAccountingInvariants:
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=10)
+    def test_bits_match_sends(self, seed):
+        trace, _ = run_gossip(8, RandomConnectedAdversary, 2, seed, 10)
+        for rec in trace.records:
+            assert set(rec.bits) == set(rec.sends)
+            assert all(b > 0 for b in rec.bits.values())
+            # every node acted exactly once: senders + receivers = all
+            assert len(rec.sends) + len(rec.receivers) == trace.num_nodes
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=10)
+    def test_delivered_counts_bounded_by_senders(self, seed):
+        trace, _ = run_gossip(8, RandomConnectedAdversary, 2, seed, 10)
+        for rec in trace.records:
+            for uid, count in rec.delivered.items():
+                assert 0 <= count <= len(rec.sends)

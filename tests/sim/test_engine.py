@@ -1,0 +1,203 @@
+"""Tests for the synchronous round engine (Section-2 semantics)."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import pytest
+
+from repro.errors import (
+    BandwidthExceeded,
+    DisconnectedTopology,
+    InvalidAction,
+    ModelViolation,
+)
+from repro.network.adversaries import StaticAdversary
+from repro.network.generators import line_edges, star_edges
+from repro.sim.actions import Receive, Send
+from repro.sim.coins import CoinSource, Coins
+from repro.sim.engine import SynchronousEngine
+from repro.sim.node import ProtocolNode
+
+
+class EchoNode(ProtocolNode):
+    """Sends its id every round; never terminates."""
+
+    def action(self, round_, coins):
+        return Send(("echo", self.uid))
+
+    def on_messages(self, round_, payloads):
+        raise AssertionError("senders never receive")
+
+
+class SinkNode(ProtocolNode):
+    """Receives every round, remembering everything."""
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.received = {}
+
+    def action(self, round_, coins):
+        return Receive()
+
+    def on_messages(self, round_, payloads):
+        self.received[round_] = payloads
+
+
+class OneShotNode(ProtocolNode):
+    """Outputs after ``k`` rounds."""
+
+    def __init__(self, uid, k):
+        super().__init__(uid)
+        self.k = k
+        self.r = 0
+
+    def action(self, round_, coins):
+        self.r = round_
+        return Receive()
+
+    def on_messages(self, round_, payloads):
+        pass
+
+    def output(self):
+        return ("done",) if self.r >= self.k else None
+
+
+def make_engine(nodes, edges, seed=1, **kw):
+    ids = list(nodes)
+    return SynchronousEngine(nodes, StaticAdversary(ids, edges), CoinSource(seed), **kw)
+
+
+class TestDelivery:
+    def test_receiver_gets_neighbor_payloads(self):
+        nodes = {1: EchoNode(1), 2: SinkNode(2), 3: EchoNode(3)}
+        eng = make_engine(nodes, [(1, 2), (2, 3)])
+        eng.step()
+        assert nodes[2].received[1] == (("echo", 1), ("echo", 3))
+
+    def test_non_neighbor_not_delivered(self):
+        nodes = {1: EchoNode(1), 2: SinkNode(2), 3: EchoNode(3)}
+        eng = make_engine(nodes, [(1, 2), (1, 3)])  # star on 1
+        eng.step()
+        assert nodes[2].received[1] == (("echo", 1),)
+
+    def test_payloads_sorted_canonically(self):
+        nodes = {5: EchoNode(5), 2: SinkNode(2), 1: EchoNode(1)}
+        eng = make_engine(nodes, [(5, 2), (1, 2)])
+        eng.step()
+        assert nodes[2].received[1] == (("echo", 1), ("echo", 5))
+
+    def test_two_senders_no_delivery_to_each_other(self):
+        nodes = {1: EchoNode(1), 2: EchoNode(2), 3: SinkNode(3)}
+        eng = make_engine(nodes, [(1, 2), (2, 3)])
+        eng.step()  # EchoNode.on_messages would raise if delivered
+        assert nodes[3].received[1] == (("echo", 2),)
+
+    def test_empty_delivery_still_invoked(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 2)])
+        eng.step()
+        assert nodes[1].received[1] == ()
+
+
+class TestValidation:
+    def test_disconnected_topology_rejected(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2), 3: SinkNode(3)}
+        eng = make_engine(nodes, [(1, 2)])
+        with pytest.raises(DisconnectedTopology):
+            eng.step()
+
+    def test_disconnected_allowed_when_disabled(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2), 3: SinkNode(3)}
+        eng = make_engine(nodes, [(1, 2)], check_connected=False)
+        eng.step()  # no raise
+
+    def test_edge_outside_node_set_rejected(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 9)])
+        with pytest.raises(ModelViolation):
+            eng.step()
+
+    def test_self_loop_rejected(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 1), (1, 2)])
+        with pytest.raises(ModelViolation):
+            eng.step()
+
+    def test_bandwidth_enforced(self):
+        class Chatty(ProtocolNode):
+            def action(self, round_, coins):
+                return Send(tuple(range(1000)))
+
+            def on_messages(self, round_, payloads):
+                pass
+
+        nodes = {1: Chatty(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 2)])
+        with pytest.raises(BandwidthExceeded):
+            eng.step()
+
+    def test_invalid_action_rejected(self):
+        class Broken(ProtocolNode):
+            def action(self, round_, coins):
+                return "send please"
+
+            def on_messages(self, round_, payloads):
+                pass
+
+        nodes = {1: Broken(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 2)])
+        with pytest.raises(InvalidAction):
+            eng.step()
+
+
+class TestTermination:
+    def test_terminates_when_all_output(self):
+        nodes = {1: OneShotNode(1, 3), 2: OneShotNode(2, 5)}
+        eng = make_engine(nodes, [(1, 2)])
+        trace = eng.run(max_rounds=100)
+        assert trace.termination_round == 5
+        assert trace.rounds == 5
+
+    def test_max_rounds_cap(self):
+        nodes = {1: OneShotNode(1, 1000), 2: OneShotNode(2, 1000)}
+        eng = make_engine(nodes, [(1, 2)])
+        trace = eng.run(max_rounds=10)
+        assert trace.termination_round is None
+        assert trace.rounds == 10
+
+    def test_custom_stop(self):
+        nodes = {1: SinkNode(1), 2: SinkNode(2)}
+        eng = make_engine(nodes, [(1, 2)])
+        trace = eng.run(max_rounds=100, stop=lambda ns: len(ns[1].received) >= 4)
+        assert trace.rounds == 4
+
+    def test_outputs_recorded(self):
+        nodes = {1: OneShotNode(1, 2), 2: OneShotNode(2, 2)}
+        eng = make_engine(nodes, [(1, 2)])
+        trace = eng.run(max_rounds=10)
+        assert trace.outputs == {1: ("done",), 2: ("done",)}
+
+
+class TestTraceAccounting:
+    def test_bits_counted_per_sender(self):
+        nodes = {1: EchoNode(1), 2: SinkNode(2), 3: SinkNode(3)}
+        eng = make_engine(nodes, [(1, 2), (2, 3)])
+        rec = eng.step()
+        assert set(rec.sends) == {1}
+        assert rec.bits[1] > 0
+        assert rec.receivers == frozenset({2, 3})
+        assert rec.delivered == {2: 1, 3: 0}
+
+    def test_adversary_sees_committed_actions(self):
+        seen = {}
+
+        class Probe(StaticAdversary):
+            def edges(self, round_, view):
+                seen[round_] = (view.is_sending(1), view.is_receiving(2))
+                return super().edges(round_, view)
+
+        nodes = {1: EchoNode(1), 2: SinkNode(2), 3: SinkNode(3)}
+        eng = SynchronousEngine(nodes, Probe([1, 2, 3], [(1, 2), (2, 3)]), CoinSource(1))
+        eng.step()
+        assert seen[1] == (True, True)

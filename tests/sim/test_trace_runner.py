@@ -1,0 +1,81 @@
+"""Tests for trace accounting and the replication runner."""
+
+from __future__ import annotations
+
+from repro.network.adversaries import StaticAdversary
+from repro.protocols.flooding import TokenFloodNode
+from repro.sim.actions import Receive, Send
+from repro.sim.node import ProtocolNode
+from repro.sim.runner import replicate, run_protocol
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+def _record(r, bits):
+    return RoundRecord(
+        round=r,
+        edges=frozenset({(1, 2)}),
+        sends={1: ("x",)},
+        bits={1: bits},
+        receivers=frozenset({2}),
+        delivered={2: 1},
+    )
+
+
+class TestExecutionTrace:
+    def test_total_bits(self):
+        t = ExecutionTrace(num_nodes=2)
+        t.append(_record(1, 10))
+        t.append(_record(2, 5))
+        assert t.total_bits() == 15
+
+    def test_bits_by_node(self):
+        t = ExecutionTrace(num_nodes=2)
+        t.append(_record(1, 10))
+        t.append(_record(2, 5))
+        assert t.bits_by_node() == {1: 15}
+
+    def test_edge_schedule(self):
+        t = ExecutionTrace(num_nodes=2)
+        t.append(_record(1, 1))
+        assert t.edge_schedule() == [frozenset({(1, 2)})]
+
+    def test_sends_of(self):
+        t = ExecutionTrace(num_nodes=2)
+        t.append(_record(1, 1))
+        t.append(_record(2, 1))
+        assert t.sends_of(1) == [(1, ("x",)), (2, ("x",))]
+        assert t.sends_of(2) == []
+
+
+class TestRunner:
+    def _cell(self, seed):
+        ids = [1, 2, 3, 4]
+        return run_protocol(
+            make_nodes=lambda: {u: TokenFloodNode(u, source=1) for u in ids},
+            make_adversary=lambda: StaticAdversary(ids, [(1, 2), (2, 3), (3, 4)]),
+            seed=seed,
+            max_rounds=20,
+        )
+
+    def test_run_protocol_terminates(self):
+        run = self._cell(1)
+        assert run.terminated
+        assert run.rounds == 3  # token walks the line in D = 3 rounds
+        assert all(v == ("informed",) for v in run.outputs.values())
+
+    def test_replicate_aggregates(self):
+        ids = [1, 2, 3, 4]
+        summary = replicate(
+            make_nodes=lambda: {u: TokenFloodNode(u, source=1) for u in ids},
+            make_adversary=lambda: StaticAdversary(ids, [(1, 2), (2, 3), (3, 4)]),
+            seeds=[1, 2, 3],
+            max_rounds=20,
+        )
+        assert summary.num_runs == 3
+        assert summary.termination_rate == 1.0
+        assert summary.mean_rounds == 3
+        assert summary.median_rounds == 3
+        assert summary.max_rounds == 3
+        assert summary.mean_bits > 0
+        assert summary.error_rate(lambda r: r.terminated) == 0.0
+        assert summary.error_rate(lambda r: False) == 1.0

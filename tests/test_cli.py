@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F1" in out and "reference" in out
+
+    def test_quick_thm6(self, capsys):
+        assert main(["thm6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T6" in out
+
+    def test_quick_thm7(self, capsys):
+        assert main(["thm7", "--quick"]) == 0
+        assert "EXP-T7" in capsys.readouterr().out
+
+    def test_quick_cc(self, capsys):
+        assert main(["cc", "--quick"]) == 0
+        assert "Thm1 bound" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_every_registered_runner_is_callable(self):
+        for name, (desc, runner) in EXPERIMENTS.items():
+            assert callable(runner) and desc

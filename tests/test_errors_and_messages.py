@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy and CONGEST budget helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BandwidthExceeded,
+    ConfigurationError,
+    DisconnectedTopology,
+    InvalidAction,
+    ModelViolation,
+    PromiseViolation,
+    ProtocolError,
+    ReproError,
+    SimulationDiverged,
+)
+from repro.sim.messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ModelViolation,
+            DisconnectedTopology,
+            InvalidAction,
+            PromiseViolation,
+            SimulationDiverged,
+            ProtocolError,
+            ConfigurationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_model_violations_grouped(self):
+        assert issubclass(BandwidthExceeded, ModelViolation)
+        assert issubclass(DisconnectedTopology, ModelViolation)
+        assert issubclass(InvalidAction, ModelViolation)
+
+    def test_bandwidth_exceeded_carries_context(self):
+        err = BandwidthExceeded(bits=100, budget=24, sender=7, round_=3)
+        assert err.bits == 100 and err.budget == 24
+        assert err.sender == 7 and err.round == 3
+        assert "node 7" in str(err) and "round 3" in str(err)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise PromiseViolation("broken promise")
+
+
+class TestCongestBudget:
+    def test_scales_with_log_n(self):
+        assert congest_budget(2) == DEFAULT_BANDWIDTH_FACTOR
+        assert congest_budget(1024) == 10 * DEFAULT_BANDWIDTH_FACTOR
+        assert congest_budget(1 << 20) == 2 * congest_budget(1 << 10)
+
+    def test_custom_factor(self):
+        assert congest_budget(256, bandwidth_factor=1) == 8
+
+    def test_minimum_one_bit_of_ids(self):
+        assert congest_budget(1) >= DEFAULT_BANDWIDTH_FACTOR

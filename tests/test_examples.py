@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are part of the public deliverable; these tests execute the
+fast ones in-process (runpy) and assert on their printed claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=(), capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "dynamic diameter" in out
+        assert "premature!" in out  # the wrong-D CFLOOD demonstration
+
+    def test_visualize_construction(self, capsys):
+        out = run_example("visualize_construction.py", capsys=capsys)
+        assert "[reference r1]" in out
+        assert "o---o" in out  # the detached middles / centipede line
+
+    def test_lower_bound_construction(self, capsys):
+        out = run_example("lower_bound_construction.py", argv=["25"], capsys=capsys)
+        assert "answer-1 instance" in out and "answer-0 instance" in out
+        assert "the fast oracle was fooled" in out
+
+    def test_lower_bound_rejects_bad_q(self):
+        with pytest.raises(SystemExit):
+            run_example("lower_bound_construction.py", argv=["10"])
+
+    @pytest.mark.slow
+    def test_diameter_gap_study_quick(self, capsys):
+        out = run_example("diameter_gap_study.py", argv=["--quick"], capsys=capsys)
+        assert "EXP-GAP" in out and "EXP-SENS" in out
+
+    @pytest.mark.slow
+    def test_swarm_leader_election(self, capsys):
+        out = run_example("swarm_leader_election.py", capsys=capsys)
+        assert "elected" in out
+        assert "NO leader" in out  # the bad-estimate stall
