@@ -4,8 +4,10 @@ Each benchmark regenerates one paper figure/theorem experiment (the
 EXP-* index in DESIGN.md), times it with pytest-benchmark, and writes
 the rendered table to ``benchmarks/out/<EXP-ID>.txt`` so the rows the
 paper's claims describe are inspectable after the run (pytest captures
-stdout).  EXPERIMENTS.md records paper-claim vs a representative run of
-these outputs.
+stdout).  A machine-readable ``benchmarks/out/<EXP-ID>.json`` — headers,
+rows, summary, notes, and any observability timings — is written
+alongside, for diffing runs and for CI artifact upload.  EXPERIMENTS.md
+records paper-claim vs a representative run of these outputs.
 """
 
 from __future__ import annotations
@@ -19,12 +21,13 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 @pytest.fixture
 def exp_output():
-    """Write an ExperimentResult's rendering to benchmarks/out/."""
+    """Write an ExperimentResult's rendering (.txt) and dump (.json)."""
 
     def write(result) -> str:
         OUT_DIR.mkdir(exist_ok=True)
         text = result.render()
         (OUT_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        (OUT_DIR / f"{result.exp_id}.json").write_text(result.to_json() + "\n")
         print("\n" + text)
         return text
 

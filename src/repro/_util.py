@@ -20,6 +20,7 @@ is what matters for the measured communication curves.
 from __future__ import annotations
 
 import math
+import struct
 from typing import Any, Iterable, Sequence
 
 from .errors import ConfigurationError
@@ -27,6 +28,7 @@ from .errors import ConfigurationError
 __all__ = [
     "bit_size",
     "bits_for_ids",
+    "canonical_encoding",
     "ceil_log2",
     "is_odd",
     "require",
@@ -76,6 +78,56 @@ def bit_size(obj: Any) -> int:
     raise ConfigurationError(
         f"cannot compute bit size of {type(obj).__name__}; "
         "add a payload_bits() method or use plain tuples/ints"
+    )
+
+
+def canonical_encoding(obj: Any) -> bytes:
+    """A deterministic byte encoding of a payload, for stable ordering.
+
+    This is the concrete encoding whose sizes :func:`bit_size` charges
+    (same type dispatch, same supported payload algebra).  The engine
+    sorts delivered payloads by this key so that receive order is a pure
+    function of the payload *values* — sorting by ``repr`` would silently
+    depend on memory addresses for objects without a canonical ``repr``,
+    breaking cross-process reproducibility (and with it the Lemma-5
+    two-party simulation, which re-executes runs in separate processes).
+
+    Encoding: 1 tag byte per value, length-prefixed variable parts, items
+    of containers concatenated in order (sets sorted by their encodings).
+    Custom payload objects provide ``payload_encoding() -> bytes`` (the
+    companion of ``payload_bits()``); the tagged class name is prefixed
+    so distinct types never collide.
+    """
+    if obj is None:
+        return b"\x00"
+    if isinstance(obj, bool):
+        return b"\x01\x01" if obj else b"\x01\x00"
+    if isinstance(obj, int):
+        sign = b"\x01" if obj >= 0 else b"\x00"
+        mag = abs(obj)
+        body = mag.to_bytes(max(1, (mag.bit_length() + 7) // 8), "big")
+        return b"\x02" + sign + len(body).to_bytes(4, "big") + body
+    if isinstance(obj, float):
+        return b"\x03" + struct.pack(">d", obj)
+    if isinstance(obj, str):
+        body = obj.encode("utf-8")
+        return b"\x04" + len(body).to_bytes(4, "big") + body
+    if isinstance(obj, (bytes, bytearray)):
+        return b"\x05" + len(obj).to_bytes(4, "big") + bytes(obj)
+    if isinstance(obj, (tuple, list)):
+        parts = [canonical_encoding(item) for item in obj]
+        return b"\x06" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    if isinstance(obj, frozenset):
+        parts = sorted(canonical_encoding(item) for item in obj)
+        return b"\x07" + len(parts).to_bytes(4, "big") + b"".join(parts)
+    encoder = getattr(obj, "payload_encoding", None)
+    if callable(encoder):
+        name = type(obj).__qualname__.encode("utf-8")
+        body = bytes(encoder())
+        return b"\x08" + len(name).to_bytes(2, "big") + name + body
+    raise ConfigurationError(
+        f"cannot canonically encode {type(obj).__name__}; "
+        "add a payload_encoding() method or use plain tuples/ints"
     )
 
 

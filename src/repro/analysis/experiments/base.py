@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
-from ..tables import render_table
+from ..tables import format_float, render_table
 
 __all__ = ["ExperimentResult"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce cells to JSON-ready values (numpy scalars -> python)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return format_float(value)
 
 
 @dataclass
@@ -21,10 +36,54 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: free-form scalar summaries (slopes, error rates, ...)
     summary: Dict[str, Any] = field(default_factory=dict)
+    #: optional observability sidecar: wall/phase seconds, run counts —
+    #: populated when the experiment ran under an observation session
+    timings: Dict[str, Any] = field(default_factory=dict)
+
+    def attach_session(self, session: Any) -> None:
+        """Fold an :class:`~repro.obs.runtime.ObservationSession`'s
+        aggregate timings into this result's ``timings`` sidecar."""
+        phase_totals: Dict[str, float] = {}
+        for key, metric in session.manifest.metrics.items():
+            if key.startswith("phase_seconds{phase=") and metric.get("type") == "histogram":
+                phase = key[len("phase_seconds{phase=") : -1]
+                phase_totals[phase] = metric.get("sum", 0.0)
+        self.timings = {
+            "wall_seconds": session.manifest.wall_seconds,
+            "engine_runs": session.num_runs,
+            "phase_seconds": phase_totals,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: what ``benchmarks/out/<EXP-ID>.json`` holds."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_jsonable(c) for c in row] for row in self.rows],
+            "summary": {k: _jsonable(v) for k, v in sorted(self.summary.items())},
+            "notes": list(self.notes),
+            "timings": _jsonable(self.timings),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
         parts = [render_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]
         if self.summary:
             parts.append("summary: " + ", ".join(f"{k}={v}" for k, v in sorted(self.summary.items())))
+        if self.timings:
+            wall = self.timings.get("wall_seconds")
+            runs = self.timings.get("engine_runs")
+            bits = []
+            if wall is not None:
+                bits.append(f"wall={wall:.3f}s")
+            if runs:
+                bits.append(f"engine_runs={runs}")
+            for phase, sec in sorted(self.timings.get("phase_seconds", {}).items()):
+                bits.append(f"{phase}={sec:.3f}s")
+            if bits:
+                parts.append("timing: " + ", ".join(bits))
         parts.extend(f"note: {n}" for n in self.notes)
         return "\n".join(parts)

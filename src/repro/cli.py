@@ -5,12 +5,22 @@ Usage::
     python -m repro list
     python -m repro fig1
     python -m repro thm6 --quick
-    python -m repro gap
+    python -m repro thm8 --quick --trace-out out/thm8 --metrics
+    python -m repro inspect out/thm8/run-0001.jsonl
     python -m repro all --quick
 
 Each command prints the experiment's rendered table (the same rows the
 benchmarks assert on).  ``--quick`` shrinks the parameter grid for a
-seconds-scale run; defaults match the benchmarks.
+seconds-scale run; defaults match the benchmarks.  The figure commands
+(``fig1``/``fig2``/``fig3``) regenerate fixed paper constructions with no
+parameter grid, so ``--quick`` is accepted but changes nothing there.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--metrics`` collects
+engine counters and per-phase wall-clock timings and appends them to the
+output; ``--trace-out DIR`` additionally persists every engine run as
+``run-NNNN.jsonl`` plus a ``manifest.json``.  ``repro inspect FILE``
+summarizes one persisted run — rounds, bits by node, phase timing, and
+the realized dynamic diameter of the recorded schedule.
 """
 
 from __future__ import annotations
@@ -35,6 +45,20 @@ from .analysis.experiments import (
 )
 
 __all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1(quick: bool):
+    # The figures are fixed paper constructions (no parameter grid), so
+    # quick and full runs are identical — the flag is deliberately unused.
+    return exp_fig1()
+
+
+def _fig2(quick: bool):
+    return exp_fig2()  # fixed construction; --quick is a no-op (see _fig1)
+
+
+def _fig3(quick: bool):
+    return exp_fig3()  # fixed construction; --quick is a no-op (see _fig1)
 
 
 def _thm6(quick: bool):
@@ -85,9 +109,9 @@ def _heur(quick: bool):
 
 #: command name -> (description, runner(quick) -> ExperimentResult)
 EXPERIMENTS: Dict[str, tuple] = {
-    "fig1": ("Figure 1: type-Γ chains under the three adversaries", lambda q: exp_fig1()),
-    "fig2": ("Figure 2: Λ centipede cascade (x=y=0)", lambda q: exp_fig2()),
-    "fig3": ("Figure 3: Λ centipede (x=2, y=3)", lambda q: exp_fig3()),
+    "fig1": ("Figure 1: type-Γ chains under the three adversaries (fixed; no quick grid)", _fig1),
+    "fig2": ("Figure 2: Λ centipede cascade (x=y=0) (fixed; no quick grid)", _fig2),
+    "fig3": ("Figure 3: Λ centipede (x=2, y=3) (fixed; no quick grid)", _fig3),
     "thm6": ("Theorem 6: the CFLOOD reduction, end to end", _thm6),
     "thm7": ("Theorem 7: the CONSENSUS reduction at boundary N'", _thm7),
     "thm8": ("Theorem 8: diameter-oblivious leader election", _thm8),
@@ -100,6 +124,36 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _render_metrics(session) -> str:
+    """A compact text dump of a closed session's aggregate metrics."""
+    lines = ["-- metrics --"]
+    for key, metric in sorted(session.manifest.metrics.items()):
+        if metric.get("type") == "counter":
+            lines.append(f"  {key:<40} {metric['value']}")
+        elif metric.get("type") == "histogram":
+            lines.append(
+                f"  {key:<40} count={metric['count']} sum={metric['sum']:.4f}s "
+                f"mean={metric['mean'] * 1e3:.3f}ms"
+            )
+    lines.append(f"  engine runs: {session.num_runs}")
+    return "\n".join(lines)
+
+
+def _run_inspect(path: Optional[str]) -> int:
+    if not path:
+        print("usage: repro inspect <run.jsonl>", file=sys.stderr)
+        return 2
+    from .obs.inspect import inspect_run
+
+    try:
+        report = inspect_run(path)
+    except FileNotFoundError:
+        print(f"repro inspect: no such file: {path}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -108,24 +162,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="experiment to run ('list' to enumerate, 'all' for everything)",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "inspect"],
+        help="experiment to run ('list' to enumerate, 'all' for "
+        "everything, 'inspect' to summarize a persisted run)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="run JSONL file (only for 'inspect')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink parameter grids for a fast run"
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="instrument engine runs and print aggregate metrics/timings",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="persist every engine run as JSONL (plus manifest.json) under DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "inspect":
+        return _run_inspect(args.path)
+    if args.path is not None:
+        parser.error(f"positional run file only applies to 'inspect', not {args.command!r}")
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"  {name:<6} {EXPERIMENTS[name][0]}")
         return 0
 
+    observing = args.metrics or args.trace_out is not None
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         _desc, runner = EXPERIMENTS[name]
-        result = runner(args.quick)
-        print(result.render())
+        if observing:
+            from .obs.runtime import observe
+
+            trace_dir = None
+            if args.trace_out is not None:
+                # one subdirectory per experiment when running several
+                trace_dir = args.trace_out if len(names) == 1 else f"{args.trace_out}/{name}"
+            with observe(trace_dir=trace_dir, label=name) as session:
+                result = runner(args.quick)
+            result.attach_session(session)
+            print(result.render())
+            if args.metrics:
+                print(_render_metrics(session))
+            if trace_dir is not None:
+                print(f"traces: {session.num_runs} run(s) -> {trace_dir}/")
+        else:
+            result = runner(args.quick)
+            print(result.render())
         print()
     return 0
 

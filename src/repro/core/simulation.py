@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from .._util import bit_size
+from .._util import bit_size, canonical_encoding
 from ..cc.disjointness import DisjointnessInstance
 from ..errors import ConfigurationError, SimulationDiverged
 from ..sim.actions import Receive, Send
@@ -221,7 +221,7 @@ class PartySimulator:
                 nbr_action = self._last_actions.get(nbr)
                 if isinstance(nbr_action, Send):
                     payloads.append(nbr_action.payload)
-            payloads.sort(key=repr)
+            payloads.sort(key=canonical_encoding)  # must match the engine's order
             self.nodes[uid].on_messages(round_, tuple(payloads))
         out = self.nodes[self.watch].output()
         if out is not None and self.watched_output is None:

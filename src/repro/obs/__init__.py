@@ -1,0 +1,65 @@
+"""Observability: metrics, engine instrumentation, trace export, inspection.
+
+The layer every quantitative claim runs through:
+
+``repro.obs.metrics``
+    Counter/gauge/histogram registry with a no-op null sink.
+``repro.obs.instrumentation``
+    Per-run phase timing (the engine's five round phases) and counters.
+``repro.obs.manifest``
+    :class:`RunManifest` / :class:`SessionManifest` — replay-from-metadata.
+``repro.obs.export``
+    Lossless JSONL persistence of execution traces.
+``repro.obs.runtime``
+    Ambient :func:`observe` sessions that capture every engine run in a
+    scope without threading arguments through experiment code.
+``repro.obs.inspect``
+    ``repro inspect``: summarize a persisted run (rounds, bits, phase
+    timing, realized dynamic diameter).
+
+See ``docs/OBSERVABILITY.md`` for the metrics catalogue and schemas.
+"""
+
+from .export import (
+    PersistedRun,
+    decode_payload,
+    encode_payload,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from .inspect import RunReport, inspect_run, realized_diameter
+from .instrumentation import PHASES, Instrumentation
+from .manifest import RunManifest, SessionManifest
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .runtime import ObservationSession, current_session, observe
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "PHASES",
+    "Instrumentation",
+    "RunManifest",
+    "SessionManifest",
+    "PersistedRun",
+    "encode_payload",
+    "decode_payload",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "ObservationSession",
+    "observe",
+    "current_session",
+    "RunReport",
+    "inspect_run",
+    "realized_diameter",
+]

@@ -1,0 +1,218 @@
+"""Structured JSONL export/import of execution traces.
+
+One run = one JSONL file:
+
+* line 1 — ``{"type": "manifest", ...}``: the :class:`RunManifest`
+  fields plus the node-id set (enough to replay from metadata);
+* one ``{"type": "round", ...}`` line per round, carrying the full
+  :class:`~repro.sim.trace.RoundRecord` (edges, sends, bits, receivers,
+  delivered counts);
+* last line — ``{"type": "summary", ...}``: termination round, outputs,
+  totals, and (when the run was instrumented) wall time and the
+  per-phase timing breakdown.
+
+Payloads are arbitrary protocol values, so they are encoded with a small
+tagged codec (:func:`encode_payload` / :func:`decode_payload`) that
+round-trips the whole payload algebra :func:`repro._util.bit_size`
+charges — None, bool, int, float, str, bytes, tuple, list, frozenset —
+losslessly, preserving the tuple/list and int/bool distinctions JSON
+alone would collapse.  Unknown objects degrade to a flagged ``repr``
+(the trace stays readable; it just stops being replay-exact).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.trace import ExecutionTrace, RoundRecord
+from .manifest import RunManifest
+
+__all__ = [
+    "encode_payload",
+    "decode_payload",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "PersistedRun",
+]
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# payload codec
+def encode_payload(obj: Any) -> Any:
+    """Encode one payload as a JSON-ready tagged value."""
+    if obj is None:
+        return ["n"]
+    if isinstance(obj, bool):
+        return ["b", obj]
+    if isinstance(obj, int):
+        return ["i", obj]
+    if isinstance(obj, float):
+        # hex round-trips exactly (json floats would too, but not NaN/inf)
+        return ["f", obj.hex()]
+    if isinstance(obj, str):
+        return ["s", obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["y", bytes(obj).hex()]
+    if isinstance(obj, tuple):
+        return ["t", [encode_payload(item) for item in obj]]
+    if isinstance(obj, list):
+        return ["l", [encode_payload(item) for item in obj]]
+    if isinstance(obj, frozenset):
+        # canonical member order: sort by each member's own encoding
+        members = sorted((encode_payload(item) for item in obj), key=json.dumps)
+        return ["S", members]
+    return ["r", repr(obj)]  # lossy fallback, flagged by its tag
+
+
+def decode_payload(value: Any) -> Any:
+    """Invert :func:`encode_payload` (tag ``r`` decodes to its repr str)."""
+    tag, *rest = value
+    if tag == "n":
+        return None
+    if tag in ("b", "i", "s"):
+        return rest[0]
+    if tag == "f":
+        return float.fromhex(rest[0])
+    if tag == "y":
+        return bytes.fromhex(rest[0])
+    if tag == "t":
+        return tuple(decode_payload(item) for item in rest[0])
+    if tag == "l":
+        return [decode_payload(item) for item in rest[0]]
+    if tag == "S":
+        return frozenset(decode_payload(item) for item in rest[0])
+    if tag == "r":
+        return rest[0]
+    raise ValueError(f"unknown payload tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# trace writer / reader
+def _round_line(record: RoundRecord) -> dict:
+    return {
+        "type": "round",
+        "round": record.round,
+        "edges": sorted([u, v] for u, v in record.edges),
+        "sends": {str(uid): encode_payload(p) for uid, p in sorted(record.sends.items())},
+        "bits": {str(uid): b for uid, b in sorted(record.bits.items())},
+        "receivers": sorted(record.receivers),
+        "delivered": {str(uid): c for uid, c in sorted(record.delivered.items())},
+    }
+
+
+def _record_from_line(line: dict) -> RoundRecord:
+    return RoundRecord(
+        round=line["round"],
+        edges=frozenset((u, v) for u, v in line["edges"]),
+        sends={int(uid): decode_payload(p) for uid, p in line["sends"].items()},
+        bits={int(uid): b for uid, b in line["bits"].items()},
+        receivers=frozenset(line["receivers"]),
+        delivered={int(uid): c for uid, c in line["delivered"].items()},
+    )
+
+
+def write_trace_jsonl(
+    trace: ExecutionTrace,
+    path: pathlib.Path,
+    manifest: Optional[RunManifest] = None,
+    node_ids: Optional[Iterable[int]] = None,
+    run_metrics: Optional[dict] = None,
+) -> pathlib.Path:
+    """Persist one execution trace (manifest line, rounds, summary)."""
+    path = pathlib.Path(path)
+    if manifest is None:
+        manifest = RunManifest(seed=None, num_nodes=trace.num_nodes, adversary="?")
+    head = {
+        "type": "manifest",
+        "format_version": FORMAT_VERSION,
+        **manifest.as_dict(),
+    }
+    if node_ids is not None:
+        head["node_ids"] = sorted(node_ids)
+    summary = {
+        "type": "summary",
+        "rounds": trace.rounds,
+        "termination_round": trace.termination_round,
+        "total_bits": trace.total_bits(),
+        "outputs": {str(uid): encode_payload(o) for uid, o in sorted(trace.outputs.items())},
+    }
+    if run_metrics:
+        summary["run_metrics"] = run_metrics
+    with path.open("w") as fh:
+        fh.write(json.dumps(head, sort_keys=True) + "\n")
+        for record in trace:
+            fh.write(json.dumps(_round_line(record), sort_keys=True) + "\n")
+        fh.write(json.dumps(summary, sort_keys=True) + "\n")
+    return path
+
+
+class PersistedRun:
+    """A run read back from JSONL: trace + manifest + recorded metrics."""
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        manifest: RunManifest,
+        node_ids: Optional[Tuple[int, ...]],
+        run_metrics: Optional[dict],
+        summary: dict,
+    ):
+        self.trace = trace
+        self.manifest = manifest
+        self.node_ids = node_ids
+        self.run_metrics = run_metrics
+        self.summary = summary
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        return dict((self.run_metrics or {}).get("phase_seconds", {}))
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.run_metrics and "wall_seconds" in self.run_metrics:
+            return self.run_metrics["wall_seconds"]
+        return self.manifest.wall_seconds
+
+
+def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
+    """Load a persisted run; inverse of :func:`write_trace_jsonl`."""
+    path = pathlib.Path(path)
+    head: Optional[dict] = None
+    summary: dict = {}
+    records: List[RoundRecord] = []
+    with path.open() as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw)
+            kind = line.get("type")
+            if kind == "manifest":
+                head = line
+            elif kind == "round":
+                records.append(_record_from_line(line))
+            elif kind == "summary":
+                summary = line
+            else:
+                raise ValueError(f"unknown line type {kind!r} in {path}")
+    if head is None:
+        raise ValueError(f"{path}: no manifest line — not a run JSONL file")
+    trace = ExecutionTrace(num_nodes=head.get("num_nodes", 0))
+    for record in records:
+        trace.append(record)
+    trace.termination_round = summary.get("termination_round")
+    trace.outputs = {
+        int(uid): decode_payload(o) for uid, o in summary.get("outputs", {}).items()
+    }
+    node_ids = tuple(head["node_ids"]) if "node_ids" in head else None
+    return PersistedRun(
+        trace=trace,
+        manifest=RunManifest.from_dict(head),
+        node_ids=node_ids,
+        run_metrics=summary.get("run_metrics"),
+        summary=summary,
+    )

@@ -1,0 +1,157 @@
+"""Engine instrumentation: phase timing and run counters.
+
+The :class:`~repro.sim.engine.SynchronousEngine` executes five phases per
+round (the Section-2 model): coins/**actions**, **adversary** edge
+choice, model **validation**, **delivery**, and the **termination** poll.
+An :class:`Instrumentation` object hooks all five, timing each with
+``time.perf_counter`` so protocol code, adversary code, and engine
+overhead are attributed separately, and maintains the run counters the
+metrics catalogue promises (``rounds_total``, ``bits_sent_total``,
+``messages_delivered_total``, ``topology_changes_total``).
+
+One ``Instrumentation`` belongs to one engine run; several may share one
+:class:`~repro.obs.metrics.MetricsRegistry` (e.g. all runs of a
+replication), in which case the registry aggregates across runs while
+each instrumentation keeps its own per-run breakdown.  Pass
+``registry=NULL_REGISTRY`` to keep per-run timing but drop the shared
+aggregation; pass no instrumentation to the engine at all to skip the
+hook block entirely (the truly free path).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from .metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
+
+__all__ = ["PHASES", "Instrumentation"]
+
+#: The five engine phases, in execution order.
+PHASES = ("actions", "adversary", "validation", "delivery", "termination")
+
+
+class Instrumentation:
+    """Per-run phase timings + counters, optionally feeding a registry.
+
+    Parameters
+    ----------
+    registry:
+        Shared :class:`MetricsRegistry` (aggregates across runs).  Default
+        is a private registry; ``NULL_REGISTRY`` disables aggregation.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    on_run_end:
+        Callback ``(instrumentation, engine)`` fired by the engine when a
+        run completes — the hook observation sessions use to persist the
+        trace without the engine knowing about persistence at all.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        on_run_end: Optional[Callable[["Instrumentation", Any], None]] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.clock = clock
+        self.on_run_end = on_run_end
+
+        # Instruments are resolved once; updates in the round loop are
+        # attribute increments on cached objects.
+        reg = self.registry
+        self._rounds_total = reg.counter("rounds_total")
+        self._bits_sent_total = reg.counter("bits_sent_total")
+        self._messages_delivered_total = reg.counter("messages_delivered_total")
+        self._topology_changes_total = reg.counter("topology_changes_total")
+        self._runs_total = reg.counter("runs_total")
+        self._phase_hist = {
+            phase: reg.histogram("phase_seconds", {"phase": phase}) for phase in PHASES
+        }
+
+        # Per-run state.
+        self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        self.rounds = 0
+        self.bits_sent = 0
+        self.messages_delivered = 0
+        self.topology_changes = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._last_edges: Optional[frozenset] = None
+
+    # -- engine hooks --------------------------------------------------
+    def run_started(self) -> None:
+        """Mark the run's wall-clock start (idempotent; first step wins)."""
+        if self.started_at is None:
+            self.started_at = self.clock()
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` of wall clock to one engine phase."""
+        self.phase_seconds[phase] += seconds
+        self._phase_hist[phase].observe(seconds)
+
+    def round_finished(self, record: Any) -> None:
+        """Fold one :class:`~repro.sim.trace.RoundRecord` into counters."""
+        self.rounds += 1
+        self._rounds_total.inc()
+        bits = record.total_bits
+        self.bits_sent += bits
+        self._bits_sent_total.inc(bits)
+        delivered = sum(record.delivered.values())
+        self.messages_delivered += delivered
+        self._messages_delivered_total.inc(delivered)
+        if record.edges != self._last_edges:
+            self.topology_changes += 1
+            self._topology_changes_total.inc()
+        self._last_edges = record.edges
+
+    def run_finished(self, engine: Any = None) -> None:
+        """Mark the run complete and fire the ``on_run_end`` callback."""
+        self.finished_at = self.clock()
+        self._runs_total.inc()
+        if self.on_run_end is not None:
+            self.on_run_end(self, engine)
+
+    # -- summaries -----------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock span of the run (0.0 before the first step)."""
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else self.clock()
+        return end - self.started_at
+
+    @property
+    def phase_total_seconds(self) -> float:
+        """Sum of the five phase timers (<= wall_seconds; the gap is
+        engine bookkeeping outside the phases)."""
+        return sum(self.phase_seconds.values())
+
+    def run_metrics(self) -> dict:
+        """JSON-ready per-run summary (the shape persisted to JSONL)."""
+        return {
+            "rounds": self.rounds,
+            "bits_sent": self.bits_sent,
+            "messages_delivered": self.messages_delivered,
+            "topology_changes": self.topology_changes,
+            "wall_seconds": self.wall_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def render_phases(self) -> str:
+        """Human-readable phase-timing breakdown (one line per phase)."""
+        wall = self.wall_seconds
+        lines = [f"wall time: {wall * 1e3:.2f} ms over {self.rounds} rounds"]
+        for phase in PHASES:
+            sec = self.phase_seconds[phase]
+            share = (sec / wall * 100.0) if wall > 0 else 0.0
+            lines.append(f"  {phase:<12} {sec * 1e3:9.3f} ms  {share:5.1f}%")
+        other = wall - self.phase_total_seconds
+        share = (other / wall * 100.0) if wall > 0 else 0.0
+        lines.append(f"  {'(engine)':<12} {other * 1e3:9.3f} ms  {share:5.1f}%")
+        return "\n".join(lines)
+
+    @property
+    def aggregates(self) -> bool:
+        """True iff updates also reach a real shared registry."""
+        return not isinstance(self.registry, NullRegistry)

@@ -1,0 +1,99 @@
+"""Run manifests: enough metadata to re-create (or diff) any run.
+
+A :class:`RunManifest` pins down one engine execution — public seed, node
+count, adversary, bandwidth factor, package version, wall time — so a
+persisted JSONL trace can be replayed from metadata alone: construct the
+same nodes/adversary, pass ``CoinSource(seed)``, and the engine
+reproduces the run bit for bit (the whole simulator is deterministic in
+the seed).  Session manifests (``manifest.json``) aggregate the per-run
+manifests of everything recorded under one observation session.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunManifest", "SessionManifest", "MANIFEST_FILENAME"]
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class RunManifest:
+    """Metadata of one engine run (one JSONL trace file)."""
+
+    seed: Optional[int]
+    num_nodes: int
+    adversary: str
+    bandwidth_factor: Optional[int] = None
+    check_connected: bool = True
+    package_version: str = field(default_factory=_package_version)
+    wall_seconds: Optional[float] = None
+    #: trace filename relative to the session directory, once persisted
+    trace_file: Optional[str] = None
+
+    @classmethod
+    def from_engine(cls, engine: Any) -> "RunManifest":
+        """Capture an engine's identifying parameters."""
+        coin_source = getattr(engine, "coin_source", None)
+        return cls(
+            seed=getattr(coin_source, "seed", None),
+            num_nodes=len(engine.nodes),
+            adversary=type(engine.adversary).__name__,
+            bandwidth_factor=getattr(engine, "bandwidth_factor", None),
+            check_connected=getattr(engine, "check_connected", True),
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class SessionManifest:
+    """Everything one observation session recorded."""
+
+    label: Optional[str] = None
+    package_version: str = field(default_factory=_package_version)
+    wall_seconds: Optional[float] = None
+    runs: List[RunManifest] = field(default_factory=list)
+    #: registry snapshot at session close (counters/gauges/histograms)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "package_version": self.package_version,
+            "wall_seconds": self.wall_seconds,
+            "runs": [r.as_dict() for r in self.runs],
+            "metrics": self.metrics,
+        }
+
+    def write(self, directory: pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(directory) / MANIFEST_FILENAME
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "SessionManifest":
+        data = json.loads(pathlib.Path(path).read_text())
+        return cls(
+            label=data.get("label"),
+            package_version=data.get("package_version", "?"),
+            wall_seconds=data.get("wall_seconds"),
+            runs=[RunManifest.from_dict(r) for r in data.get("runs", ())],
+            metrics=data.get("metrics", {}),
+        )

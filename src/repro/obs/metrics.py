@@ -1,0 +1,243 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The simulator's claims are quantitative — termination rounds, CONGEST
+bits on the air, topology churn, wall-clock per engine phase — so the
+observability layer keeps them as first-class metrics instead of ad-hoc
+post-processing of an in-memory trace.  The design follows the usual
+client-library shape (Prometheus et al.): a *registry* owns named
+metrics, each metric may carry a frozen label set, and instruments are
+cheap enough to update inside the engine's round loop.
+
+Two sinks exist:
+
+* :class:`MetricsRegistry` — the real thing, dict-backed, O(1) updates;
+* :class:`NullRegistry` — a no-op sink whose instruments discard every
+  update, so instrumented call sites cost ~nothing when observability is
+  disabled (the engine additionally skips its hook block entirely when
+  it has no instrumentation at all).
+
+Everything is plain Python with no dependencies; values are exported via
+:meth:`MetricsRegistry.snapshot` as JSON-ready dicts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets for phase wall-clock observations (seconds).
+#: Spans sub-microsecond phase slices up to multi-second whole runs.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+    1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (e.g. ``bits_sent_total``)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that may go up or down (e.g. ``round``)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A bucketed distribution, tuned for wall-clock observations.
+
+    Tracks count, sum, min, max and cumulative bucket counts over fixed
+    upper bounds, which is all the phase-timing breakdowns need.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: Labels = (), buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds: List[float] = sorted(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # upper-inclusive bounds (the usual "le" convention)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{repr(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Owns named metrics; get-or-create semantics per (name, labels).
+
+    Instruments are cached on first use, so hot paths should hold the
+    instrument object rather than re-resolving it every update (the
+    engine's :class:`~repro.obs.instrumentation.Instrumentation` does).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], object] = {}
+
+    def _get(self, cls, name: str, labels: Optional[Mapping[str, str]], **kwargs):
+        key = (name, _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump: ``{name{labels}: {type, value/...}}``."""
+        out: Dict[str, dict] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            key = name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            out[key] = metric.as_dict()  # type: ignore[attr-defined]
+        return out
+
+
+class _NullInstrument:
+    """Discards every update; one shared instance serves all names."""
+
+    __slots__ = ()
+    name = ""
+    labels: Labels = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A sink that accepts the full registry API and records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name, labels=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, buckets=DEFAULT_TIME_BUCKETS):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: Shared no-op sink: pass as ``registry=`` to instrument a path for free.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,132 @@
+"""Ambient observation sessions: record every engine run in a scope.
+
+Experiments construct :class:`~repro.sim.engine.SynchronousEngine`
+objects many layers below the CLI, so observability cannot be threaded
+through every call signature.  Instead, a scope opts in::
+
+    with observe(trace_dir="out/run", label="thm8") as session:
+        exp_thm8_leader_election()          # any number of engine runs
+    # out/run/ now holds manifest.json + run-0001.jsonl, run-0002.jsonl, ...
+
+While a session is active, every engine constructed without an explicit
+``instrumentation=`` picks one up from the session (one fresh
+:class:`~repro.obs.instrumentation.Instrumentation` per engine, all
+feeding the session's shared registry); when each run ends the session
+persists its trace as JSONL and appends a :class:`RunManifest`.  With no
+active session the lookup returns ``None`` and the engine runs on the
+zero-cost uninstrumented path.
+
+Sessions nest (a stack); the innermost wins.  This is deliberately a
+plain module-global stack, matching the simulator's single-threaded
+execution model.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from contextlib import contextmanager
+from typing import Any, List, Optional
+
+from .export import write_trace_jsonl
+from .instrumentation import Instrumentation
+from .manifest import RunManifest, SessionManifest
+from .metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["ObservationSession", "observe", "current_session", "instrument_engine"]
+
+_SESSIONS: List["ObservationSession"] = []
+
+
+class ObservationSession:
+    """Collects metrics and (optionally) persists traces for a scope.
+
+    Parameters
+    ----------
+    trace_dir:
+        Directory for ``manifest.json`` + one ``run-NNNN.jsonl`` per
+        engine run.  ``None`` collects metrics only.
+    metrics:
+        When False, per-run timing still works but nothing aggregates
+        into the shared registry (it is the null sink).
+    label:
+        Free-form tag (e.g. the experiment name) stored in the manifest.
+    """
+
+    def __init__(
+        self,
+        trace_dir: Optional[pathlib.Path] = None,
+        metrics: bool = True,
+        label: Optional[str] = None,
+    ):
+        self.registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_REGISTRY
+        self.trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
+        self.manifest = SessionManifest(label=label)
+        self._run_index = 0
+        self._started_at = time.perf_counter()
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- engine integration --------------------------------------------
+    def instrument(self, engine: Any = None) -> Instrumentation:
+        """A fresh per-run instrumentation feeding this session."""
+        return Instrumentation(registry=self.registry, on_run_end=self._run_ended)
+
+    def _run_ended(self, instr: Instrumentation, engine: Any) -> None:
+        self._run_index += 1
+        if engine is not None:
+            run_manifest = RunManifest.from_engine(engine)
+        else:  # pragma: no cover - engines always pass themselves
+            run_manifest = RunManifest(seed=None, num_nodes=0, adversary="?")
+        run_manifest.wall_seconds = instr.wall_seconds
+        if self.trace_dir is not None and engine is not None:
+            name = f"run-{self._run_index:04d}.jsonl"
+            write_trace_jsonl(
+                engine.trace,
+                self.trace_dir / name,
+                manifest=run_manifest,
+                node_ids=engine.node_ids,
+                run_metrics=instr.run_metrics(),
+            )
+            run_manifest.trace_file = name
+        self.manifest.runs.append(run_manifest)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def num_runs(self) -> int:
+        return self._run_index
+
+    def close(self) -> Optional[pathlib.Path]:
+        """Finalize: snapshot metrics, write ``manifest.json`` if persisting."""
+        self.manifest.wall_seconds = time.perf_counter() - self._started_at
+        self.manifest.metrics = self.registry.snapshot()
+        if self.trace_dir is not None:
+            return self.manifest.write(self.trace_dir)
+        return None
+
+
+def current_session() -> Optional[ObservationSession]:
+    """The innermost active session, or None."""
+    return _SESSIONS[-1] if _SESSIONS else None
+
+
+def instrument_engine(engine: Any) -> Optional[Instrumentation]:
+    """Hook for the engine: instrumentation from the active session, if any."""
+    session = current_session()
+    return session.instrument(engine) if session is not None else None
+
+
+@contextmanager
+def observe(
+    trace_dir: Optional[pathlib.Path] = None,
+    metrics: bool = True,
+    label: Optional[str] = None,
+):
+    """Activate an :class:`ObservationSession` for the ``with`` scope."""
+    session = ObservationSession(trace_dir=trace_dir, metrics=metrics, label=label)
+    _SESSIONS.append(session)
+    try:
+        yield session
+    finally:
+        _SESSIONS.pop()
+        session.close()

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
-from .._util import bit_size
+from .._util import bit_size, canonical_encoding
 from ..errors import (
     BandwidthExceeded,
     DisconnectedTopology,
@@ -113,6 +113,12 @@ class SynchronousEngine:
         Validate per-round connectivity (the model constraint).  On by
         default; the lower-bound *subnetworks* are legitimately
         disconnected in isolation and turn this off.
+    instrumentation:
+        Optional :class:`~repro.obs.instrumentation.Instrumentation`:
+        times each of the five round phases and maintains run counters.
+        When omitted, an ambient :func:`repro.obs.runtime.observe`
+        session (if one is active) supplies it; otherwise the engine
+        runs the uninstrumented path — no clocks, no counters.
     """
 
     def __init__(
@@ -122,21 +128,38 @@ class SynchronousEngine:
         coin_source: CoinSource,
         bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR,
         check_connected: bool = True,
+        instrumentation: Optional[Any] = None,
     ):
         self.nodes = dict(nodes)
         self.node_ids = frozenset(self.nodes)
         self.adversary = adversary
         self.coin_source = coin_source
+        self.bandwidth_factor = bandwidth_factor
         self.budget = congest_budget(len(self.nodes), bandwidth_factor)
         self.check_connected = check_connected
         self.trace = ExecutionTrace(num_nodes=len(self.nodes))
         self.round = 0
+        # payload -> canonical_encoding memo (payloads repeat heavily
+        # across rounds; unhashable ones fall through to direct encoding)
+        self._enc_cache: Dict[Any, bytes] = {}
+        if instrumentation is None:
+            # Lazy import: obs depends on sim.trace, so importing it at
+            # module scope would be cyclic.  One dict lookup per engine.
+            from ..obs.runtime import instrument_engine
+
+            instrumentation = instrument_engine(self)
+        self.instrumentation = instrumentation
 
     # ------------------------------------------------------------------
     def step(self) -> RoundRecord:
         """Execute one round and return its record."""
         self.round += 1
         r = self.round
+        instr = self.instrumentation
+        if instr is not None:
+            instr.run_started()
+            clock = instr.clock
+            t_phase = clock()
 
         # (1)+(2): coins and committed actions, in deterministic id order.
         actions: Dict[int, Action] = {}
@@ -147,12 +170,26 @@ class SynchronousEngine:
                     f"node {uid} returned {action!r} from action() in round {r}"
                 )
             actions[uid] = action
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("actions", now - t_phase)
+            t_phase = now
 
-        # (3): adversary fixes the topology.
+        # (3): adversary fixes the topology...
         view = AdversaryView(round=r, actions=actions, nodes=self.nodes, trace=self.trace)
         edges = _normalize_edges(self.adversary.edges(r, view), self.node_ids)
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("adversary", now - t_phase)
+            t_phase = now
+
+        # ...which the model validates.
         if self.check_connected and not _is_connected(self.node_ids, edges):
             raise DisconnectedTopology(f"round {r}: adversary topology is disconnected")
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("validation", now - t_phase)
+            t_phase = now
 
         # (4): delivery.
         sends: Dict[int, Any] = {}
@@ -173,13 +210,32 @@ class SynchronousEngine:
             adjacency[u].append(v)
             adjacency[v].append(u)
 
+        # canonical order: receivers learn nothing from arrival order.
+        # Keyed on the value's stable byte encoding (the one bit_size
+        # charges), never repr — default reprs embed memory addresses,
+        # which would make delivery order irreproducible across runs.
+        # Each sender's payload is encoded once per round, not once per
+        # receiver; equal encodings mean equal values, so the sender-id
+        # tie-break cannot leak information.
+        cache = self._enc_cache
+        sort_keys: Dict[int, Tuple[bytes, int]] = {}
+        for uid, payload in sends.items():
+            try:
+                enc = cache[payload]
+            except KeyError:
+                enc = cache[payload] = canonical_encoding(payload)
+                if len(cache) > 8192:  # bound memory on high-entropy payloads
+                    cache.clear()
+                    cache[payload] = enc
+            except TypeError:  # unhashable payload: encode every time
+                enc = canonical_encoding(payload)
+            sort_keys[uid] = (enc, uid)
         delivered: Dict[int, int] = {}
         for uid in sorted(receivers):
-            payloads = [sends[nbr] for nbr in adjacency[uid] if nbr in sends]
-            # canonical order: receivers learn nothing from arrival order
-            payloads.sort(key=repr)
-            delivered[uid] = len(payloads)
-            self.nodes[uid].on_messages(r, tuple(payloads))
+            senders = [nbr for nbr in adjacency[uid] if nbr in sends]
+            senders.sort(key=sort_keys.__getitem__)
+            delivered[uid] = len(senders)
+            self.nodes[uid].on_messages(r, tuple(sends[nbr] for nbr in senders))
         for uid in sends:
             self.nodes[uid].on_sent(r)
 
@@ -192,6 +248,10 @@ class SynchronousEngine:
             delivered=delivered,
         )
         self.trace.append(record)
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("delivery", now - t_phase)
+            t_phase = now
 
         # (5): termination bookkeeping.
         if self.trace.termination_round is None:
@@ -199,6 +259,9 @@ class SynchronousEngine:
             if all(out is not None for out in outputs.values()):
                 self.trace.termination_round = r
                 self.trace.outputs = outputs
+        if instr is not None:
+            instr.observe_phase("termination", clock() - t_phase)
+            instr.round_finished(record)
         return record
 
     # ------------------------------------------------------------------
@@ -216,4 +279,6 @@ class SynchronousEngine:
             if stop is not None and stop(self.nodes):
                 break
         self.trace.outputs = {uid: node.output() for uid, node in self.nodes.items()}
+        if self.instrumentation is not None:
+            self.instrumentation.run_finished(self)
         return self.trace

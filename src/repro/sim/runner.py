@@ -4,11 +4,16 @@ These helpers standardize how all experiments execute protocols, so that
 "time complexity over average coin flips" (the paper's measure) is
 computed the same way everywhere: fixed adversary and input, many public
 seeds, report the distribution of termination rounds.
+
+Both drivers thread observability through: pass ``instrument=True`` (or
+run inside :func:`repro.obs.runtime.observe`) and every run carries its
+per-phase wall-clock breakdown and counters in ``ProtocolRun.metrics``;
+a replication aggregates them in ``ReplicationSummary``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -31,10 +36,17 @@ class ProtocolRun:
     terminated: bool
     rounds: int
     outputs: Dict[int, Any]
+    #: per-run instrumentation summary (wall_seconds, phase_seconds,
+    #: counters) when the run was instrumented; {} otherwise
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_bits(self) -> int:
         return self.trace.total_bits()
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        return self.metrics.get("wall_seconds")
 
 
 def run_protocol(
@@ -44,8 +56,20 @@ def run_protocol(
     max_rounds: int,
     bandwidth_factor: int = 24,
     check_connected: bool = True,
+    instrument: bool = False,
+    registry: Optional[Any] = None,
 ) -> ProtocolRun:
-    """Run one protocol execution to termination (or ``max_rounds``)."""
+    """Run one protocol execution to termination (or ``max_rounds``).
+
+    ``instrument=True`` attaches a fresh
+    :class:`~repro.obs.instrumentation.Instrumentation` (feeding
+    ``registry`` if given) and stores its summary on the returned run.
+    """
+    instrumentation = None
+    if instrument:
+        from ..obs.instrumentation import Instrumentation
+
+        instrumentation = Instrumentation(registry=registry)
     nodes = make_nodes()
     engine = SynchronousEngine(
         nodes,
@@ -53,11 +77,22 @@ def run_protocol(
         CoinSource(seed),
         bandwidth_factor=bandwidth_factor,
         check_connected=check_connected,
+        instrumentation=instrumentation,
     )
     trace = engine.run(max_rounds)
     terminated = trace.termination_round is not None
     rounds = trace.termination_round if terminated else trace.rounds
-    return ProtocolRun(trace=trace, terminated=terminated, rounds=rounds, outputs=trace.outputs)
+    metrics: Dict[str, Any] = {}
+    inst = engine.instrumentation
+    if inst is not None and hasattr(inst, "run_metrics"):
+        metrics = inst.run_metrics()
+    return ProtocolRun(
+        trace=trace,
+        terminated=terminated,
+        rounds=rounds,
+        outputs=trace.outputs,
+        metrics=metrics,
+    )
 
 
 @dataclass
@@ -90,6 +125,22 @@ class ReplicationSummary:
     def mean_bits(self) -> float:
         return mean(r.total_bits for r in self.runs)
 
+    @property
+    def total_wall_seconds(self) -> Optional[float]:
+        """Summed run wall time, when every run was instrumented."""
+        walls = [r.wall_seconds for r in self.runs]
+        if not walls or any(w is None for w in walls):
+            return None
+        return sum(walls)  # type: ignore[arg-type]
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase wall clock summed over instrumented runs."""
+        totals: Dict[str, float] = {}
+        for run in self.runs:
+            for phase, sec in run.metrics.get("phase_seconds", {}).items():
+                totals[phase] = totals.get(phase, 0.0) + sec
+        return totals
+
     def error_rate(self, correct: Callable[[ProtocolRun], bool]) -> float:
         """Fraction of runs whose outcome fails the ``correct`` predicate."""
         return sum(not correct(r) for r in self.runs) / max(1, len(self.runs))
@@ -102,8 +153,19 @@ def replicate(
     max_rounds: int,
     bandwidth_factor: int = 24,
     check_connected: bool = True,
+    instrument: bool = False,
+    registry: Optional[Any] = None,
 ) -> ReplicationSummary:
-    """Run the same cell under each seed and aggregate."""
+    """Run the same cell under each seed and aggregate.
+
+    With ``instrument=True`` all runs share ``registry`` (a fresh one by
+    default), so cross-seed counters aggregate while each run keeps its
+    own phase breakdown.
+    """
+    if instrument and registry is None:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     runs = [
         run_protocol(
             make_nodes,
@@ -112,6 +174,8 @@ def replicate(
             max_rounds,
             bandwidth_factor=bandwidth_factor,
             check_connected=check_connected,
+            instrument=instrument,
+            registry=registry,
         )
         for seed in seeds
     ]

@@ -1,0 +1,144 @@
+"""Engine instrumentation: phase hooks, counters, and the disabled path."""
+
+from __future__ import annotations
+
+from repro.network.adversaries import RandomConnectedAdversary, StaticAdversary
+from repro.network.generators import line_edges
+from repro.obs.instrumentation import PHASES, Instrumentation
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+from repro.sim.runner import replicate, run_protocol
+
+
+def make_engine(n=8, seed=5, instrumentation=None, adversary=None):
+    ids = list(range(1, n + 1))
+    nodes = {u: GossipMaxNode(u) for u in ids}
+    adv = adversary if adversary is not None else RandomConnectedAdversary(ids, seed=3)
+    return SynchronousEngine(nodes, adv, CoinSource(seed), instrumentation=instrumentation)
+
+
+class TestEngineHooks:
+    def test_counters_match_trace(self):
+        instr = Instrumentation()
+        eng = make_engine(instrumentation=instr)
+        trace = eng.run(30, stop_on_termination=False)
+        assert instr.rounds == trace.rounds == 30
+        assert instr.bits_sent == trace.total_bits()
+        assert instr.messages_delivered == sum(
+            sum(rec.delivered.values()) for rec in trace
+        )
+        reg = instr.registry.snapshot()
+        assert reg["rounds_total"]["value"] == 30
+        assert reg["bits_sent_total"]["value"] == trace.total_bits()
+        assert reg["runs_total"]["value"] == 1
+
+    def test_every_phase_observed_every_round(self):
+        instr = Instrumentation()
+        eng = make_engine(instrumentation=instr)
+        eng.run(12, stop_on_termination=False)
+        for phase in PHASES:
+            hist = instr.registry.histogram("phase_seconds", {"phase": phase})
+            assert hist.count == 12
+            assert instr.phase_seconds[phase] >= 0.0
+
+    def test_phase_sum_close_to_wall(self):
+        instr = Instrumentation()
+        eng = make_engine(n=16, instrumentation=instr)
+        eng.run(60, stop_on_termination=False)
+        assert instr.finished_at is not None
+        wall = instr.wall_seconds
+        assert wall > 0
+        # the five phases partition each step; only loop overhead is left
+        assert instr.phase_total_seconds <= wall
+        assert instr.phase_total_seconds >= 0.5 * wall
+
+    def test_topology_changes_counted(self):
+        ids = list(range(1, 6))
+        static = StaticAdversary(ids, line_edges(ids))
+        instr = Instrumentation()
+        nodes = {u: TokenFloodNode(u, source=1) for u in ids}
+        eng = SynchronousEngine(nodes, static, CoinSource(1), instrumentation=instr)
+        eng.run(10, stop_on_termination=False)
+        # static topology: only the first round registers a "change"
+        assert instr.topology_changes == 1
+
+    def test_run_metrics_shape(self):
+        instr = Instrumentation(registry=NULL_REGISTRY)
+        eng = make_engine(instrumentation=instr)
+        eng.run(5, stop_on_termination=False)
+        m = instr.run_metrics()
+        assert m["rounds"] == 5
+        assert set(m["phase_seconds"]) == set(PHASES)
+        assert m["wall_seconds"] > 0
+        # null sink: nothing aggregated, per-run numbers still live
+        assert instr.registry.snapshot() == {}
+        assert not instr.aggregates
+
+    def test_on_run_end_callback_fires(self):
+        seen = []
+        instr = Instrumentation(on_run_end=lambda i, e: seen.append((i, e)))
+        eng = make_engine(instrumentation=instr)
+        eng.run(3, stop_on_termination=False)
+        assert seen and seen[0][0] is instr and seen[0][1] is eng
+
+    def test_render_phases_mentions_all(self):
+        instr = Instrumentation()
+        eng = make_engine(instrumentation=instr)
+        eng.run(3, stop_on_termination=False)
+        text = instr.render_phases()
+        for phase in PHASES:
+            assert phase in text
+
+    def test_disabled_path_has_no_instrumentation(self):
+        eng = make_engine()
+        assert eng.instrumentation is None
+        trace = eng.run(5, stop_on_termination=False)
+        assert trace.rounds == 5
+
+
+class TestRunnerThreading:
+    def test_run_protocol_instrumented(self):
+        ids = list(range(1, 7))
+        run = run_protocol(
+            lambda: {u: TokenFloodNode(u, source=1) for u in ids},
+            lambda: StaticAdversary(ids, line_edges(ids)),
+            seed=2,
+            max_rounds=50,
+            instrument=True,
+        )
+        assert run.metrics["rounds"] == run.trace.rounds
+        assert run.wall_seconds is not None and run.wall_seconds > 0
+        assert set(run.metrics["phase_seconds"]) == set(PHASES)
+
+    def test_run_protocol_uninstrumented_has_empty_metrics(self):
+        ids = list(range(1, 5))
+        run = run_protocol(
+            lambda: {u: TokenFloodNode(u, source=1) for u in ids},
+            lambda: StaticAdversary(ids, line_edges(ids)),
+            seed=2,
+            max_rounds=20,
+        )
+        assert run.metrics == {}
+        assert run.wall_seconds is None
+
+    def test_replicate_aggregates_shared_registry(self):
+        ids = list(range(1, 6))
+        reg = MetricsRegistry()
+        summary = replicate(
+            lambda: {u: TokenFloodNode(u, source=1) for u in ids},
+            lambda: StaticAdversary(ids, line_edges(ids)),
+            seeds=(1, 2, 3),
+            max_rounds=30,
+            instrument=True,
+            registry=reg,
+        )
+        assert summary.num_runs == 3
+        assert reg.counter("runs_total").value == 3
+        total_rounds = sum(r.trace.rounds for r in summary.runs)
+        assert reg.counter("rounds_total").value == total_rounds
+        assert summary.total_wall_seconds is not None
+        phases = summary.phase_seconds()
+        assert set(phases) == set(PHASES)
+        assert abs(sum(phases.values())) <= summary.total_wall_seconds

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -18,6 +20,18 @@ class TestCli:
         assert main(["fig1"]) == 0
         out = capsys.readouterr().out
         assert "EXP-F1" in out and "reference" in out
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("command", sorted(EXPERIMENTS))
+    def test_quick_on_every_command(self, command, capsys):
+        """--quick must be accepted (and not crash) on every command.
+
+        The figure commands regenerate fixed constructions — --quick is
+        a documented no-op there; every other command shrinks its grid.
+        """
+        assert main([command, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-" in out
 
     def test_quick_thm6(self, capsys):
         assert main(["thm6", "--quick"]) == 0
@@ -39,3 +53,64 @@ class TestCli:
     def test_every_registered_runner_is_callable(self):
         for name, (desc, runner) in EXPERIMENTS.items():
             assert callable(runner) and desc
+
+    def test_figures_document_no_quick_grid(self):
+        for name in ("fig1", "fig2", "fig3"):
+            assert "no quick grid" in EXPERIMENTS[name][0]
+
+
+class TestCliObservability:
+    def test_metrics_flag_prints_aggregates(self, capsys):
+        assert main(["thm8", "--quick", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "rounds_total" in out
+        assert "phase_seconds{phase=actions}" in out
+        assert "timing:" in out  # the ExperimentResult timing sidecar
+
+    def test_trace_out_writes_manifest_and_runs(self, tmp_path, capsys):
+        out_dir = tmp_path / "thm8"
+        assert main(["thm8", "--quick", "--trace-out", str(out_dir), "--metrics"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["label"] == "thm8"
+        assert manifest["runs"], "at least one engine run persisted"
+        run_files = sorted(out_dir.glob("run-*.jsonl"))
+        assert len(run_files) == len(manifest["runs"])
+
+        # acceptance: inspect reports rounds / bits / per-node bits and a
+        # phase breakdown summing to within 10% of the run's wall time
+        from repro.obs.inspect import inspect_run
+
+        report = inspect_run(run_files[0])
+        assert report.rounds > 0
+        assert report.total_bits > 0
+        assert report.bits_by_node
+        assert sum(report.bits_by_node.values()) == report.total_bits
+        assert report.wall_seconds is not None
+        assert sum(report.phase_seconds.values()) >= 0.9 * report.wall_seconds
+        assert report.diameter is not None
+
+    def test_inspect_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        assert main(["thm8", "--quick", "--trace-out", str(out_dir)]) == 0
+        capsys.readouterr()
+        run_file = sorted(out_dir.glob("run-*.jsonl"))[0]
+        assert main(["inspect", str(run_file)]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "total bits" in out
+        assert "realized dynamic D" in out
+        assert "phase timing" in out
+
+    def test_inspect_without_path_errors(self, capsys):
+        assert main(["inspect"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_inspect_missing_file_errors(self, capsys):
+        assert main(["inspect", "no/such/run.jsonl"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_path_rejected_for_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["thm6", "some/file.jsonl"])

@@ -50,6 +50,14 @@ class TestExamples:
         out = run_example("diameter_gap_study.py", argv=["--quick"], capsys=capsys)
         assert "EXP-GAP" in out and "EXP-SENS" in out
 
+    def test_instrumented_run(self, capsys):
+        out = run_example("instrumented_run.py", capsys=capsys)
+        assert "elected in round" in out
+        assert "phase timing" in out
+        for phase in ("actions", "adversary", "validation", "delivery",
+                      "termination", "(engine)"):
+            assert phase in out
+
     @pytest.mark.slow
     def test_swarm_leader_election(self, capsys):
         out = run_example("swarm_leader_election.py", capsys=capsys)
