@@ -7,6 +7,9 @@ Usage::
     python -m repro thm6 --quick
     python -m repro thm8 --quick --trace-out out/thm8 --metrics
     python -m repro inspect out/thm8/run-0001.jsonl
+    python -m repro inspect out/thm8              # whole-session table
+    python -m repro audit out/thm6                # proof-ledger checks
+    python -m repro bench-diff baseline/ benchmarks/out/
     python -m repro all --quick
 
 Each command prints the experiment's rendered table (the same rows the
@@ -18,9 +21,15 @@ parameter grid, so ``--quick`` is accepted but changes nothing there.
 Observability (see ``docs/OBSERVABILITY.md``): ``--metrics`` collects
 engine counters and per-phase wall-clock timings and appends them to the
 output; ``--trace-out DIR`` additionally persists every engine run as
-``run-NNNN.jsonl`` plus a ``manifest.json``.  ``repro inspect FILE``
-summarizes one persisted run — rounds, bits by node, phase timing, and
-the realized dynamic diameter of the recorded schedule.
+``run-NNNN.jsonl`` plus a ``manifest.json``; ``--metrics-out FILE``
+writes the session registry in OpenMetrics text format.  ``repro
+inspect PATH`` summarizes one persisted run (rounds, bits by node,
+phase timing, realized dynamic diameter) or a whole session directory.
+``repro audit PATH`` replays the proof-ledger records of persisted
+reduction runs and exits nonzero if any Lemma 3/4 spoil budget or the
+O(s log N) cut-bit envelope was violated.  ``repro bench-diff OLD NEW``
+compares two directories of ``benchmarks/out/EXP-*.json`` sidecars and
+flags result drift and wall-time regressions.
 """
 
 from __future__ import annotations
@@ -128,7 +137,7 @@ def _render_metrics(session) -> str:
     """A compact text dump of a closed session's aggregate metrics."""
     lines = ["-- metrics --"]
     for key, metric in sorted(session.manifest.metrics.items()):
-        if metric.get("type") == "counter":
+        if metric.get("type") in ("counter", "gauge"):
             lines.append(f"  {key:<40} {metric['value']}")
         elif metric.get("type") == "histogram":
             lines.append(
@@ -139,19 +148,61 @@ def _render_metrics(session) -> str:
     return "\n".join(lines)
 
 
-def _run_inspect(path: Optional[str]) -> int:
-    if not path:
-        print("usage: repro inspect <run.jsonl>", file=sys.stderr)
+def _run_inspect(paths: Sequence[str]) -> int:
+    if len(paths) != 1:
+        print("usage: repro inspect <run.jsonl | session-dir | manifest.json>", file=sys.stderr)
         return 2
-    from .obs.inspect import inspect_run
+    from .obs.inspect import inspect_path
 
     try:
-        report = inspect_run(path)
+        report = inspect_path(paths[0])
     except FileNotFoundError:
-        print(f"repro inspect: no such file: {path}", file=sys.stderr)
+        print(f"repro inspect: no such file or directory: {paths[0]}", file=sys.stderr)
         return 2
     print(report.render())
     return 0
+
+
+def _run_audit(paths: Sequence[str]) -> int:
+    if len(paths) != 1:
+        print("usage: repro audit <run.jsonl | session-dir | manifest.json>", file=sys.stderr)
+        return 2
+    from .obs.audit import audit_path, render_audit
+
+    try:
+        reports, skipped, code = audit_path(paths[0])
+    except FileNotFoundError:
+        print(f"repro audit: no such file or directory: {paths[0]}", file=sys.stderr)
+        return 2
+    print(render_audit(reports, skipped, label=paths[0]))
+    return code
+
+
+def _run_bench_diff(paths: Sequence[str], threshold: float) -> int:
+    if len(paths) != 2:
+        print("usage: repro bench-diff <old-dir> <new-dir>", file=sys.stderr)
+        return 2
+    from .obs.benchdiff import diff_dirs, render_diff
+
+    try:
+        diffs, code = diff_dirs(paths[0], paths[1], threshold=threshold)
+    except FileNotFoundError as exc:
+        print(f"repro bench-diff: {exc}", file=sys.stderr)
+        return 2
+    if not diffs:
+        print("repro bench-diff: no EXP-*.json files in either directory", file=sys.stderr)
+        return code
+    print(render_diff(diffs, threshold=threshold))
+    return code
+
+
+def _write_metrics_out(session, path: str) -> None:
+    import pathlib
+
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(session.registry.render_openmetrics())
+    print(f"metrics: OpenMetrics exposition -> {out}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -162,15 +213,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "inspect"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "inspect", "audit", "bench-diff"],
         help="experiment to run ('list' to enumerate, 'all' for "
-        "everything, 'inspect' to summarize a persisted run)",
+        "everything; 'inspect' summarizes a persisted run or session, "
+        "'audit' checks reduction proof ledgers, 'bench-diff' compares "
+        "two benchmark output directories)",
     )
     parser.add_argument(
-        "path",
-        nargs="?",
-        default=None,
-        help="run JSONL file (only for 'inspect')",
+        "paths",
+        nargs="*",
+        default=[],
+        help="run file / session dir for 'inspect' and 'audit'; "
+        "old-dir new-dir for 'bench-diff'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink parameter grids for a fast run"
@@ -186,19 +240,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="persist every engine run as JSONL (plus manifest.json) under DIR",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the session's metrics registry as OpenMetrics text "
+        "(implies --metrics; per-experiment suffixes under 'all')",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="bench-diff: relative wall-time slow-down treated as a "
+        "regression (default 0.25)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "inspect":
-        return _run_inspect(args.path)
-    if args.path is not None:
-        parser.error(f"positional run file only applies to 'inspect', not {args.command!r}")
+        return _run_inspect(args.paths)
+    if args.command == "audit":
+        return _run_audit(args.paths)
+    if args.command == "bench-diff":
+        from .obs.benchdiff import DEFAULT_THRESHOLD
+
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        return _run_bench_diff(args.paths, threshold)
+    if args.paths:
+        parser.error(
+            f"positional paths only apply to 'inspect'/'audit'/'bench-diff', "
+            f"not {args.command!r}"
+        )
+    if args.threshold is not None:
+        parser.error("--threshold only applies to 'bench-diff'")
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"  {name:<6} {EXPERIMENTS[name][0]}")
         return 0
 
-    observing = args.metrics or args.trace_out is not None
+    observing = args.metrics or args.trace_out is not None or args.metrics_out is not None
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         _desc, runner = EXPERIMENTS[name]
@@ -217,6 +298,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(_render_metrics(session))
             if trace_dir is not None:
                 print(f"traces: {session.num_runs} run(s) -> {trace_dir}/")
+            if args.metrics_out is not None:
+                # one file per experiment when running several
+                out = args.metrics_out
+                if len(names) > 1:
+                    import pathlib as _pathlib
+
+                    p = _pathlib.Path(out)
+                    out = str(p.with_name(f"{p.stem}-{name}{p.suffix or '.prom'}"))
+                _write_metrics_out(session, out)
         else:
             result = runner(args.quick)
             print(result.render())

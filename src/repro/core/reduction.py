@@ -32,7 +32,28 @@ __all__ = [
     "implied_time_lower_bound",
     "known_d_upper_bound_flooding_rounds",
     "exponential_gap_factor",
+    "cut_budget_bits",
+    "CUT_BUDGET_C",
+    "CUT_BUDGET_C0",
+    "NUM_SPECIAL_NODES",
 ]
+
+#: Special nodes whose frames are the only cross-cut traffic (Lemma 5):
+#: A_Γ, A_Λ on Alice's side and B_Γ, B_Λ on Bob's (A_Λ/B_Λ only for T7).
+NUM_SPECIAL_NODES: int = 4
+
+#: Per-special-node log coefficient for :func:`cut_budget_bits`.
+#: Calibrated against the EXP-T6/EXP-T7 measurements: a special node's
+#: CFLOOD/consensus payload is ~8-12 log2(N) bits per round, so 16
+#: leaves headroom while still flagging any construction that ships more
+#: than the special nodes' messages across the cut.
+CUT_BUDGET_C: float = 16.0
+
+#: Per-special-node additive constant (bits/round) for the frame
+#: envelope and payload tags, which dominate log2(N) at the small N the
+#: test grids use (N=19 measures ~82 bits per special per round, most of
+#: it structure rather than identifier width).
+CUT_BUDGET_C0: float = 64.0
 
 
 def theorem6_parameters(s: int, big_n: int) -> Tuple[int, int]:
@@ -73,6 +94,28 @@ def known_d_upper_bound_flooding_rounds(big_n: int, c: float = 1.0) -> float:
     """The trivial known-D upper bounds: O(log N) flooding rounds."""
     require(big_n >= 2, "N must be >= 2")
     return c * math.log2(big_n)
+
+
+def cut_budget_bits(
+    big_n: int,
+    rounds: int,
+    c: float = CUT_BUDGET_C,
+    c0: float = CUT_BUDGET_C0,
+) -> float:
+    """The O(s log N) cut budget: ``4 rounds (c0 + c log2(N))`` bits.
+
+    Step 3 of the proof: per simulated round, each party's frame carries
+    only its (at most two) special nodes' messages, each O(log N) bits in
+    the CONGEST model — so total cross-cut communication over ``rounds``
+    rounds is at most ``c0 + c log2(N)`` bits per special node per round
+    (``c0`` absorbs the constant frame/payload structure that dominates
+    at small N).  The ``repro audit`` CLI checks a run's cumulative
+    ledger curve against this closed form (prefix-wise: the budget at
+    round r is the formula with ``rounds = r``).
+    """
+    require(big_n >= 4, "N must be >= 4")
+    require(rounds >= 0, "rounds must be >= 0")
+    return NUM_SPECIAL_NODES * rounds * (c0 + c * math.log2(big_n))
 
 
 def exponential_gap_factor(big_n: int) -> float:

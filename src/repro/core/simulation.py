@@ -74,6 +74,9 @@ class PartySimulator:
     coin_source: the shared public coins.
     watch: node id whose termination drives the decision (defaults to
         A_Γ for T6, A_Λ for T7).
+    ledger: optional :class:`~repro.obs.ledger.ProofLedger` recording the
+        per-round spoiled sets (vs the Lemma 3/4 budget) and cut-crossing
+        bits.  ``None`` (the default) keeps the hooks no-ops.
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class PartySimulator:
         oracle_factory: OracleFactory,
         coin_source: CoinSource,
         watch: Optional[int] = None,
+        ledger: Optional[Any] = None,
     ):
         if party not in ("alice", "bob"):
             raise ConfigurationError(f"party must be alice/bob, got {party!r}")
@@ -153,19 +157,66 @@ class PartySimulator:
         self.watched_output: Optional[Any] = None
         self.frames_sent: List[Frame] = []
         self.bits_sent = 0
+        self.ledger = ledger
+        if ledger is not None:
+            ledger.attach_party(self)
 
     # ------------------------------------------------------------------
-    def _my_edges(self, round_: int) -> Dict[int, List[int]]:
-        """Adjacency under this party's simulated adversary (plus the
-        always-present sensitive bridges)."""
+    def edge_set(self, round_: int) -> Set[Edge]:
+        """This round's edges under this party's simulated adversary
+        (plus the always-present sensitive bridges)."""
         edges: Set[Edge] = set(self.bridges)
         for s in self.subnets:
             edges |= s.alice_edges(round_) if self.party == "alice" else s.bob_edges(round_)
+        return edges
+
+    def _my_edges(self, round_: int) -> Dict[int, List[int]]:
+        """Adjacency form of :meth:`edge_set`."""
         adj: Dict[int, List[int]] = {}
-        for u, v in edges:
+        for u, v in self.edge_set(round_):
             adj.setdefault(u, []).append(v)
             adj.setdefault(v, []).append(u)
         return adj
+
+    def _subnet_of(self, uid: int) -> Optional[Any]:
+        for s in self.subnets:
+            if s.id_base <= uid < s.id_end:
+                return s
+        return None
+
+    def _spoil_violation(self, round_: int, uid: int, nbr: int) -> SimulationDiverged:
+        """Build the detailed Lemma 3/4 violation report (and ledger it).
+
+        Names the violated budget (Lemma 3 for type-Γ spoil schedules,
+        Lemma 4 for type-Λ), the offending round, both nodes' spoil
+        rounds, and both the spoiled and still-simulated sets, so an
+        adversary bug localizes to a chain instead of a stack trace.
+        """
+        from ..obs.ledger import lemma_number
+
+        subnet = self._subnet_of(nbr) or self._subnet_of(uid)
+        lemma = lemma_number(subnet) if subnet is not None else 3
+        kind = "Λ" if (subnet is not None and subnet.lambda_rule5) else "Γ"
+
+        def _fmt(ids: List[int], cap: int = 12) -> str:
+            shown = ", ".join(str(i) for i in ids[:cap])
+            return "{" + shown + (", ..." if len(ids) > cap else "") + "}"
+
+        spoiled = sorted(u for u, sr in self.spoil.items() if sr <= round_)
+        active = sorted(u for u, sr in self.spoil.items() if sr > round_)
+        message = (
+            f"round {round_}: neighbour {nbr} (spoiled since round "
+            f"{self.spoil.get(nbr, '?')}) of non-spoiled node {uid} (spoiled from "
+            f"round {self.spoil.get(uid, '?')}) — {self.party}'s Lemma {lemma} "
+            f"spoiled-set budget for the type-{kind} subnetwork is violated: "
+            f"a non-spoiled node may never depend on an already-spoiled "
+            f"neighbour.  spoiled set at round {round_} ({len(spoiled)} nodes): "
+            f"{_fmt(spoiled)}; still-simulated set ({len(active)} nodes): "
+            f"{_fmt(active)}"
+        )
+        if self.ledger is not None:
+            self.ledger.record_violation(self.party, round_, lemma, message)
+        return SimulationDiverged(message)
 
     def step_actions(self, round_: int) -> Frame:
         """Phase 1 of a round: compute actions of all still-correct nodes
@@ -188,6 +239,8 @@ class PartySimulator:
         frame = tuple(frame_items)
         self.frames_sent.append(frame)
         self.bits_sent += bit_size(frame)
+        if self.ledger is not None:
+            self.ledger.on_round(self, round_, frame)
         return frame
 
     def step_delivery(self, round_: int, peer_frame: Frame) -> None:
@@ -213,11 +266,7 @@ class PartySimulator:
                         payloads.append(p)
                     continue
                 if nbr not in self.nodes or self.spoil.get(nbr, 0) < round_:
-                    raise SimulationDiverged(
-                        f"round {round_}: neighbour {nbr} of non-spoiled node "
-                        f"{uid} is spoiled before round {round_} — Lemma 3/4 "
-                        "would be violated"
-                    )
+                    raise self._spoil_violation(round_, uid, nbr)
                 nbr_action = self._last_actions.get(nbr)
                 if isinstance(nbr_action, Send):
                     payloads.append(nbr_action.payload)
@@ -259,6 +308,16 @@ class TwoPartyReduction:
     The instance is used only to hand each party *its own* string and to
     know the ground truth for reporting; the parties' objects never see
     the other string.
+
+    When an observation session is active (:func:`repro.obs.runtime
+    .observe`) — or a :class:`~repro.obs.ledger.ProofLedger` is passed
+    explicitly — the run additionally keeps the proof ledger: per-round
+    spoiled counts vs the Lemma 3/4 budgets, cut-crossing bits per
+    special node, and the rounds at which the reference and the two
+    belief adversaries first diverge.  Session-sourced ledgers are
+    persisted as ``format_version 2`` run JSONL files next to engine
+    traces; with no session and no explicit ledger the hooks are single
+    ``is None`` checks (the zero-cost path).
     """
 
     def __init__(
@@ -267,31 +326,58 @@ class TwoPartyReduction:
         mapping: str,
         oracle_factory: OracleFactory,
         seed: int,
+        ledger: Optional[Any] = None,
     ):
         self.instance = instance
         self.mapping = mapping
+        self.seed = seed
+        self._ledger_session: Optional[Any] = None
+        if ledger is None:
+            # Lazy import (obs imports sim.trace; same pattern as engine).
+            from ..obs.runtime import current_session
+
+            session = current_session()
+            if session is not None:
+                ledger = session.reduction_ledger()
+                self._ledger_session = session
+        self.ledger = ledger
         coin = CoinSource(seed)
         self.alice = PartySimulator(
-            "alice", mapping, instance.n, instance.q, instance.x, oracle_factory, coin
+            "alice", mapping, instance.n, instance.q, instance.x, oracle_factory, coin,
+            ledger=ledger,
         )
         self.bob = PartySimulator(
             "bob", mapping, instance.n, instance.q, instance.y, oracle_factory,
-            CoinSource(seed),
+            CoinSource(seed), ledger=ledger,
         )
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes of the composed network both parties jointly cover."""
+        return len(set(self.alice.spoil) | set(self.bob.spoil))
 
     def run(self, horizon: Optional[int] = None) -> ReductionOutcome:
         """Simulate for ``horizon`` (default (q-1)/2) rounds and decide."""
         T = horizon if horizon is not None else (self.instance.q - 1) // 2
         terminated_round: Optional[int] = None
-        for r in range(1, T + 1):
-            fa = self.alice.step_actions(r)
-            fb = self.bob.step_actions(r)
-            self.alice.step_delivery(r, fb)
-            self.bob.step_delivery(r, fa)
-            if terminated_round is None and self.alice.watched_output is not None:
-                terminated_round = r
+        rounds_done = 0
+        try:
+            for r in range(1, T + 1):
+                fa = self.alice.step_actions(r)
+                fb = self.bob.step_actions(r)
+                self.alice.step_delivery(r, fb)
+                self.bob.step_delivery(r, fa)
+                rounds_done = r
+                if terminated_round is None and self.alice.watched_output is not None:
+                    terminated_round = r
+        except Exception:
+            # Persist whatever the ledger saw — a diverged run is exactly
+            # the one worth auditing.
+            if self.ledger is not None:
+                self._finish_ledger(None, rounds_done)
+            raise
         decision = 1 if terminated_round is not None else 0
-        return ReductionOutcome(
+        outcome = ReductionOutcome(
             decision=decision,
             truth=self.instance.evaluate(),
             rounds_simulated=T,
@@ -299,6 +385,49 @@ class TwoPartyReduction:
             bits_alice_to_bob=self.alice.bits_sent,
             bits_bob_to_alice=self.bob.bits_sent,
         )
+        if self.ledger is not None:
+            self._finish_ledger(outcome, T)
+        return outcome
+
+    # -- ledger plumbing ------------------------------------------------
+    def _finish_ledger(self, outcome: Optional[ReductionOutcome], rounds: int) -> None:
+        if rounds > 0:
+            self._scan_divergence(rounds)
+        if self._ledger_session is not None:
+            self._ledger_session.record_reduction(self, outcome)
+
+    def _scan_divergence(self, rounds: int) -> None:
+        """Ledger the first round each adversary pair's edge sets differ.
+
+        The reference adversary is materialized with its middles-receiving
+        default (the latest possible rule-3/4 removals), so divergence
+        rounds are a property of the construction, not of oracle actions.
+        """
+        from ..network.adversaries import first_divergence_round
+
+        net = (
+            theorem6_network(self.instance)
+            if self.mapping == "T6"
+            else theorem7_network(self.instance)
+        )
+
+        def ref_edges(r: int) -> Set[Edge]:
+            return net.reference_edges(r, lambda uid: True)
+
+        pairs = (
+            ("reference/alice", ref_edges, self.alice.edge_set),
+            ("reference/bob", ref_edges, self.bob.edge_set),
+            ("alice/bob", self.alice.edge_set, self.bob.edge_set),
+        )
+        for name, left, right in pairs:
+            hit = first_divergence_round(left, right, rounds)
+            if hit is None:
+                self.ledger.record_divergence(name, None, horizon=rounds)
+            else:
+                r, only_left, only_right = hit
+                self.ledger.record_divergence(
+                    name, r, missing=only_left, extra=only_right, horizon=rounds
+                )
 
 
 # ----------------------------------------------------------------------

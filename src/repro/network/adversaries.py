@@ -43,9 +43,49 @@ __all__ = [
     "OverlappingStarsAdversary",
     "TIntervalAdversary",
     "FunctionAdversary",
+    "first_divergence_round",
+    "adversary_divergence_round",
 ]
 
 Edge = Tuple[int, int]
+
+
+def _norm_edge_set(edges: Iterable[Edge]) -> Set[Edge]:
+    return {(u, v) if u < v else (v, u) for u, v in edges}
+
+
+def first_divergence_round(
+    edges_a: Callable[[int], Iterable[Edge]],
+    edges_b: Callable[[int], Iterable[Edge]],
+    rounds: int,
+):
+    """First round two per-round edge functions disagree, with the delta.
+
+    Returns ``(round, only_a, only_b)`` — the 1-based round and the
+    sorted normalized edges unique to each side — or ``None`` when the
+    two schedules agree on every round in ``1..rounds``.  This is the
+    primitive behind the proof ledger's ``divergence`` records: the
+    reference adversary and a party's belief adversary must agree until
+    the disagreement is confined to spoiled territory (Lemma 5), and the
+    *round* at which they part is the quantity worth logging.
+    """
+    for r in range(1, rounds + 1):
+        ea = _norm_edge_set(edges_a(r))
+        eb = _norm_edge_set(edges_b(r))
+        if ea != eb:
+            return r, sorted(ea - eb), sorted(eb - ea)
+    return None
+
+
+def adversary_divergence_round(adv_a: "Adversary", adv_b: "Adversary", rounds: int, view=None):
+    """:func:`first_divergence_round` over two :class:`Adversary` objects.
+
+    Both are materialized with the same (typically ``None``) view, so
+    adaptive adversaries are compared under their oblivious default.
+    """
+    return first_divergence_round(
+        lambda r: adv_a.edges(r, view), lambda r: adv_b.edges(r, view), rounds
+    )
 
 
 class Adversary(ABC):

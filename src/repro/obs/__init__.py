@@ -1,34 +1,57 @@
-"""Observability: metrics, engine instrumentation, trace export, inspection.
+"""Observability: metrics, instrumentation, proof ledgers, export, audit.
 
 The layer every quantitative claim runs through:
 
 ``repro.obs.metrics``
-    Counter/gauge/histogram registry with a no-op null sink.
+    Counter/gauge/histogram registry with a no-op null sink, plus
+    OpenMetrics text exposition (``--metrics-out``).
 ``repro.obs.instrumentation``
     Per-run phase timing (the engine's five round phases) and counters.
+``repro.obs.ledger``
+    The proof ledger: per-round spoiled-node counts vs the Lemma 3/4
+    budget curve, cut-crossing bit attribution, adversary divergence.
 ``repro.obs.manifest``
     :class:`RunManifest` / :class:`SessionManifest` — replay-from-metadata.
 ``repro.obs.export``
-    Lossless JSONL persistence of execution traces.
+    Lossless JSONL persistence of execution traces and reduction ledgers
+    (``format_version 2``; the reader accepts version-1 files).
 ``repro.obs.runtime``
-    Ambient :func:`observe` sessions that capture every engine run in a
-    scope without threading arguments through experiment code.
+    Ambient :func:`observe` sessions that capture every engine run and
+    every two-party reduction in a scope without threading arguments
+    through experiment code.
 ``repro.obs.inspect``
     ``repro inspect``: summarize a persisted run (rounds, bits, phase
-    timing, realized dynamic diameter).
+    timing, realized dynamic diameter) or a whole session directory.
+``repro.obs.audit``
+    ``repro audit``: replay persisted proof ledgers and fail on any
+    Lemma 3/4 or O(s log N) cut-budget violation.
+``repro.obs.benchdiff``
+    ``repro bench-diff``: compare ``benchmarks/out/EXP-*.json`` sets,
+    flagging result drift and wall-time regressions.
 
 See ``docs/OBSERVABILITY.md`` for the metrics catalogue and schemas.
 """
 
+from .audit import AuditReport, audit_path, audit_run, resolve_run_files
+from .benchdiff import BenchDiff, diff_dirs, render_diff
 from .export import (
     PersistedRun,
     decode_payload,
     encode_payload,
     read_trace_jsonl,
+    write_ledger_jsonl,
     write_trace_jsonl,
 )
-from .inspect import RunReport, inspect_run, realized_diameter
+from .inspect import (
+    RunReport,
+    SessionReport,
+    inspect_path,
+    inspect_run,
+    inspect_session,
+    realized_diameter,
+)
 from .instrumentation import PHASES, Instrumentation
+from .ledger import ProofLedger, lemma_number, spoiled_budget_curve
 from .manifest import RunManifest, SessionManifest
 from .metrics import (
     Counter,
@@ -49,6 +72,9 @@ __all__ = [
     "NULL_REGISTRY",
     "PHASES",
     "Instrumentation",
+    "ProofLedger",
+    "lemma_number",
+    "spoiled_budget_curve",
     "RunManifest",
     "SessionManifest",
     "PersistedRun",
@@ -56,10 +82,21 @@ __all__ = [
     "decode_payload",
     "read_trace_jsonl",
     "write_trace_jsonl",
+    "write_ledger_jsonl",
     "ObservationSession",
     "observe",
     "current_session",
     "RunReport",
+    "SessionReport",
     "inspect_run",
+    "inspect_session",
+    "inspect_path",
     "realized_diameter",
+    "AuditReport",
+    "audit_run",
+    "audit_path",
+    "resolve_run_files",
+    "BenchDiff",
+    "diff_dirs",
+    "render_diff",
 ]

@@ -1,0 +1,176 @@
+"""``repro bench-diff``: compare two directories of ``EXP-*.json`` files.
+
+Every benchmark persists its :class:`~repro.analysis.experiments.base.
+ExperimentResult` as ``benchmarks/out/EXP-*.json`` (the ``exp_output``
+fixture).  Those files carry two different kinds of signal:
+
+* **measured results** — the table rows and the ``summary`` scalars
+  (termination rounds, CONGEST bits, error rates).  The simulator is
+  deterministic in its seeds, so *any* change here means the code now
+  computes something different: reported as ``drift``.
+* **timings** — the observability sidecar (wall seconds, per-phase
+  seconds).  Wall clock is noisy, so changes only count as a
+  ``regression`` when the new time exceeds the old by more than
+  ``threshold`` (default 25%) *and* the old time was big enough to
+  measure honestly (``MIN_SECONDS``).
+
+Exit status: 0 when every experiment is ``ok`` (or only got faster);
+1 when anything drifted or regressed; 2 when there was nothing to
+compare.  CI runs this ``continue-on-error`` — the diff report is an
+artifact, the exit code a warning light, and refreshing the committed
+baseline is the intended fix for legitimate drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["BenchDiff", "diff_dirs", "render_diff", "DEFAULT_THRESHOLD", "MIN_SECONDS"]
+
+#: Relative slow-down below which a wall/phase time change is noise.
+DEFAULT_THRESHOLD = 0.25
+#: Old-side floor (seconds) under which timing comparisons are skipped —
+#: a 2ms phase doubling to 4ms is scheduler jitter, not a regression.
+MIN_SECONDS = 0.05
+
+
+def _load_dir(directory: pathlib.Path) -> Dict[str, dict]:
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no benchmark output directory at {directory}")
+    out: Dict[str, dict] = {}
+    for path in sorted(directory.glob("EXP-*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        out[data.get("exp_id", path.stem)] = data
+    return out
+
+
+def _cell_changes(old_rows: List[list], new_rows: List[list]) -> List[str]:
+    """Human-readable row/cell deltas, capped to keep reports short."""
+    changes: List[str] = []
+    if len(old_rows) != len(new_rows):
+        changes.append(f"row count {len(old_rows)} -> {len(new_rows)}")
+    for i, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
+        if old_row == new_row:
+            continue
+        for j, (a, b) in enumerate(zip(old_row, new_row)):
+            if a != b:
+                changes.append(f"row {i} col {j}: {a!r} -> {b!r}")
+        if len(old_row) != len(new_row):
+            changes.append(f"row {i} width {len(old_row)} -> {len(new_row)}")
+        if len(changes) >= 8:
+            changes.append("...")
+            return changes
+    return changes
+
+
+def _summary_changes(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
+    changes = []
+    for key in sorted(set(old) | set(new)):
+        a, b = old.get(key), new.get(key)
+        if a != b:
+            changes.append(f"summary[{key}]: {a!r} -> {b!r}")
+    return changes
+
+
+def _timing_regressions(
+    old: Dict[str, Any], new: Dict[str, Any], threshold: float
+) -> List[str]:
+    pairs: List[Tuple[str, Optional[float], Optional[float]]] = [
+        ("wall", old.get("wall_seconds"), new.get("wall_seconds"))
+    ]
+    old_phases = old.get("phase_seconds", {}) or {}
+    new_phases = new.get("phase_seconds", {}) or {}
+    for phase in sorted(set(old_phases) | set(new_phases)):
+        pairs.append((f"phase[{phase}]", old_phases.get(phase), new_phases.get(phase)))
+    regressions = []
+    for name, a, b in pairs:
+        if a is None or b is None or a < MIN_SECONDS:
+            continue
+        if b > a * (1.0 + threshold):
+            regressions.append(f"{name}: {a:.3f}s -> {b:.3f}s (+{(b / a - 1) * 100:.0f}%)")
+    return regressions
+
+
+@dataclass
+class BenchDiff:
+    """The comparison of one experiment id across the two directories."""
+
+    exp_id: str
+    status: str  # ok | drift | regression | only-old | only-new
+    details: List[str] = field(default_factory=list)
+    old_wall: Optional[float] = None
+    new_wall: Optional[float] = None
+
+
+def diff_dirs(
+    old_dir: pathlib.Path,
+    new_dir: pathlib.Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[BenchDiff], int]:
+    """Compare every ``EXP-*.json`` and return ``(diffs, exit_code)``."""
+    old = _load_dir(pathlib.Path(old_dir))
+    new = _load_dir(pathlib.Path(new_dir))
+    diffs: List[BenchDiff] = []
+    for exp_id in sorted(set(old) | set(new)):
+        if exp_id not in new:
+            diffs.append(BenchDiff(exp_id, "only-old", ["missing from new directory"]))
+            continue
+        if exp_id not in old:
+            diffs.append(BenchDiff(exp_id, "only-new", ["no baseline to compare against"]))
+            continue
+        o, n = old[exp_id], new[exp_id]
+        drift = _cell_changes(o.get("rows", []), n.get("rows", []))
+        drift += _summary_changes(o.get("summary", {}), n.get("summary", {}))
+        slow = _timing_regressions(o.get("timings", {}), n.get("timings", {}), threshold)
+        status = "regression" if slow else ("drift" if drift else "ok")
+        diffs.append(
+            BenchDiff(
+                exp_id,
+                status,
+                details=slow + drift,
+                old_wall=(o.get("timings") or {}).get("wall_seconds"),
+                new_wall=(n.get("timings") or {}).get("wall_seconds"),
+            )
+        )
+    if not diffs:
+        return diffs, 2
+    bad = {"drift", "regression", "only-old"}
+    return diffs, (1 if any(d.status in bad for d in diffs) else 0)
+
+
+def render_diff(diffs: List[BenchDiff], threshold: float = DEFAULT_THRESHOLD) -> str:
+    """The ``repro bench-diff`` report."""
+    from ..analysis.tables import render_table
+
+    def _wall(value: Optional[float]) -> str:
+        return f"{value:.3f}s" if value is not None else "-"
+
+    rows = [
+        [d.exp_id, d.status, _wall(d.old_wall), _wall(d.new_wall), len(d.details)]
+        for d in diffs
+    ]
+    lines = [
+        render_table(
+            ["experiment", "status", "old wall", "new wall", "deltas"],
+            rows,
+            title=f"bench-diff (timing threshold +{threshold * 100:.0f}%)",
+        )
+    ]
+    for d in diffs:
+        if d.details and d.status != "ok":
+            lines.append(f"{d.exp_id} [{d.status}]:")
+            lines.extend(f"  - {msg}" for msg in d.details)
+    counts: Dict[str, int] = {}
+    for d in diffs:
+        counts[d.status] = counts.get(d.status, 0) + 1
+    lines.append(
+        "totals: " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+    return "\n".join(lines)

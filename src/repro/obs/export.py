@@ -7,9 +7,20 @@ One run = one JSONL file:
 * one ``{"type": "round", ...}`` line per round, carrying the full
   :class:`~repro.sim.trace.RoundRecord` (edges, sends, bits, receivers,
   delivered counts);
+* zero or more ``{"type": "ledger", ...}`` lines (format_version 2):
+  proof-ledger records — per-round spoiled counts vs the Lemma 3/4
+  budget, cut-crossing bit charges, adversary divergence rounds — as
+  emitted by :class:`~repro.obs.ledger.ProofLedger`;
 * last line — ``{"type": "summary", ...}``: termination round, outputs,
   totals, and (when the run was instrumented) wall time and the
   per-phase timing breakdown.
+
+``format_version 2`` adds the ``ledger`` line type and the reduction-run
+flavour (:func:`write_ledger_jsonl`: a manifest with ``kind:
+"reduction"``, ledger lines, and a summary carrying the reduction
+outcome — no round lines, since the two-party simulation has no single
+engine trace).  The reader accepts both versions: a version-1 file simply
+yields a :class:`PersistedRun` with an empty ``ledger`` list.
 
 Payloads are arbitrary protocol values, so they are encoded with a small
 tagged codec (:func:`encode_payload` / :func:`decode_payload`) that
@@ -33,11 +44,14 @@ __all__ = [
     "encode_payload",
     "decode_payload",
     "write_trace_jsonl",
+    "write_ledger_jsonl",
     "read_trace_jsonl",
     "PersistedRun",
 ]
 
-FORMAT_VERSION = 1
+#: Version 2 added "ledger" lines (proof-ledger records) and reduction
+#: runs; the reader stays backward-compatible with version-1 files.
+FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -121,8 +135,9 @@ def write_trace_jsonl(
     manifest: Optional[RunManifest] = None,
     node_ids: Optional[Iterable[int]] = None,
     run_metrics: Optional[dict] = None,
+    ledger: Optional[Iterable[dict]] = None,
 ) -> pathlib.Path:
-    """Persist one execution trace (manifest line, rounds, summary)."""
+    """Persist one execution trace (manifest line, rounds, ledger, summary)."""
     path = pathlib.Path(path)
     if manifest is None:
         manifest = RunManifest(seed=None, num_nodes=trace.num_nodes, adversary="?")
@@ -146,12 +161,43 @@ def write_trace_jsonl(
         fh.write(json.dumps(head, sort_keys=True) + "\n")
         for record in trace:
             fh.write(json.dumps(_round_line(record), sort_keys=True) + "\n")
+        for entry in ledger or ():
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
         fh.write(json.dumps(summary, sort_keys=True) + "\n")
     return path
 
 
+def write_ledger_jsonl(
+    path: pathlib.Path,
+    manifest: RunManifest,
+    ledger: Iterable[dict],
+    summary: Optional[dict] = None,
+) -> pathlib.Path:
+    """Persist a reduction run: manifest, ledger records, summary.
+
+    The two-party simulation has no single :class:`ExecutionTrace` (two
+    partial simulations exchange frames), so its persisted form is the
+    format-version-2 file with zero round lines — the proof ledger *is*
+    the trace.
+    """
+    path = pathlib.Path(path)
+    head = {
+        "type": "manifest",
+        "format_version": FORMAT_VERSION,
+        **manifest.as_dict(),
+    }
+    body = dict(summary or {})
+    body["type"] = "summary"
+    with path.open("w") as fh:
+        fh.write(json.dumps(head, sort_keys=True) + "\n")
+        for entry in ledger:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        fh.write(json.dumps(body, sort_keys=True) + "\n")
+    return path
+
+
 class PersistedRun:
-    """A run read back from JSONL: trace + manifest + recorded metrics."""
+    """A run read back from JSONL: trace + manifest + metrics + ledger."""
 
     def __init__(
         self,
@@ -160,12 +206,21 @@ class PersistedRun:
         node_ids: Optional[Tuple[int, ...]],
         run_metrics: Optional[dict],
         summary: dict,
+        ledger: Optional[List[dict]] = None,
+        format_version: int = FORMAT_VERSION,
     ):
         self.trace = trace
         self.manifest = manifest
         self.node_ids = node_ids
         self.run_metrics = run_metrics
         self.summary = summary
+        self.ledger = list(ledger) if ledger else []
+        self.format_version = format_version
+
+    @property
+    def is_reduction(self) -> bool:
+        """True for two-party reduction runs (ledger-only, no rounds)."""
+        return self.manifest.kind == "reduction"
 
     @property
     def phase_seconds(self) -> Dict[str, float]:
@@ -184,6 +239,7 @@ def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
     head: Optional[dict] = None
     summary: dict = {}
     records: List[RoundRecord] = []
+    ledger: List[dict] = []
     with path.open() as fh:
         for raw in fh:
             raw = raw.strip()
@@ -195,6 +251,8 @@ def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
                 head = line
             elif kind == "round":
                 records.append(_record_from_line(line))
+            elif kind == "ledger":
+                ledger.append(line)
             elif kind == "summary":
                 summary = line
             else:
@@ -215,4 +273,6 @@ def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
         node_ids=node_ids,
         run_metrics=summary.get("run_metrics"),
         summary=summary,
+        ledger=ledger,
+        format_version=head.get("format_version", 1),
     )

@@ -1,4 +1,4 @@
-"""Summarize a persisted run: the ``repro inspect`` implementation.
+"""Summarize persisted runs: the ``repro inspect`` implementation.
 
 Reads one ``run-*.jsonl`` file back into an
 :class:`~repro.sim.trace.ExecutionTrace` and reports the quantities the
@@ -6,13 +6,20 @@ paper's claims are stated in — rounds, termination, CONGEST bits total
 and per node — plus the instrumentation extras (per-phase wall-clock
 breakdown) and the *realized dynamic diameter* of the adversary's
 recorded schedule, computed with the vectorized causality pass in
-:mod:`repro.network.causality`.
+:mod:`repro.network.causality`.  Reduction runs (``kind: "reduction"``,
+format_version 2) have no engine trace, so their report is drawn from
+the run summary and the proof-ledger rollup instead.
+
+``repro inspect`` also accepts a whole session — a directory of
+``run-*.jsonl`` files or its ``manifest.json`` — and renders one table
+summarizing every run (:class:`SessionReport`); per-run detail stays one
+``repro inspect <run.jsonl>`` away.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..analysis.tables import render_table
 from ..network.causality import dynamic_diameter
@@ -20,8 +27,16 @@ from ..network.dynamic import DynamicSchedule
 from ..network.topology import RoundTopology
 from .export import PersistedRun, read_trace_jsonl
 from .instrumentation import PHASES
+from .manifest import MANIFEST_FILENAME, SessionManifest
 
-__all__ = ["RunReport", "inspect_run", "realized_diameter"]
+__all__ = [
+    "RunReport",
+    "SessionReport",
+    "inspect_run",
+    "inspect_session",
+    "inspect_path",
+    "realized_diameter",
+]
 
 #: Above this many recorded rounds the all-starts diameter pass is
 #: quadratic enough to hurt; inspect then probes start round 0 only.
@@ -64,14 +79,52 @@ class RunReport:
     def __init__(self, path: pathlib.Path, run: PersistedRun):
         self.path = pathlib.Path(path)
         self.run = run
-        trace = run.trace
-        self.rounds = trace.rounds
-        self.termination_round = trace.termination_round
-        self.total_bits = trace.total_bits()
-        self.bits_by_node = trace.bits_by_node()
         self.phase_seconds = run.phase_seconds
         self.wall_seconds = run.wall_seconds
-        self.diameter = realized_diameter(run)
+        if run.is_reduction:
+            # No engine trace: rounds/bits come from the reduction summary,
+            # bits-by-node from the ledger's cut attribution.
+            summary = run.summary or {}
+            self.rounds = summary.get("rounds") or 0
+            self.termination_round = summary.get("termination_round")
+            self.total_bits = summary.get("total_bits", 0)
+            ledger = summary.get("ledger_summary", {})
+            self.bits_by_node = dict(ledger.get("cut_bits_by_node", {}))
+            self.diameter = None
+        else:
+            trace = run.trace
+            self.rounds = trace.rounds
+            self.termination_round = trace.termination_round
+            self.total_bits = trace.total_bits()
+            self.bits_by_node = trace.bits_by_node()
+            self.diameter = realized_diameter(run)
+
+    def _render_reduction_extras(self) -> List[str]:
+        summary = self.run.summary or {}
+        ledger = summary.get("ledger_summary", {})
+        lines: List[str] = []
+        cut = ledger.get("cut_bits", {})
+        if cut:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(cut.items()))
+            lines.append(f"  cut bits           {parts}")
+        for party, sm in sorted(ledger.get("spoiled_max", {}).items()):
+            lines.append(
+                f"  {f'spoiled[{party}]':<17}  max {sm.get('count')} / budget {sm.get('budget')}"
+            )
+        for pair, rnd in sorted(ledger.get("divergence_rounds", {}).items()):
+            lines.append(f"  divergence         {pair}: "
+                         + ("never" if rnd is None else f"round {rnd}"))
+        violations = ledger.get("violations", 0)
+        lines.append(f"  ledger violations  {violations}")
+        red = summary.get("reduction")
+        if red:
+            lines.append(
+                f"  decision           {red.get('decision')} "
+                f"(truth {red.get('truth')}, correct={red.get('correct')})"
+            )
+        if summary.get("diverged"):
+            lines.append("  DIVERGED           simulation aborted before completion")
+        return lines
 
     def render(self) -> str:
         run, manifest = self.run, self.run.manifest
@@ -86,8 +139,14 @@ class RunReport:
             f"  terminated         "
             + (f"round {self.termination_round}" if self.termination_round else "no"),
             f"  total bits         {self.total_bits}",
-            f"  realized dynamic D {self.diameter if self.diameter is not None else '> horizon'}",
         ]
+        if run.is_reduction:
+            lines.extend(self._render_reduction_extras())
+        else:
+            lines.append(
+                f"  realized dynamic D "
+                f"{self.diameter if self.diameter is not None else '> horizon'}"
+            )
         if self.bits_by_node:
             top = sorted(self.bits_by_node.items(), key=lambda kv: (-kv[1], kv[0]))
             rows = [[uid, bits, f"{bits / max(1, self.total_bits):.1%}"] for uid, bits in top[:10]]
@@ -114,3 +173,73 @@ def inspect_run(path: pathlib.Path) -> RunReport:
     """Load and summarize one persisted run JSONL file."""
     path = pathlib.Path(path)
     return RunReport(path, read_trace_jsonl(path))
+
+
+class SessionReport:
+    """One table summarizing every run of an observation session."""
+
+    def __init__(self, directory: pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        manifest_path = self.directory / MANIFEST_FILENAME
+        self.manifest: Optional[SessionManifest] = (
+            SessionManifest.load(manifest_path) if manifest_path.is_file() else None
+        )
+        from .audit import resolve_run_files
+
+        self.files = resolve_run_files(self.directory)
+        self.runs: List[Tuple[pathlib.Path, PersistedRun]] = [
+            (path, read_trace_jsonl(path)) for path in self.files
+        ]
+
+    def render(self) -> str:
+        header = f"session: {self.directory}"
+        if self.manifest is not None:
+            bits = [f"label={self.manifest.label}" if self.manifest.label else None,
+                    f"runs={len(self.manifest.runs)}",
+                    f"wall={self.manifest.wall_seconds:.3f}s"
+                    if self.manifest.wall_seconds is not None else None]
+            header += "  (" + ", ".join(b for b in bits if b) + ")"
+        rows = []
+        for path, run in self.runs:
+            report = RunReport(path, run) if run.is_reduction else None
+            if run.is_reduction:
+                rounds = report.rounds
+                terminated = report.termination_round
+                bits_total = report.total_bits
+            else:
+                rounds = run.trace.rounds
+                terminated = run.trace.termination_round
+                bits_total = run.trace.total_bits()
+            wall = run.wall_seconds if not run.is_reduction else run.manifest.wall_seconds
+            rows.append([
+                path.name,
+                run.manifest.kind,
+                run.manifest.adversary,
+                run.manifest.num_nodes,
+                rounds,
+                terminated if terminated is not None else "-",
+                bits_total,
+                f"{wall * 1e3:.2f}ms" if wall is not None else "-",
+            ])
+        table = render_table(
+            ["run", "kind", "adversary", "nodes", "rounds", "terminated", "bits", "wall"],
+            rows,
+        )
+        return "\n".join([header, "", table])
+
+
+def inspect_session(path: pathlib.Path) -> SessionReport:
+    """Summarize a whole session directory (or its ``manifest.json``)."""
+    path = pathlib.Path(path)
+    if path.is_file() and path.name == MANIFEST_FILENAME:
+        path = path.parent
+    return SessionReport(path)
+
+
+def inspect_path(path: pathlib.Path):
+    """Dispatch: run file -> :class:`RunReport`, directory or
+    ``manifest.json`` -> :class:`SessionReport`."""
+    path = pathlib.Path(path)
+    if path.is_dir() or path.name == MANIFEST_FILENAME:
+        return inspect_session(path)
+    return inspect_run(path)

@@ -40,6 +40,9 @@ class RunManifest:
     wall_seconds: Optional[float] = None
     #: trace filename relative to the session directory, once persisted
     trace_file: Optional[str] = None
+    #: "engine" for SynchronousEngine traces, "reduction" for two-party
+    #: reduction runs whose persisted form is the proof ledger
+    kind: str = "engine"
 
     @classmethod
     def from_engine(cls, engine: Any) -> "RunManifest":

@@ -51,6 +51,18 @@ def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _render_labels(labels: Labels, **extra: str) -> str:
+    """``{k="v",...}`` in exposition format, or "" with no labels."""
+    pairs = list(labels) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
 class Counter:
     """A monotonically increasing count (e.g. ``bits_sent_total``)."""
 
@@ -189,6 +201,44 @@ class MetricsRegistry:
                 key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
             out[key] = metric.as_dict()  # type: ignore[attr-defined]
         return out
+
+    def render_openmetrics(self) -> str:
+        """Prometheus/OpenMetrics text exposition of the registry.
+
+        Counters and gauges render one sample per label set; histograms
+        render cumulative ``_bucket{le=...}`` samples plus ``_sum`` and
+        ``_count``, matching the standard client-library layout so the
+        output scrapes directly (``--metrics-out metrics.prom``).
+        """
+        by_name: Dict[str, List] = {}
+        for (name, _labels), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append(metric)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            metrics = by_name[name]
+            kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}.get(
+                type(metrics[0]), "untyped"
+            )
+            lines.append(f"# TYPE {name} {kind}")
+            for metric in metrics:
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.bounds, metric.bucket_counts):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket{_render_labels(metric.labels, le=repr(bound))}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_render_labels(metric.labels, le='+Inf')}"
+                        f" {metric.count}"
+                    )
+                    lines.append(f"{name}_sum{_render_labels(metric.labels)} {metric.sum}")
+                    lines.append(f"{name}_count{_render_labels(metric.labels)} {metric.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(metric.labels)} {metric.value}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 class _NullInstrument:

@@ -12,8 +12,12 @@ While a session is active, every engine constructed without an explicit
 ``instrumentation=`` picks one up from the session (one fresh
 :class:`~repro.obs.instrumentation.Instrumentation` per engine, all
 feeding the session's shared registry); when each run ends the session
-persists its trace as JSONL and appends a :class:`RunManifest`.  With no
-active session the lookup returns ``None`` and the engine runs on the
+persists its trace as JSONL and appends a :class:`RunManifest`.  Every
+:class:`~repro.core.simulation.TwoPartyReduction` likewise picks up a
+fresh :class:`~repro.obs.ledger.ProofLedger` and hands it back via
+:meth:`ObservationSession.record_reduction`, persisted as a
+``format_version 2`` ledger run.  With no active session the lookups
+return ``None`` and both the engine and the reduction run on the
 zero-cost uninstrumented path.
 
 Sessions nest (a stack); the innermost wins.  This is deliberately a
@@ -28,8 +32,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, List, Optional
 
-from .export import write_trace_jsonl
+from .export import write_ledger_jsonl, write_trace_jsonl
 from .instrumentation import Instrumentation
+from .ledger import ProofLedger
 from .manifest import RunManifest, SessionManifest
 from .metrics import MetricsRegistry, NULL_REGISTRY
 
@@ -87,6 +92,48 @@ class ObservationSession:
                 manifest=run_manifest,
                 node_ids=engine.node_ids,
                 run_metrics=instr.run_metrics(),
+            )
+            run_manifest.trace_file = name
+        self.manifest.runs.append(run_manifest)
+
+    # -- reduction (proof-ledger) integration --------------------------
+    def reduction_ledger(self) -> ProofLedger:
+        """A fresh proof ledger feeding this session's registry."""
+        return ProofLedger(registry=self.registry)
+
+    def record_reduction(self, reduction: Any, outcome: Any = None) -> None:
+        """Persist a finished (or diverged) two-party reduction run."""
+        self._run_index += 1
+        ledger = reduction.ledger
+        run_manifest = RunManifest(
+            seed=getattr(reduction, "seed", None),
+            num_nodes=getattr(reduction, "num_nodes", 0),
+            adversary=f"TwoPartyReduction[{reduction.mapping}]",
+            kind="reduction",
+        )
+        summary: dict = {"ledger_summary": ledger.summary()}
+        if outcome is not None:
+            summary.update(
+                rounds=outcome.rounds_simulated,
+                termination_round=outcome.watched_terminated_round,
+                total_bits=outcome.total_bits,
+                reduction={
+                    "decision": outcome.decision,
+                    "truth": outcome.truth,
+                    "correct": outcome.correct,
+                    "bits_alice_to_bob": outcome.bits_alice_to_bob,
+                    "bits_bob_to_alice": outcome.bits_bob_to_alice,
+                },
+            )
+        else:
+            summary.update(rounds=None, diverged=True)
+        if self.trace_dir is not None:
+            name = f"run-{self._run_index:04d}.jsonl"
+            write_ledger_jsonl(
+                self.trace_dir / name,
+                manifest=run_manifest,
+                ledger=ledger.records,
+                summary=summary,
             )
             run_manifest.trace_file = name
         self.manifest.runs.append(run_manifest)

@@ -1,0 +1,222 @@
+"""``repro audit`` / ``repro bench-diff`` / OpenMetrics exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.audit import audit_path, render_audit, resolve_run_files
+from repro.obs.benchdiff import DEFAULT_THRESHOLD, diff_dirs, render_diff
+from repro.obs.metrics import MetricsRegistry
+
+
+def _exp_json(exp_id, rows, summary=None, wall=None, phases=None):
+    timings = {}
+    if wall is not None:
+        timings = {
+            "wall_seconds": wall,
+            "engine_runs": 1,
+            "phase_seconds": phases or {},
+        }
+    return {
+        "exp_id": exp_id,
+        "title": exp_id,
+        "headers": ["a", "b"],
+        "rows": rows,
+        "summary": summary or {},
+        "notes": [],
+        "timings": timings,
+    }
+
+
+def _write_dir(path, payloads):
+    path.mkdir(parents=True, exist_ok=True)
+    for payload in payloads:
+        (path / f"{payload['exp_id']}.json").write_text(json.dumps(payload))
+
+
+class TestBenchDiff:
+    def test_identical_dirs_are_ok(self, tmp_path):
+        data = [_exp_json("EXP-X1", [[1, 2]], wall=1.0)]
+        _write_dir(tmp_path / "old", data)
+        _write_dir(tmp_path / "new", data)
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert code == 0
+        assert [d.status for d in diffs] == ["ok"]
+
+    def test_row_drift_flags_and_fails(self, tmp_path):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-X1", [[1, 2]], {"s": 3})])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-X1", [[1, 9]], {"s": 4})])
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert code == 1
+        assert diffs[0].status == "drift"
+        joined = " ".join(diffs[0].details)
+        assert "row 0 col 1" in joined and "summary[s]" in joined
+
+    def test_wall_regression_flags(self, tmp_path):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-X1", [[1]], wall=1.0)])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-X1", [[1]], wall=2.0)])
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert code == 1
+        assert diffs[0].status == "regression"
+        assert "wall" in diffs[0].details[0]
+
+    def test_speedup_and_noise_are_ok(self, tmp_path):
+        _write_dir(
+            tmp_path / "old",
+            [
+                _exp_json("EXP-F", [[1]], wall=2.0),  # gets faster
+                _exp_json("EXP-N", [[1]], wall=0.004),  # too small to judge
+            ],
+        )
+        _write_dir(
+            tmp_path / "new",
+            [
+                _exp_json("EXP-F", [[1]], wall=1.0),
+                _exp_json("EXP-N", [[1]], wall=0.040),  # 10x but sub-MIN_SECONDS
+            ],
+        )
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert code == 0
+        assert [d.status for d in diffs] == ["ok", "ok"]
+
+    def test_threshold_is_respected(self, tmp_path):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-X1", [[1]], wall=1.0)])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-X1", [[1]], wall=1.2)])
+        _, code_strict = diff_dirs(tmp_path / "old", tmp_path / "new", threshold=0.1)
+        _, code_loose = diff_dirs(tmp_path / "old", tmp_path / "new", threshold=0.5)
+        assert code_strict == 1 and code_loose == 0
+
+    def test_only_old_fails_only_new_passes(self, tmp_path):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-A", [[1]])])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-B", [[1]])])
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        statuses = {d.exp_id: d.status for d in diffs}
+        assert statuses == {"EXP-A": "only-old", "EXP-B": "only-new"}
+        assert code == 1  # a vanished experiment is a failure
+
+        (tmp_path / "old" / "EXP-A.json").unlink()
+        _write_dir(tmp_path / "old", [_exp_json("EXP-B", [[1]])])
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert code == 0  # a brand-new experiment alone is not
+
+    def test_render_mentions_failures(self, tmp_path):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-X1", [[1, 2]])])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-X1", [[1, 3]])])
+        diffs, _ = diff_dirs(tmp_path / "old", tmp_path / "new")
+        text = render_diff(diffs, threshold=DEFAULT_THRESHOLD)
+        assert "EXP-X1" in text and "drift" in text and "totals:" in text
+
+    def test_empty_dirs_exit_2(self, tmp_path):
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        diffs, code = diff_dirs(tmp_path / "old", tmp_path / "new")
+        assert diffs == [] and code == 2
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            diff_dirs(tmp_path / "absent", tmp_path / "absent2")
+
+
+class TestOpenMetrics:
+    def test_render_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("bits_total").inc(42)
+        reg.gauge("spoiled_nodes", {"party": "alice"}).set(7)
+        h = reg.histogram("phase_seconds", {"phase": "actions"}, buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.render_openmetrics()
+        lines = text.splitlines()
+        assert "# TYPE bits_total counter" in lines
+        assert "bits_total 42" in lines
+        assert '# TYPE spoiled_nodes gauge' in lines
+        assert 'spoiled_nodes{party="alice"} 7' in lines
+        # histogram buckets are cumulative and end with +Inf == count
+        assert 'phase_seconds_bucket{phase="actions",le="0.1"} 1' in lines
+        assert 'phase_seconds_bucket{phase="actions",le="1.0"} 2' in lines
+        assert 'phase_seconds_bucket{phase="actions",le="+Inf"} 3' in lines
+        assert 'phase_seconds_count{phase="actions"} 3' in lines
+        assert any(l.startswith('phase_seconds_sum{phase="actions"}') for l in lines)
+        assert lines[-1] == "# EOF"
+
+    def test_empty_registry_renders_eof_only(self):
+        assert MetricsRegistry().render_openmetrics() == "# EOF\n"
+
+
+@pytest.mark.slow
+class TestCliIntegration:
+    def test_thm6_trace_then_audit_ok(self, tmp_path, capsys):
+        trace = tmp_path / "t6"
+        assert main(["thm6", "--quick", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["audit", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "all ok" in out
+        assert "spoiled[alice]" in out and "cut bits" in out
+        assert "divergence[" in out
+
+    def test_audit_single_run_file(self, tmp_path, capsys):
+        trace = tmp_path / "t6"
+        assert main(["thm6", "--quick", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        runs = resolve_run_files(trace)
+        assert runs  # manifest-ordered
+        assert main(["audit", str(runs[0])]) == 0
+
+    def test_audit_engine_only_session_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "fig1"
+        assert main(["fig1", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["audit", str(trace)]) == 2
+        assert "nothing to audit" in capsys.readouterr().out
+
+    def test_audit_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nope")]) == 2
+
+    def test_inspect_session_directory(self, tmp_path, capsys):
+        trace = tmp_path / "t6"
+        assert main(["thm6", "--quick", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "session:" in out and "reduction" in out
+        assert "run-0001.jsonl" in out
+        # manifest.json path works too
+        assert main(["inspect", str(trace / "manifest.json")]) == 0
+
+    def test_metrics_out_writes_openmetrics(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        assert main(["thm6", "--quick", "--metrics-out", str(prom)]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert text.rstrip().endswith("# EOF")
+        assert "cut_bits_total" in text
+
+    def test_bench_diff_cli(self, tmp_path, capsys):
+        _write_dir(tmp_path / "old", [_exp_json("EXP-X1", [[1, 2]])])
+        _write_dir(tmp_path / "new", [_exp_json("EXP-X1", [[1, 2]])])
+        assert main(["bench-diff", str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+        assert "ok" in capsys.readouterr().out
+        (tmp_path / "new" / "EXP-X1.json").write_text(
+            json.dumps(_exp_json("EXP-X1", [[1, 3]]))
+        )
+        assert main(["bench-diff", str(tmp_path / "old"), str(tmp_path / "new")]) == 1
+
+    def test_bench_diff_wrong_arity(self, capsys):
+        assert main(["bench-diff", "just-one"]) == 2
+
+    def test_paths_rejected_for_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["thm6", "some/path"])
+
+    def test_render_audit_label(self, tmp_path, capsys):
+        trace = tmp_path / "t6"
+        assert main(["thm6", "--quick", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        reports, skipped, _ = audit_path(trace)
+        text = render_audit(reports, skipped, label="mylabel")
+        assert text.startswith("auditing mylabel")

@@ -1,0 +1,283 @@
+"""The proof ledger: cut-bit accounting, spoil budgets, v1 compat.
+
+The central invariants:
+
+* the ledger's per-node cut attribution reconstructs the simulator's own
+  ``bits_sent`` accounting *exactly* (property-tested on randomized
+  Theorem-6 instances);
+* on a correct run the measured spoiled count equals the Lemma 3/4
+  budget curve every round (the closed forms are the schedule);
+* a tampered spoil schedule — the injected "budget-violating adversary"
+  — is caught, either silently (ledger violation, ``repro audit`` exits
+  nonzero) or loudly (the detailed :class:`SimulationDiverged` report);
+* ``format_version 1`` trace files still read through the v2 reader.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cc.disjointness import random_instance
+from repro.core.composition import theorem6_network
+from repro.core.reduction import cut_budget_bits
+from repro.core.simulation import TwoPartyReduction
+from repro.errors import SimulationDiverged
+from repro.obs import observe, read_trace_jsonl
+from repro.obs.ledger import ProofLedger, lemma_number, spoiled_budget_curve
+from repro.protocols.cflood import cflood_factory
+from repro.sim.actions import Receive
+from repro.sim.node import ProtocolNode
+
+from ..conftest import disjointness_instances
+
+
+def make_reduction(inst, ledger=None, fast=False):
+    net = theorem6_network(inst)
+    source = net.special_nodes()["A_gamma"]
+    if fast:
+        fac = cflood_factory(source, d_param=10)
+    else:
+        fac = cflood_factory(source, num_nodes=net.num_nodes)
+    return TwoPartyReduction(inst, "T6", fac, seed=1, ledger=ledger), net
+
+
+class AlwaysReceive(ProtocolNode):
+    """Receives every round; maximally consults neighbours."""
+
+    def action(self, round_, coins):
+        return Receive()
+
+    def on_messages(self, round_, payloads):
+        pass
+
+
+class TestCutBitAccounting:
+    @settings(max_examples=15, deadline=None)
+    @given(inst=disjointness_instances(min_n=1, max_n=3, min_q=5, max_q=13))
+    def test_cut_totals_equal_reduction_bits(self, inst):
+        ledger = ProofLedger()
+        red, net = make_reduction(inst, ledger=ledger)
+        out = red.run()
+        # every frame bit the parties charged is attributed in the ledger
+        assert ledger.total_cut_bits == out.total_bits
+        assert ledger.cut_bits_of("alice") == out.bits_alice_to_bob
+        assert ledger.cut_bits_of("bob") == out.bits_bob_to_alice
+        by_node = ledger.summary()["cut_bits_by_node"]
+        # per-node charges + the per-frame 2-bit envelopes cover the total
+        frames = out.rounds_simulated * 2  # one frame per party per round
+        assert sum(by_node.values()) + 2 * frames == out.total_bits
+        # and the O(s log N) envelope holds on the honest run
+        assert out.total_bits <= cut_budget_bits(net.num_nodes, out.rounds_simulated)
+
+    @settings(max_examples=15, deadline=None)
+    @given(inst=disjointness_instances(min_n=1, max_n=3, min_q=5, max_q=13))
+    def test_spoiled_counts_match_budget_exactly(self, inst):
+        ledger = ProofLedger()
+        red, _net = make_reduction(inst, ledger=ledger)
+        red.run()
+        spoiled = [r for r in ledger.records if r["kind"] == "spoiled"]
+        assert spoiled, "no spoiled records collected"
+        # the simulator spoils on exactly the closed-form schedule
+        assert all(r["ok"] for r in spoiled)
+        assert all(r["count"] == r["budget"] for r in spoiled)
+        assert ledger.violations == 0
+
+
+class TestBudgetCurve:
+    def test_budget_curve_matches_simulator_schedule(self):
+        inst = random_instance(2, 9, seed=3, value=1)
+        red, _net = make_reduction(inst)
+        for sim in (red.alice, red.bob):
+            curve = spoiled_budget_curve(sim.party, sim.subnets)
+            horizon = (inst.q - 1) // 2
+            for r in range(1, horizon + 1):
+                measured = sum(1 for sr in sim.spoil.values() if sr <= r)
+                budget = sum(n for sr, n in curve.items() if sr <= r)
+                assert measured == budget
+
+    def test_lemma_number(self):
+        inst = random_instance(1, 5, seed=1, value=1)
+        red, _net = make_reduction(inst)
+        gamma, lam = red.alice.subnets
+        assert lemma_number(gamma) == 3
+        assert lemma_number(lam) == 4
+
+
+class TestInjectedViolations:
+    def _tamper_silent(self, red):
+        """Move one spoil round earlier: budget exceeded, nothing raises
+        unless a neighbour actually consults the node."""
+        sim = red.alice
+        uid = min(u for u, sr in sim.spoil.items() if 2 <= sr < math.inf)
+        sim.spoil[uid] = sim.spoil[uid] - 1
+        return uid
+
+    def test_silent_violation_is_ledgered(self):
+        inst = random_instance(1, 9, seed=2, value=1)
+        ledger = ProofLedger()
+        red, _net = make_reduction(inst, ledger=ledger)
+        self._tamper_silent(red)
+        try:
+            red.run()
+        except SimulationDiverged:
+            pass  # the tamper may also trip the delivery check; either way:
+        bad = [r for r in ledger.records if r["kind"] == "spoiled" and not r["ok"]]
+        assert bad, "early spoil never exceeded the budget curve"
+        assert bad[0]["count"] == bad[0]["budget"] + 1
+        assert "excess" in bad[0]
+        assert ledger.violations >= 1
+
+    def test_raising_violation_reports_lemma_round_and_sets(self):
+        inst = random_instance(1, 9, seed=2, value=1)
+        ledger = ProofLedger()
+        net = theorem6_network(inst)
+        red = TwoPartyReduction(inst, "T6", AlwaysReceive, seed=1, ledger=ledger)
+        sim = red.alice
+        # a never-spoiled (non-special) node with a live neighbour at r2
+        specials = set(sim.my_specials.values())
+        adj = {}
+        for u, v in sim.edge_set(2):
+            adj.setdefault(u, []).append(v)
+            adj.setdefault(v, []).append(u)
+        victim = next(
+            u
+            for u, sr in sorted(sim.spoil.items())
+            if sr == math.inf
+            and u not in specials
+            and any(sim.spoil.get(nb, 0) > 2 for nb in adj.get(u, ()))
+        )
+        sim.spoil[victim] = 1
+        with pytest.raises(SimulationDiverged) as exc:
+            red.run()
+        message = str(exc.value)
+        assert "Lemma" in message
+        assert f"neighbour {victim}" in message
+        assert "spoiled set at round" in message
+        assert "still-simulated set" in message
+        assert "alice" in message
+        violations = [r for r in ledger.records if r["kind"] == "violation"]
+        assert violations and violations[0]["party"] == "alice"
+        assert violations[0]["lemma"] in (3, 4)
+        assert net.num_nodes == red.num_nodes
+
+    def test_session_persists_diverged_run_and_audit_fails(self, tmp_path):
+        from repro.obs.audit import audit_path
+
+        inst = random_instance(1, 9, seed=2, value=1)
+        with observe(trace_dir=tmp_path, label="tampered") as session:
+            red, _net = make_reduction(inst)
+            assert red.ledger is not None  # picked up from the session
+            self._tamper_silent(red)
+            try:
+                red.run()
+            except SimulationDiverged:
+                pass
+        assert session.num_runs == 1
+        reports, skipped, code = audit_path(tmp_path)
+        assert code == 1
+        assert not skipped
+        assert not reports[0].ok
+
+
+class TestSessionIntegration:
+    def test_reduction_recorded_with_metrics_and_jsonl(self, tmp_path):
+        inst = random_instance(1, 9, seed=4, value=0)
+        with observe(trace_dir=tmp_path, label="t6") as session:
+            red, _net = make_reduction(inst)
+            out = red.run()
+        assert session.num_runs == 1
+        snap = session.manifest.metrics
+        assert snap["cut_bits_total"]["value"] == out.total_bits
+        assert "spoiled_nodes{party=alice}" in snap
+        # a (0,0) coordinate makes the reference adversary detach middles
+        # the belief adversaries keep, so some pair diverges in-horizon
+        assert any(k.startswith("adversary_divergence_round") for k in snap)
+
+        run = read_trace_jsonl(tmp_path / "run-0001.jsonl")
+        assert run.is_reduction
+        assert run.format_version == 2
+        assert run.manifest.kind == "reduction"
+        assert run.trace.rounds == 0
+        assert run.summary["total_bits"] == out.total_bits
+        kinds = {r["kind"] for r in run.ledger}
+        assert {"spoiled", "cut", "divergence"} <= kinds
+        ledger_summary = run.summary["ledger_summary"]
+        assert ledger_summary["violations"] == 0
+        assert ledger_summary["cut_bits"]["total"] == out.total_bits
+
+    def test_no_session_no_ledger(self):
+        inst = random_instance(1, 5, seed=1, value=1)
+        red, _net = make_reduction(inst)
+        assert red.ledger is None
+        assert red.alice.ledger is None and red.bob.ledger is None
+        red.run()  # plain path still works
+
+
+# A literal format_version-1 file (pre-ledger), as PR 1's writer emitted.
+_V1_LINES = [
+    {
+        "type": "manifest",
+        "format_version": 1,
+        "seed": 7,
+        "num_nodes": 2,
+        "adversary": "StaticAdversary",
+        "bandwidth_factor": None,
+        "check_connected": True,
+        "package_version": "1.0.0",
+        "wall_seconds": 0.001,
+        "trace_file": "run-0001.jsonl",
+        "node_ids": [1, 2],
+    },
+    {
+        "type": "round",
+        "round": 1,
+        "edges": [[1, 2]],
+        "sends": {"1": ["i", 5]},
+        "bits": {"1": 7},
+        "receivers": [2],
+        "delivered": {"2": 1},
+    },
+    {
+        "type": "summary",
+        "rounds": 1,
+        "termination_round": 1,
+        "total_bits": 7,
+        "outputs": {"2": ["i", 5]},
+    },
+]
+
+
+class TestFormatV1Compat:
+    def test_v1_file_reads_through_v2_reader(self, tmp_path):
+        path = tmp_path / "run-0001.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in _V1_LINES) + "\n")
+        run = read_trace_jsonl(path)
+        assert run.format_version == 1
+        assert run.ledger == []
+        assert not run.is_reduction  # v1 manifests default to kind="engine"
+        assert run.manifest.kind == "engine"
+        assert run.trace.rounds == 1
+        assert run.trace.total_bits() == 7
+        assert run.trace.outputs == {2: 5}
+
+    def test_v1_file_inspects(self, tmp_path):
+        from repro.obs import inspect_run
+
+        path = tmp_path / "run-0001.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in _V1_LINES) + "\n")
+        report = inspect_run(path)
+        assert report.total_bits == 7
+        assert "StaticAdversary" in report.render()
+
+    def test_writer_stamps_v2(self, tmp_path):
+        inst = random_instance(1, 5, seed=1, value=1)
+        with observe(trace_dir=tmp_path):
+            red, _net = make_reduction(inst)
+            red.run()
+        head = json.loads((tmp_path / "run-0001.jsonl").read_text().splitlines()[0])
+        assert head["format_version"] == 2
+        assert head["kind"] == "reduction"
