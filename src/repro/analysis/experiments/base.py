@@ -42,17 +42,23 @@ class ExperimentResult:
 
     def attach_session(self, session: Any) -> None:
         """Fold an :class:`~repro.obs.runtime.ObservationSession`'s
-        aggregate timings into this result's ``timings`` sidecar."""
+        aggregate timings into this result's ``timings`` sidecar.
+
+        Merges into (rather than replaces) ``timings``, so fields the
+        experiment driver recorded itself — e.g. ``workers`` from a
+        parallel run — survive."""
         phase_totals: Dict[str, float] = {}
         for key, metric in session.manifest.metrics.items():
             if key.startswith("phase_seconds{phase=") and metric.get("type") == "histogram":
                 phase = key[len("phase_seconds{phase=") : -1]
                 phase_totals[phase] = metric.get("sum", 0.0)
-        self.timings = {
-            "wall_seconds": session.manifest.wall_seconds,
-            "engine_runs": session.num_runs,
-            "phase_seconds": phase_totals,
-        }
+        self.timings.update(
+            wall_seconds=session.manifest.wall_seconds,
+            engine_runs=session.num_runs,
+            phase_seconds=phase_totals,
+        )
+        if session.manifest.workers and "workers" not in self.timings:
+            self.timings["workers"] = session.manifest.workers
 
     def to_dict(self) -> dict:
         """JSON-ready dump: what ``benchmarks/out/<EXP-ID>.json`` holds."""

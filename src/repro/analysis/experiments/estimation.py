@@ -15,7 +15,7 @@ the answer-0 estimate drift up toward 2N.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ...cc.disjointness import random_instance
 from ...core.composition import (
@@ -26,6 +26,8 @@ from ...core.composition import (
 from ...core.lambda_net import LambdaSubnetwork
 from ...core.simulation import run_reference_execution
 from ...protocols.hearfrom import CountNodesNode
+from ...sim.factories import BoundNode
+from ...sim.parallel import ParallelExecutor
 from .base import ExperimentResult
 
 __all__ = ["exp_estimate_insensitivity"]
@@ -44,9 +46,7 @@ def _estimate_series(instance, network, seed: int, rounds: Sequence[int], compon
     """A_Λ's count estimate after each round count in ``rounds``."""
     out = []
     for r in rounds:
-        def factory(uid: int, _r=r):
-            return CountNodesNode(uid, total_rounds=_r, components=components)
-
+        factory = BoundNode(CountNodesNode, total_rounds=r, components=components)
         ref = run_reference_execution(
             instance, "T7", factory, seed, rounds=r,
             stop_on_termination=False, network=network,
@@ -56,11 +56,24 @@ def _estimate_series(instance, network, seed: int, rounds: Sequence[int], compon
     return out
 
 
+def _est_cell(
+    q: int, n: int, seed: int, horizon: int, late: int
+) -> Tuple[float, float, float, float]:
+    """One (q, seed) pair of estimate series: bare Λ vs full Λ+Υ."""
+    inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=1)
+    bare = _bare_lambda_network(inst)
+    full = theorem7_network(inst)
+    b_h, b_l = _estimate_series(inst, bare, seed, (horizon, late))
+    f_h, f_l = _estimate_series(inst, full, seed, (horizon, late))
+    return b_h, b_l, f_h, f_l
+
+
 def exp_estimate_insensitivity(
     q_values: Sequence[int] = (9, 13),
     n: int = 2,
     seeds: Sequence[int] = (1, 2),
     late_factor: int = 350,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Same answer-0 instance, same seed, same Λ — with and without Υ."""
     result = ExperimentResult(
@@ -72,21 +85,27 @@ def exp_estimate_insensitivity(
             "est@late (Λ)", "est@late (Λ+Υ)",
         ],
     )
+    cells: List[Tuple] = []  # (q, n1, n0, horizon, seed) per row
+    tasks: List[Tuple] = []
     for q in q_values:
         n1, n0 = theorem7_sizes(n, q)
         horizon = (q - 1) // 2
         late = late_factor * q
         for seed in seeds:
-            inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=1)
-            bare = _bare_lambda_network(inst)
-            full = theorem7_network(inst)
-            b_h, b_l = _estimate_series(inst, bare, seed, (horizon, late))
-            f_h, f_l = _estimate_series(inst, full, seed, (horizon, late))
-            result.rows.append([
-                q, n1, n0, seed, horizon,
-                round(b_h, 3), round(f_h, 3), b_h == f_h,
-                round(b_l, 1), round(f_l, 1),
-            ])
+            cells.append((q, n1, n0, horizon, seed))
+            tasks.append((q, n, seed, horizon, late))
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _est_cell, tasks, labels=[f"q={t[0]}, seed={t[2]}" for t in tasks]
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for (q, n1, n0, horizon, seed), (b_h, b_l, f_h, f_l) in zip(cells, outcomes):
+        result.rows.append([
+            q, n1, n0, seed, horizon,
+            round(b_h, 3), round(f_h, 3), b_h == f_h,
+            round(b_l, 1), round(f_l, 1),
+        ])
     result.summary["late_rounds_factor(q)"] = late_factor
     result.notes.append(
         "at the horizon the two estimates are bit-identical — Υ's "

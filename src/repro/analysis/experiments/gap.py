@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from statistics import mean
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ...core.composition import theorem7_sizes
 from ...core.reduction import (
@@ -30,16 +30,46 @@ from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import max_rounds_budget
 from ...sim.coins import CoinSource
 from ...sim.engine import SynchronousEngine
+from ...sim.parallel import ParallelExecutor
 from ..fitting import crossover_x, loglog_slope
 from .base import ExperimentResult
 
 __all__ = ["exp_exponential_gap", "exp_sensitivity"]
 
 
+def _gap_cell(n: int, seed: int) -> int:
+    """One measured-anchor run: known-D consensus on the D=2 stars."""
+    ids = list(range(1, n + 1))
+    adv = OverlappingStarsAdversary(ids)
+    budget = max_rounds_budget(2, n)
+    nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(budget + 4)
+    return tr.termination_round or budget + 4
+
+
+def _sens_cell(n: int, n_prime: float, seed: int, max_rounds: int) -> Tuple[str, int]:
+    """One sensitivity run; outcome is 'ok' / 'stalled' / 'split'."""
+    ids = list(range(1, n + 1))
+    adv = OverlappingStarsAdversary(ids)
+    nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(max_rounds)
+    leaders = {o[1] for o in tr.outputs.values() if o is not None}
+    if tr.termination_round is None:
+        outcome = "stalled"
+    elif len(leaders) == 1:
+        outcome = "ok"
+    else:
+        outcome = "split"
+    return outcome, tr.termination_round or max_rounds
+
+
 def exp_exponential_gap(
     measured_sizes: Sequence[int] = (16, 32, 64),
     formula_sizes: Sequence[int] = (10**2, 10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9),
     seeds: Sequence[int] = (31, 32),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Known-D measured flooding rounds vs the unknown-D floor vs D=N."""
     result = ExperimentResult(
@@ -51,17 +81,16 @@ def exp_exponential_gap(
         ],
     )
     # measured anchor: known-D consensus on the D=2 stars schedule
-    for n in measured_sizes:
-        ids = list(range(1, n + 1))
-        adv = OverlappingStarsAdversary(ids)
-        d = 2
-        budget = max_rounds_budget(d, n)
-        rounds = []
-        for seed in seeds:
-            nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
-            eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-            tr = eng.run(budget + 4)
-            rounds.append(tr.termination_round or budget + 4)
+    d = 2
+    tasks: List[Tuple] = [(n, seed) for n in measured_sizes for seed in seeds]
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s in tasks]
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for i, n in enumerate(measured_sizes):
+        rounds = outcomes[i * len(seeds) : (i + 1) * len(seeds)]
         measured_flood = mean(rounds) / d
         floor = cflood_lower_bound_flooding_rounds(n)
         result.rows.append([
@@ -97,6 +126,7 @@ def exp_sensitivity(
     errors: Sequence[float] = (-0.25, -0.15, 0.0, 0.15, 0.25, 1 / 3, 0.45),
     seeds: Sequence[int] = (41, 42, 43),
     max_rounds: int = 25_000,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Leader election success as the N'-estimate error crosses 1/3."""
     result = ExperimentResult(
@@ -104,22 +134,23 @@ def exp_sensitivity(
         title=f"Sensitivity to the N' estimate (N = {n}, overlapping stars)",
         headers=["N' err", "N'", "runs", "unique leader", "stalled", "mean rounds"],
     )
-    ids = list(range(1, n + 1))
-    adv = OverlappingStarsAdversary(ids)
-    for err in errors:
-        n_prime = max(2.0, (1 + err) * n)
-        ok = stalled = 0
-        rounds_list = []
-        for seed in seeds:
-            nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
-            eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-            tr = eng.run(max_rounds)
-            leaders = {o[1] for o in tr.outputs.values() if o is not None}
-            if tr.termination_round is None:
-                stalled += 1
-            elif len(leaders) == 1:
-                ok += 1
-            rounds_list.append(tr.termination_round or max_rounds)
+    n_primes = [max(2.0, (1 + err) * n) for err in errors]
+    tasks: List[Tuple] = [
+        (n, n_prime, seed, max_rounds) for n_prime in n_primes for seed in seeds
+    ]
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _sens_cell,
+        tasks,
+        labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _ in tasks],
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for i, (err, n_prime) in enumerate(zip(errors, n_primes)):
+        chunk = outcomes[i * len(seeds) : (i + 1) * len(seeds)]
+        ok = sum(o == "ok" for o, _ in chunk)
+        stalled = sum(o == "stalled" for o, _ in chunk)
+        rounds_list = [r for _, r in chunk]
         result.rows.append([
             round(err, 3), round(n_prime, 1), len(seeds),
             f"{ok}/{len(seeds)}", f"{stalled}/{len(seeds)}",

@@ -10,7 +10,7 @@ is the expensive part, which is the operational content of Theorem 6.
 from __future__ import annotations
 
 from statistics import mean
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ...network.adversaries import (
     OverlappingStarsAdversary,
@@ -22,6 +22,7 @@ from ...protocols.cflood import CFloodConservativeNode
 from ...protocols.doubling import CFloodDoublingNode
 from ...sim.coins import CoinSource
 from ...sim.engine import SynchronousEngine
+from ...sim.parallel import ParallelExecutor
 from .base import ExperimentResult
 
 __all__ = ["exp_doubling_heuristic"]
@@ -38,11 +39,41 @@ def _suite(n: int):
     }
 
 
+def _heur_cell(
+    n: int, name: str, thr: float, seed: int, max_rounds: int
+) -> Tuple[bool, bool, int, int]:
+    """One (adversary, threshold, seed) doubling-heuristic run."""
+    ids, suite = _suite(n)
+    adv = suite[name]
+    nodes = {
+        u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
+        for u in ids
+    }
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(max_rounds)
+    informed = sum(node.informed for node in nodes.values())
+    confirmed = tr.termination_round is not None
+    premature = confirmed and informed < n
+    return confirmed, premature, tr.termination_round or max_rounds, informed
+
+
+def _heur_baseline_cell(n: int, seed: int, max_rounds: int) -> Tuple[bool, int]:
+    """One conservative-CFLOOD baseline run on the lollipop."""
+    ids, suite = _suite(n)
+    adv = suite["lollipop"]
+    nodes = {u: CFloodConservativeNode(u, ids[0], num_nodes=n) for u in ids}
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(max_rounds)
+    premature = sum(node.informed for node in nodes.values()) < n
+    return premature, tr.termination_round or max_rounds
+
+
 def exp_doubling_heuristic(
     n: int = 24,
     thresholds: Sequence[float] = (0.75, 0.9),
     seeds: Sequence[int] = (1, 2, 3),
     max_rounds: int = 80_000,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="EXP-HEUR",
@@ -52,42 +83,41 @@ def exp_doubling_heuristic(
             "mean confirm round", "mean informed at confirm",
         ],
     )
-    ids, suite = _suite(n)
-    for name, adv in suite.items():
-        for thr in thresholds:
-            confirmed = premature = 0
-            rounds_list, informed_list = [], []
-            for seed in seeds:
-                nodes = {
-                    u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
-                    for u in ids
-                }
-                eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-                tr = eng.run(max_rounds)
-                informed = sum(node.informed for node in nodes.values())
-                if tr.termination_round is not None:
-                    confirmed += 1
-                    if informed < n:
-                        premature += 1
-                rounds_list.append(tr.termination_round or max_rounds)
-                informed_list.append(informed)
-            result.rows.append([
-                name, thr, len(seeds), f"{confirmed}/{len(seeds)}",
-                f"{premature}/{len(seeds)}",
-                round(mean(rounds_list), 1), round(mean(informed_list), 1),
-            ])
+    _ids, suite = _suite(n)
+    cells = [(name, thr) for name in suite for thr in thresholds]
+    tasks: List[Tuple] = [
+        (n, name, thr, seed, max_rounds) for name, thr in cells for seed in seeds
+    ]
+    # the conservative baseline rides the same pool as the sweep cells
+    baseline_tasks: List[Tuple] = [(n, seed, max_rounds) for seed in seeds]
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _heur_cell,
+        tasks,
+        labels=[f"adversary={t[1]}, threshold={t[2]}, seed={t[3]}" for t in tasks],
+    )
+    baseline = executor.map(
+        _heur_baseline_cell,
+        baseline_tasks,
+        labels=[f"baseline, seed={s}" for _, s, _ in baseline_tasks],
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for i, (name, thr) in enumerate(cells):
+        chunk = outcomes[i * len(seeds) : (i + 1) * len(seeds)]
+        confirmed = sum(c for c, _, _, _ in chunk)
+        premature = sum(p for _, p, _, _ in chunk)
+        rounds_list = [r for _, _, r, _ in chunk]
+        informed_list = [inf for _, _, _, inf in chunk]
+        result.rows.append([
+            name, thr, len(seeds), f"{confirmed}/{len(seeds)}",
+            f"{premature}/{len(seeds)}",
+            round(mean(rounds_list), 1), round(mean(informed_list), 1),
+        ])
 
     # baseline: the conservative protocol is slow but never premature
-    adv = suite["lollipop"]
-    prem = 0
-    rounds_list = []
-    for seed in seeds:
-        nodes = {u: CFloodConservativeNode(u, ids[0], num_nodes=n) for u in ids}
-        eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-        tr = eng.run(max_rounds)
-        if sum(node.informed for node in nodes.values()) < n:
-            prem += 1
-        rounds_list.append(tr.termination_round or max_rounds)
+    prem = sum(p for p, _ in baseline)
+    rounds_list = [r for _, r in baseline]
     result.rows.append([
         "lollipop (conservative D=N)", 1.0, len(seeds), f"{len(seeds)}/{len(seeds)}",
         f"{prem}/{len(seeds)}", round(mean(rounds_list), 1), float(n),

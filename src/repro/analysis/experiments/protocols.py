@@ -8,13 +8,20 @@ polylogarithmic in N with *no* knowledge of D.
 EXP-UB measures the trivial known-D upper bounds the paper contrasts
 against: CFLOOD (exactly D rounds), consensus / MAX / HEAR-FROM-N /
 estimate-N in O(D log N) rounds — all O(log N) flooding rounds.
+
+Both sweeps accept ``workers`` (default: the ``REPRO_WORKERS``
+environment variable) and fan their per-seed engine runs out over a
+process pool via :class:`repro.sim.parallel.ParallelExecutor`; every
+cell function is module-level (picklable), and run order is the same
+nested loop order as the sequential path, so results and persisted
+observability are identical at any worker count.
 """
 
 from __future__ import annotations
 
 import math
 from statistics import mean
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...network.adversaries import (
     Adversary,
@@ -31,6 +38,7 @@ from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import MaxIdNode, max_rounds_budget
 from ...sim.coins import CoinSource
 from ...sim.engine import SynchronousEngine
+from ...sim.parallel import ParallelExecutor
 from ..fitting import loglog_slope
 from .base import ExperimentResult
 
@@ -53,6 +61,23 @@ def _adversary_suite(n: int, seed: int) -> Dict[str, Adversary]:
     }
 
 
+def _thm8_cell(
+    n: int, name: str, n_prime_error: float, seed: int, max_rounds: int
+) -> Tuple[bool, int]:
+    """One (size, adversary, seed) leader-election run (pool-safe)."""
+    ids = list(range(1, n + 1))
+    adv = _adversary_suite(n, seed=5)[name]
+    nodes = {
+        u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
+        for u in ids
+    }
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(max_rounds)
+    leaders = {o[1] for o in tr.outputs.values() if o is not None}
+    ok = tr.termination_round is not None and len(leaders) == 1
+    return ok, tr.termination_round or max_rounds
+
+
 def exp_thm8_leader_election(
     sizes: Sequence[int] = (8, 16, 32),
     adversaries: Sequence[str] = ("overlap-stars", "random-conn"),
@@ -60,6 +85,7 @@ def exp_thm8_leader_election(
     n_prime_error: float = 0.0,
     max_rounds: int = 120_000,
     include_line_up_to: int = 16,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Leader election without D, given N' = (1 + err) N."""
     result = ExperimentResult(
@@ -70,39 +96,39 @@ def exp_thm8_leader_election(
             "flood rounds", "log2N",
         ],
     )
-    star_floods = []
-    star_ns = []
+    cells: List[Tuple[int, str, int]] = []  # (n, adversary, D) per row
+    tasks: List[Tuple] = []
     for n in sizes:
-        ids = list(range(1, n + 1))
         suite = _adversary_suite(n, seed=5)
         names = list(adversaries)
         if n <= include_line_up_to and "static-line" not in names:
             names.append("static-line")
         for name in names:
-            adv = suite[name]
-            d = measured_diameter(adv)
-            rounds_list, ok = [], 0
-            for seed in seeds:
-                nodes = {
-                    u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
-                    for u in ids
-                }
-                eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-                tr = eng.run(max_rounds)
-                leaders = {o[1] for o in tr.outputs.values() if o is not None}
-                terminated = tr.termination_round is not None
-                if terminated and len(leaders) == 1:
-                    ok += 1
-                rounds_list.append(tr.termination_round or max_rounds)
-            flood = mean(rounds_list) / max(1, d)
-            result.rows.append([
-                n, name, d, len(seeds), f"{ok}/{len(seeds)}",
-                round(mean(rounds_list), 1), round(flood, 1),
-                round(math.log2(n), 2),
-            ])
-            if name == "overlap-stars":
-                star_ns.append(n)
-                star_floods.append(flood)
+            cells.append((n, name, measured_diameter(suite[name])))
+            tasks.extend((n, name, n_prime_error, seed, max_rounds) for seed in seeds)
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _thm8_cell,
+        tasks,
+        labels=[f"N={t[0]}, adversary={t[1]}, seed={t[3]}" for t in tasks],
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    star_floods = []
+    star_ns = []
+    for i, (n, name, d) in enumerate(cells):
+        chunk = outcomes[i * len(seeds) : (i + 1) * len(seeds)]
+        ok = sum(o for o, _ in chunk)
+        rounds_list = [r for _, r in chunk]
+        flood = mean(rounds_list) / max(1, d)
+        result.rows.append([
+            n, name, d, len(seeds), f"{ok}/{len(seeds)}",
+            round(mean(rounds_list), 1), round(flood, 1),
+            round(math.log2(n), 2),
+        ])
+        if name == "overlap-stars":
+            star_ns.append(n)
+            star_floods.append(flood)
     if len(star_ns) >= 2:
         # fit flood_rounds ~ (log2 N)^p: slope of log(flood) vs log(log2 N)
         p, _ = loglog_slope([math.log2(v) for v in star_ns], star_floods)
@@ -116,9 +142,72 @@ def exp_thm8_leader_election(
     return result
 
 
+#: row order of the EXP-UB problems (one task per problem x seed)
+_UB_PROBLEMS = ("CFLOOD", "CONSENSUS", "MAX", "HEARFROM-N", "COUNT-N")
+
+
+def _ub_cell(problem: str, n: int, seed: int) -> Tuple[int, bool]:
+    """One (problem, size, seed) known-D run on the stars schedule.
+
+    Builds nodes, runs, and applies the problem's correctness predicate
+    *inside* the task — node state does not cross the process boundary,
+    only (rounds, correct) does.
+    """
+    ids = list(range(1, n + 1))
+    adv = OverlappingStarsAdversary(ids)
+    d = measured_diameter(adv)
+    budget = max_rounds_budget(d, n)
+    max_r = 10 * budget + n
+    if problem == "CFLOOD":
+        # source = min id, confirm after exactly D rounds
+        nodes = {u: CFloodKnownDNode(u, ids[0], d_param=d) for u in ids}
+
+        def check() -> bool:
+            return all(nodes[u].informed for u in ids)
+
+    elif problem == "CONSENSUS":
+        # decide max-id's value within Theta(D log N)
+        nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
+
+        def check() -> bool:
+            return len({nodes[u].best_value for u in ids}) == 1 and all(
+                nodes[u].best_value == max(ids) % 2 for u in ids
+            )
+
+    elif problem == "MAX":
+        nodes = {u: MaxIdNode(u, total_rounds=budget) for u in ids}
+
+        def check() -> bool:
+            return all(nodes[u].best == max(ids) for u in ids)
+
+    elif problem == "HEARFROM-N":
+        # definitionally D rounds when D is known
+        nodes = {u: HearFromAllNode(u, d_param=d) for u in ids}
+
+        def check() -> bool:
+            return True
+
+    elif problem == "COUNT-N":
+        # estimate N with accuracy well inside 1/3
+        cbudget = count_rounds_budget(d, n)
+        max_r = cbudget + 4
+        nodes = {u: CountNodesNode(u, total_rounds=cbudget) for u in ids}
+
+        def check() -> bool:
+            return all(abs(nodes[u].estimate - n) / n < 1 / 3 for u in ids)
+
+    else:  # pragma: no cover - guarded by _UB_PROBLEMS
+        raise ValueError(f"unknown EXP-UB problem {problem!r}")
+    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    tr = eng.run(max_r)
+    rounds = tr.termination_round or max_r
+    return rounds, tr.termination_round is not None and check()
+
+
 def exp_known_d_upper_bounds(
     sizes: Sequence[int] = (16, 32, 64),
     seeds: Sequence[int] = (21, 22),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Known-D protocols on the D=2 overlapping-stars schedule."""
     result = ExperimentResult(
@@ -126,61 +215,29 @@ def exp_known_d_upper_bounds(
         title="Known-D trivial upper bounds (overlapping stars, D = 2)",
         headers=["problem", "N", "D", "rounds", "flood rounds", "correct"],
     )
+    tasks: List[Tuple] = [
+        (problem, n, seed)
+        for n in sizes
+        for problem in _UB_PROBLEMS
+        for seed in seeds
+    ]
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _ub_cell, tasks, labels=[f"problem={p}, N={n}, seed={s}" for p, n, s in tasks]
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    i = 0
     for n in sizes:
-        ids = list(range(1, n + 1))
-        adv = OverlappingStarsAdversary(ids)
-        d = measured_diameter(adv)
-        budget = max_rounds_budget(d, n)
-
-        def run(make_nodes, check, cap: Optional[int] = None) -> Tuple[float, bool]:
-            max_r = cap if cap is not None else 10 * budget + n
-            rounds_list, all_ok = [], True
-            for seed in seeds:
-                nodes = make_nodes()
-                eng = SynchronousEngine(nodes, adv, CoinSource(seed))
-                tr = eng.run(max_r)
-                rounds_list.append(tr.termination_round or max_r)
-                all_ok = all_ok and tr.termination_round is not None and check(nodes)
-            return mean(rounds_list), all_ok
-
-        # CFLOOD: source = min id, confirm after exactly D rounds
-        src = ids[0]
-        rounds, ok = run(
-            lambda: {u: CFloodKnownDNode(u, src, d_param=d) for u in ids},
-            lambda nodes: all(nodes[u].informed for u in ids),
-        )
-        result.rows.append(["CFLOOD", n, d, round(rounds, 1), round(rounds / d, 1), ok])
-
-        # CONSENSUS: decide max-id's value within Theta(D log N)
-        rounds, ok = run(
-            lambda: {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids},
-            lambda nodes: len({nodes[u].best_value for u in ids}) == 1
-            and all(nodes[u].best_value == max(ids) % 2 for u in ids),
-        )
-        result.rows.append(["CONSENSUS", n, d, round(rounds, 1), round(rounds / d, 1), ok])
-
-        # MAX
-        rounds, ok = run(
-            lambda: {u: MaxIdNode(u, total_rounds=budget) for u in ids},
-            lambda nodes: all(nodes[u].best == max(ids) for u in ids),
-        )
-        result.rows.append(["MAX", n, d, round(rounds, 1), round(rounds / d, 1), ok])
-
-        # HEAR-FROM-N: definitionally D rounds when D is known
-        rounds, ok = run(
-            lambda: {u: HearFromAllNode(u, d_param=d) for u in ids},
-            lambda nodes: True,
-        )
-        result.rows.append(["HEARFROM-N", n, d, round(rounds, 1), round(rounds / d, 1), ok])
-
-        # estimate N with accuracy well inside 1/3
-        cbudget = count_rounds_budget(d, n)
-        rounds, ok = run(
-            lambda: {u: CountNodesNode(u, total_rounds=cbudget) for u in ids},
-            lambda nodes: all(abs(nodes[u].estimate - n) / n < 1 / 3 for u in ids),
-            cap=cbudget + 4,
-        )
-        result.rows.append(["COUNT-N", n, d, round(rounds, 1), round(rounds / d, 1), ok])
+        d = measured_diameter(OverlappingStarsAdversary(list(range(1, n + 1))))
+        for problem in _UB_PROBLEMS:
+            chunk = outcomes[i : i + len(seeds)]
+            i += len(seeds)
+            rounds = mean(r for r, _ in chunk)
+            ok = all(c for _, c in chunk)
+            result.rows.append(
+                [problem, n, d, round(rounds, 1), round(rounds / d, 1), ok]
+            )
     result.notes.append(
         "every problem sits at O(log N)-ish flooding rounds when D is "
         "known; contrast with the Omega((N/log N)^(1/4)) floor once D is "

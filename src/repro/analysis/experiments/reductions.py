@@ -23,7 +23,7 @@ imported Theorem-1 bound.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ...cc.bounds import theorem1_lower_bound_bits
 from ...cc.disjointness import random_instance
@@ -40,6 +40,7 @@ from ...core.reduction import implied_time_lower_bound
 from ...core.simulation import TwoPartyReduction
 from ...protocols.cflood import cflood_factory
 from ...protocols.consensus import ConsensusFromLeaderNode
+from ...sim.parallel import ParallelExecutor
 from .base import ExperimentResult
 
 __all__ = ["exp_thm6_reduction", "exp_thm7_reduction", "exp_cc_bounds"]
@@ -48,10 +49,76 @@ __all__ = ["exp_thm6_reduction", "exp_thm7_reduction", "exp_cc_bounds"]
 _ANSWER1_D = 10
 
 
+def _thm6_cell(q: int, n: int, truth: int, seed: int) -> List[list]:
+    """One (q, truth, seed) Theorem-6 instance, both oracles.
+
+    Both oracles share the instance/network/dichotomy computation (as the
+    sequential loop did), so the task granularity is the instance, not
+    the oracle.  Returns the two finished result rows.
+    """
+    inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
+    net = theorem6_network(inst)
+    source = net.special_nodes()["A_gamma"]
+    dich = measure_dichotomy(inst, "T6", compute_diameter=False)
+    rows: List[list] = []
+    for oracle_name, fac in (
+        ("fast(D=10)", cflood_factory(source, d_param=_ANSWER1_D)),
+        ("conserv(D=N-1)", cflood_factory(source, num_nodes=net.num_nodes)),
+    ):
+        red = TwoPartyReduction(inst, "T6", fac, seed=seed)
+        out = red.run()
+        flood_t = dich.flood_time_from_a
+        confirm_ok = (
+            flood_t is not None and flood_t <= _ANSWER1_D
+            if oracle_name.startswith("fast")
+            else True
+        )
+        rows.append([
+            q, net.num_nodes, truth, oracle_name, out.decision,
+            out.decision == truth,
+            out.bits_alice_to_bob, out.bits_bob_to_alice,
+            round(out.total_bits / max(1, out.rounds_simulated), 1),
+            out.rounds_simulated, flood_t, confirm_ok,
+        ])
+    return rows
+
+
+class _ConsensusSplitFactory:
+    """Λ nodes (ids <= |Λ|) hold 0, Υ nodes hold 1 (picklable factory)."""
+
+    __slots__ = ("n1", "n_prime")
+
+    def __init__(self, n1: int, n_prime: float):
+        self.n1 = n1
+        self.n_prime = n_prime
+
+    def __call__(self, uid: int) -> ConsensusFromLeaderNode:
+        return ConsensusFromLeaderNode(
+            uid, n_estimate=self.n_prime, value=0 if uid <= self.n1 else 1
+        )
+
+    def __getstate__(self):
+        return (self.n1, self.n_prime)
+
+    def __setstate__(self, state):
+        self.n1, self.n_prime = state
+
+
+def _thm7_cell(
+    q: int, n: int, truth: int, seed: int, n1: int, n_prime: float
+) -> Tuple[int, int, int, int]:
+    """One (q, truth, seed) Theorem-7 reduction at boundary N'."""
+    inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
+    red = TwoPartyReduction(inst, "T7", _ConsensusSplitFactory(n1, n_prime), seed=seed)
+    out = red.run()
+    return out.decision, out.bits_alice_to_bob, out.bits_bob_to_alice, out.rounds_simulated
+
+
 def exp_thm6_reduction(
     q_values: Sequence[int] = (25, 41),
     n: int = 3,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="EXP-T6",
@@ -62,32 +129,22 @@ def exp_thm6_reduction(
             "floodT", "confirm ok",
         ],
     )
-    for q in q_values:
-        for truth in (0, 1):
-            for seed in seeds:
-                inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
-                net = theorem6_network(inst)
-                source = net.special_nodes()["A_gamma"]
-                dich = measure_dichotomy(inst, "T6", compute_diameter=False)
-                for oracle_name, fac in (
-                    ("fast(D=10)", cflood_factory(source, d_param=_ANSWER1_D)),
-                    ("conserv(D=N-1)", cflood_factory(source, num_nodes=net.num_nodes)),
-                ):
-                    red = TwoPartyReduction(inst, "T6", fac, seed=seed)
-                    out = red.run()
-                    flood_t = dich.flood_time_from_a
-                    confirm_ok = (
-                        flood_t is not None and flood_t <= _ANSWER1_D
-                        if oracle_name.startswith("fast")
-                        else True
-                    )
-                    result.rows.append([
-                        q, net.num_nodes, truth, oracle_name, out.decision,
-                        out.decision == truth,
-                        out.bits_alice_to_bob, out.bits_bob_to_alice,
-                        round(out.total_bits / max(1, out.rounds_simulated), 1),
-                        out.rounds_simulated, flood_t, confirm_ok,
-                    ])
+    tasks: List[Tuple] = [
+        (q, n, truth, seed)
+        for q in q_values
+        for truth in (0, 1)
+        for seed in seeds
+    ]
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _thm6_cell,
+        tasks,
+        labels=[f"q={q}, truth={t}, seed={s}" for q, _, t, s in tasks],
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for rows in outcomes:
+        result.rows.extend(rows)
     bound = implied_time_lower_bound(n=10**6, q=101)
     result.summary["implied_s_formula"] = "s = Omega((N/log N)^(1/4))"
     result.summary["example_bound_bits(n=1e6,q=101)"] = round(bound.cc_bound_bits, 1)
@@ -104,6 +161,7 @@ def exp_thm7_reduction(
     q_values: Sequence[int] = (17, 25),
     n: int = 2,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="EXP-T7",
@@ -113,29 +171,29 @@ def exp_thm7_reduction(
             "dec==truth", "bits A->B", "bits B->A", "horizon",
         ],
     )
+    cells: List[Tuple] = []  # (q, n1, n0, n_prime, truth, seed) per row
     for q in q_values:
         n1, n0 = theorem7_sizes(n, q)
         n_prime = 4 * n1 / 3  # optimal: equal relative error in both scenarios
         for truth in (0, 1):
-            for seed in seeds:
-                inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
-                big_n = n0 if truth == 0 else n1
-
-                def factory(uid: int, _n1=n1, _np=n_prime):
-                    # Λ nodes (ids <= |Λ|) hold 0, Υ nodes hold 1
-                    return ConsensusFromLeaderNode(
-                        uid, n_estimate=_np, value=0 if uid <= _n1 else 1
-                    )
-
-                red = TwoPartyReduction(inst, "T7", factory, seed=seed)
-                out = red.run()
-                err = abs(n_prime - big_n) / big_n
-                result.rows.append([
-                    q, n1, n0, truth, round(n_prime, 1), round(err, 3),
-                    out.decision, out.decision == truth,
-                    out.bits_alice_to_bob, out.bits_bob_to_alice,
-                    out.rounds_simulated,
-                ])
+            cells.extend((q, n1, n0, n_prime, truth, seed) for seed in seeds)
+    executor = ParallelExecutor(workers)
+    outcomes = executor.map(
+        _thm7_cell,
+        [(q, n, truth, seed, n1, n_prime) for q, n1, _n0, n_prime, truth, seed in cells],
+        labels=[f"q={c[0]}, truth={c[4]}, seed={c[5]}" for c in cells],
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
+    for (q, n1, n0, n_prime, truth, _seed), out in zip(cells, outcomes):
+        decision, bits_ab, bits_ba, horizon = out
+        big_n = n0 if truth == 0 else n1
+        err = abs(n_prime - big_n) / big_n
+        result.rows.append([
+            q, n1, n0, truth, round(n_prime, 1), round(err, 3),
+            decision, decision == truth,
+            bits_ab, bits_ba, horizon,
+        ])
     result.notes.append(
         "N' = (4/3)|Λ| has relative error exactly 1/3 whether or not Υ "
         "exists — the best any estimate can do when the answer doubles N. "
@@ -147,31 +205,41 @@ def exp_thm7_reduction(
     return result
 
 
+def _cc_cell(n: int, q: int, seed: int) -> list:
+    """One (n, q) DISJOINTNESSCP cell: all four protocols + the bound."""
+    inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=max(1, n // 64))
+    row = [n, q, inst.evaluate()]
+    for proto in (SendAllProtocol, ZeroBitmaskProtocol, MinListProtocol):
+        a = proto("alice", inst.x, n, q)
+        b = proto("bob", inst.y, n, q)
+        res = run_two_party(a, b, seed=seed)
+        assert res.answer == inst.evaluate()
+        row.append(res.total_bits)
+    a, b = SamplingProtocol.build_pair(inst.x, inst.y, n, q, seed=seed, samples=64)
+    res = run_two_party(a, b, seed=seed)
+    row.append(res.total_bits)
+    row.append(round(theorem1_lower_bound_bits(n, q), 1))
+    return row
+
+
 def exp_cc_bounds(
     n_values: Sequence[int] = (64, 256, 1024),
     q_values: Sequence[int] = (5, 9, 17),
     seed: int = 3,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="EXP-CC",
         title="DISJOINTNESSCP: measured two-party bits vs the Theorem-1 bound",
         headers=["n", "q", "truth", "send-all", "bitmask", "min-list", "sampling", "Thm1 bound"],
     )
-    for n in n_values:
-        for q in q_values:
-            inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=max(1, n // 64))
-            row = [n, q, inst.evaluate()]
-            for proto in (SendAllProtocol, ZeroBitmaskProtocol, MinListProtocol):
-                a = proto("alice", inst.x, n, q)
-                b = proto("bob", inst.y, n, q)
-                res = run_two_party(a, b, seed=seed)
-                assert res.answer == inst.evaluate()
-                row.append(res.total_bits)
-            a, b = SamplingProtocol.build_pair(inst.x, inst.y, n, q, seed=seed, samples=64)
-            res = run_two_party(a, b, seed=seed)
-            row.append(res.total_bits)
-            row.append(round(theorem1_lower_bound_bits(n, q), 1))
-            result.rows.append(row)
+    tasks: List[Tuple] = [(n, q, seed) for n in n_values for q in q_values]
+    executor = ParallelExecutor(workers)
+    result.rows.extend(
+        executor.map(_cc_cell, tasks, labels=[f"n={n}, q={q}" for n, q, _ in tasks])
+    )
+    if executor.workers:
+        result.timings["workers"] = executor.workers
     result.notes.append(
         "all reference protocols sit above the Omega(n/q^2) - O(log n) "
         "curve; the near-matching upper bound of Chen et al. [4] is "

@@ -3,26 +3,62 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["cartesian_sweep"]
+
+
+def _sweep_cell(fn: Callable[..., Mapping[str, Any]], cell: Dict[str, Any]) -> Dict[str, Any]:
+    """One grid cell, shaped for the process pool (module-level, picklable)."""
+    result = fn(**cell)
+    row = dict(cell)
+    row.update(result)
+    return row
+
+
+def _cell_label(cell: Mapping[str, Any]) -> str:
+    return ", ".join(f"{k}={v!r}" for k, v in cell.items())
 
 
 def cartesian_sweep(
     params: Mapping[str, Sequence[Any]],
     fn: Callable[..., Mapping[str, Any]],
+    workers: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``fn(**cell)`` for every cell of the parameter grid.
 
     Each result row is the cell's parameters merged with ``fn``'s result
     dict (result keys win on collision — they are the measurements).
+
+    ``workers`` > 0 evaluates the cells on a process pool (``None``
+    defers to ``REPRO_WORKERS``, 0 stays sequential) via
+    :class:`repro.sim.parallel.ParallelExecutor`: rows come back in grid
+    order regardless of completion order, and a failing cell re-raises
+    with that cell's parameters in the message.  ``fn`` must be
+    picklable (a module-level function) to parallelize; otherwise the
+    sweep runs inline.
     """
     names = list(params)
-    rows: List[Dict[str, Any]] = []
-    for values in itertools.product(*(params[k] for k in names)):
-        cell = dict(zip(names, values))
-        result = fn(**cell)
-        row = dict(cell)
-        row.update(result)
-        rows.append(row)
-    return rows
+    cells: List[Dict[str, Any]] = [
+        dict(zip(names, values))
+        for values in itertools.product(*(params[k] for k in names))
+    ]
+
+    from ..sim.parallel import ParallelExecutor, ensure_picklable, resolve_workers
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 0 and ensure_picklable(fn=fn) is not None:
+        import warnings
+
+        warnings.warn(
+            "cartesian_sweep: fn cannot be pickled for process-pool "
+            "execution (closure or lambda?); running cells inline.",
+            stacklevel=2,
+        )
+        n_workers = 0
+    if n_workers > 0:
+        tasks: List[Tuple] = [(fn, cell) for cell in cells]
+        return ParallelExecutor(n_workers).map(
+            _sweep_cell, tasks, labels=[_cell_label(c) for c in cells]
+        )
+    return [_sweep_cell(fn, cell) for cell in cells]

@@ -56,67 +56,87 @@ from .analysis.experiments import (
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig1(quick: bool):
+def _fig1(quick: bool, workers: Optional[int] = None):
     # The figures are fixed paper constructions (no parameter grid), so
-    # quick and full runs are identical — the flag is deliberately unused.
+    # quick and full runs are identical — the flag is deliberately
+    # unused, and there is no seed sweep to parallelize either.
     return exp_fig1()
 
 
-def _fig2(quick: bool):
-    return exp_fig2()  # fixed construction; --quick is a no-op (see _fig1)
+def _fig2(quick: bool, workers: Optional[int] = None):
+    return exp_fig2()  # fixed construction; --quick/--workers no-ops (see _fig1)
 
 
-def _fig3(quick: bool):
-    return exp_fig3()  # fixed construction; --quick is a no-op (see _fig1)
+def _fig3(quick: bool, workers: Optional[int] = None):
+    return exp_fig3()  # fixed construction; --quick/--workers no-ops (see _fig1)
 
 
-def _thm6(quick: bool):
-    return exp_thm6_reduction(q_values=(25,) if quick else (25, 41), seeds=(1,) if quick else (1, 2))
+def _thm6(quick: bool, workers: Optional[int] = None):
+    return exp_thm6_reduction(
+        q_values=(25,) if quick else (25, 41), seeds=(1,) if quick else (1, 2),
+        workers=workers,
+    )
 
 
-def _thm7(quick: bool):
-    return exp_thm7_reduction(q_values=(17,) if quick else (17, 25), seeds=(1,) if quick else (1, 2))
+def _thm7(quick: bool, workers: Optional[int] = None):
+    return exp_thm7_reduction(
+        q_values=(17,) if quick else (17, 25), seeds=(1,) if quick else (1, 2),
+        workers=workers,
+    )
 
 
-def _thm8(quick: bool):
+def _thm8(quick: bool, workers: Optional[int] = None):
     if quick:
         return exp_thm8_leader_election(
-            sizes=(8,), adversaries=("overlap-stars",), seeds=(11,), include_line_up_to=0
+            sizes=(8,), adversaries=("overlap-stars",), seeds=(11,),
+            include_line_up_to=0, workers=workers,
         )
-    return exp_thm8_leader_election()
+    return exp_thm8_leader_election(workers=workers)
 
 
-def _ub(quick: bool):
-    return exp_known_d_upper_bounds(sizes=(16,) if quick else (16, 32, 64), seeds=(21,) if quick else (21, 22))
+def _ub(quick: bool, workers: Optional[int] = None):
+    return exp_known_d_upper_bounds(
+        sizes=(16,) if quick else (16, 32, 64), seeds=(21,) if quick else (21, 22),
+        workers=workers,
+    )
 
 
-def _cc(quick: bool):
-    return exp_cc_bounds(n_values=(64, 256) if quick else (64, 256, 1024))
+def _cc(quick: bool, workers: Optional[int] = None):
+    return exp_cc_bounds(n_values=(64, 256) if quick else (64, 256, 1024), workers=workers)
 
 
-def _gap(quick: bool):
-    return exp_exponential_gap(measured_sizes=(16,) if quick else (16, 32, 64), seeds=(31,) if quick else (31, 32))
+def _gap(quick: bool, workers: Optional[int] = None):
+    return exp_exponential_gap(
+        measured_sizes=(16,) if quick else (16, 32, 64),
+        seeds=(31,) if quick else (31, 32), workers=workers,
+    )
 
 
-def _sens(quick: bool):
+def _sens(quick: bool, workers: Optional[int] = None):
     if quick:
-        return exp_sensitivity(n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000)
-    return exp_sensitivity()
+        return exp_sensitivity(
+            n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000, workers=workers
+        )
+    return exp_sensitivity(workers=workers)
 
 
-def _est(quick: bool):
+def _est(quick: bool, workers: Optional[int] = None):
     if quick:
-        return exp_estimate_insensitivity(q_values=(9,), seeds=(1,), late_factor=150)
-    return exp_estimate_insensitivity()
+        return exp_estimate_insensitivity(
+            q_values=(9,), seeds=(1,), late_factor=150, workers=workers
+        )
+    return exp_estimate_insensitivity(workers=workers)
 
 
-def _heur(quick: bool):
+def _heur(quick: bool, workers: Optional[int] = None):
     if quick:
-        return exp_doubling_heuristic(n=24, thresholds=(0.75,), seeds=(1,), max_rounds=40_000)
-    return exp_doubling_heuristic()
+        return exp_doubling_heuristic(
+            n=24, thresholds=(0.75,), seeds=(1,), max_rounds=40_000, workers=workers
+        )
+    return exp_doubling_heuristic(workers=workers)
 
 
-#: command name -> (description, runner(quick) -> ExperimentResult)
+#: command name -> (description, runner(quick, workers=None) -> ExperimentResult)
 EXPERIMENTS: Dict[str, tuple] = {
     "fig1": ("Figure 1: type-Γ chains under the three adversaries (fixed; no quick grid)", _fig1),
     "fig2": ("Figure 2: Λ centipede cascade (x=y=0) (fixed; no quick grid)", _fig2),
@@ -230,6 +250,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true", help="shrink parameter grids for a fast run"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan per-seed runs out over N processes (0 = inline; default: "
+        "the REPRO_WORKERS environment variable, else 0); results are "
+        "identical at any worker count — see docs/PARALLEL.md",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="instrument engine runs and print aggregate metrics/timings",
@@ -291,7 +320,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # one subdirectory per experiment when running several
                 trace_dir = args.trace_out if len(names) == 1 else f"{args.trace_out}/{name}"
             with observe(trace_dir=trace_dir, label=name) as session:
-                result = runner(args.quick)
+                result = runner(args.quick, workers=args.workers)
             result.attach_session(session)
             print(result.render())
             if args.metrics:
@@ -308,7 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     out = str(p.with_name(f"{p.stem}-{name}{p.suffix or '.prom'}"))
                 _write_metrics_out(session, out)
         else:
-            result = runner(args.quick)
+            result = runner(args.quick, workers=args.workers)
             print(result.render())
         print()
     return 0

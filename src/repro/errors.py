@@ -17,6 +17,7 @@ __all__ = [
     "SimulationDiverged",
     "ProtocolError",
     "ConfigurationError",
+    "ParallelExecutionError",
 ]
 
 
@@ -68,3 +69,14 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid parameters passed to a constructor or experiment."""
+
+
+class ParallelExecutionError(ReproError):
+    """A process-pool worker failed in a way its exception can't convey.
+
+    Raised by :mod:`repro.sim.parallel` when a worker's original
+    exception type cannot be reconstructed in the parent (multi-argument
+    constructor, unpicklable class) or when the worker process itself
+    died; the message always names the failing task's label (seed or
+    sweep-cell parameters) and the original exception type.
+    """

@@ -75,12 +75,16 @@ class SessionManifest:
     runs: List[RunManifest] = field(default_factory=list)
     #: registry snapshot at session close (counters/gauges/histograms)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: largest process-pool worker count whose runs merged into this
+    #: session (0 = everything ran inline/sequentially)
+    workers: int = 0
 
     def as_dict(self) -> dict:
         return {
             "label": self.label,
             "package_version": self.package_version,
             "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
             "runs": [r.as_dict() for r in self.runs],
             "metrics": self.metrics,
         }
@@ -99,4 +103,5 @@ class SessionManifest:
             wall_seconds=data.get("wall_seconds"),
             runs=[RunManifest.from_dict(r) for r in data.get("runs", ())],
             metrics=data.get("metrics", {}),
+            workers=data.get("workers", 0),
         )

@@ -76,6 +76,9 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge_from(self, other: "Counter") -> None:
+        self.value += other.value
+
     def as_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
@@ -95,6 +98,11 @@ class Gauge:
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+
+    def merge_from(self, other: "Gauge") -> None:
+        # last-write-wins: callers merge in task order, which reproduces
+        # the value a sequential run would have left behind
+        self.value = other.value
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -128,6 +136,20 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
 
     @property
     def mean(self) -> float:
@@ -185,6 +207,24 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
     ) -> Histogram:
         return self._get(Histogram, name, labels, buckets=buckets)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        The semantics make merging parallel-worker registries in task
+        order equivalent to one sequential registry: counters add,
+        gauges keep the incoming (later) value, histograms pool their
+        distributions.  Used by the observation runtime to absorb
+        per-worker registries shipped back from a process pool.
+        """
+        type_map = {Counter: self.counter, Gauge: self.gauge, Histogram: self.histogram}
+        for (name, labels), metric in sorted(other._metrics.items()):
+            getter = type_map.get(type(metric))
+            if getter is None:  # pragma: no cover - no other types exist
+                continue
+            kwargs = {"buckets": metric.bounds} if isinstance(metric, Histogram) else {}
+            mine = self._get(type(metric), name, dict(labels), **kwargs)
+            mine.merge_from(metric)
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -263,6 +303,9 @@ class _NullInstrument:
     def observe(self, value) -> None:
         pass
 
+    def merge_from(self, other) -> None:
+        pass
+
     def as_dict(self) -> dict:
         return {"type": "null"}
 
@@ -284,6 +327,9 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(self, name, labels=None, buckets=DEFAULT_TIME_BUCKETS):  # type: ignore[override]
         return _NULL_INSTRUMENT
+
+    def merge(self, other) -> None:  # type: ignore[override]
+        pass
 
     def snapshot(self) -> dict:
         return {}

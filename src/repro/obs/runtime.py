@@ -30,6 +30,7 @@ from __future__ import annotations
 import pathlib
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from .export import write_ledger_jsonl, write_trace_jsonl
@@ -38,9 +39,45 @@ from .ledger import ProofLedger
 from .manifest import RunManifest, SessionManifest
 from .metrics import MetricsRegistry, NULL_REGISTRY
 
-__all__ = ["ObservationSession", "observe", "current_session", "instrument_engine"]
+__all__ = [
+    "ObservationSession",
+    "observe",
+    "current_session",
+    "instrument_engine",
+    "CapturedRun",
+    "WorkerObservations",
+    "worker_capture",
+]
 
 _SESSIONS: List["ObservationSession"] = []
+
+
+@dataclass
+class CapturedRun:
+    """One run recorded inside a pool worker, awaiting parent persistence.
+
+    Holds exactly what the parent session needs to persist the run as if
+    it had happened locally: the run manifest, and either the engine
+    trace (``kind == "engine"``) or the proof-ledger records + reduction
+    summary (``kind == "reduction"``).  Every field is picklable — the
+    trace is frozen dataclasses, the ledger is a list of JSON dicts.
+    """
+
+    kind: str
+    manifest: RunManifest
+    trace: Any = None
+    node_ids: Optional[List[int]] = None
+    run_metrics: Optional[dict] = None
+    ledger: Optional[List[dict]] = None
+    summary: Optional[dict] = None
+
+
+@dataclass
+class WorkerObservations:
+    """What one worker task ships back: its registry plus captured runs."""
+
+    registry: MetricsRegistry
+    runs: List[CapturedRun] = field(default_factory=list)
 
 
 class ObservationSession:
@@ -63,10 +100,15 @@ class ObservationSession:
         trace_dir: Optional[pathlib.Path] = None,
         metrics: bool = True,
         label: Optional[str] = None,
+        collect: bool = False,
     ):
         self.registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_REGISTRY
         self.trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
         self.manifest = SessionManifest(label=label)
+        #: collect mode (pool workers): runs are buffered as
+        #: :class:`CapturedRun` for the parent to persist, never written
+        self.collect = collect
+        self._captured: List[CapturedRun] = []
         self._run_index = 0
         self._started_at = time.perf_counter()
         if self.trace_dir is not None:
@@ -78,6 +120,19 @@ class ObservationSession:
         return Instrumentation(registry=self.registry, on_run_end=self._run_ended)
 
     def _run_ended(self, instr: Instrumentation, engine: Any) -> None:
+        if self.collect and engine is not None:
+            run_manifest = RunManifest.from_engine(engine)
+            run_manifest.wall_seconds = instr.wall_seconds
+            self._captured.append(
+                CapturedRun(
+                    kind="engine",
+                    manifest=run_manifest,
+                    trace=engine.trace,
+                    node_ids=list(engine.node_ids),
+                    run_metrics=instr.run_metrics(),
+                )
+            )
+            return
         self._run_index += 1
         if engine is not None:
             run_manifest = RunManifest.from_engine(engine)
@@ -103,7 +158,6 @@ class ObservationSession:
 
     def record_reduction(self, reduction: Any, outcome: Any = None) -> None:
         """Persist a finished (or diverged) two-party reduction run."""
-        self._run_index += 1
         ledger = reduction.ledger
         run_manifest = RunManifest(
             seed=getattr(reduction, "seed", None),
@@ -127,6 +181,17 @@ class ObservationSession:
             )
         else:
             summary.update(rounds=None, diverged=True)
+        if self.collect:
+            self._captured.append(
+                CapturedRun(
+                    kind="reduction",
+                    manifest=run_manifest,
+                    ledger=list(ledger.records),
+                    summary=summary,
+                )
+            )
+            return
+        self._run_index += 1
         if self.trace_dir is not None:
             name = f"run-{self._run_index:04d}.jsonl"
             write_ledger_jsonl(
@@ -137,6 +202,54 @@ class ObservationSession:
             )
             run_manifest.trace_file = name
         self.manifest.runs.append(run_manifest)
+
+    # -- parallel-worker integration ------------------------------------
+    def export_worker_observations(self) -> WorkerObservations:
+        """Package a collecting session's registry + buffered runs.
+
+        Called at the end of each pool-worker task; the result crosses
+        the process boundary and is handed to the parent session's
+        :meth:`ingest_worker_observations`.
+        """
+        return WorkerObservations(registry=self.registry, runs=self._captured)
+
+    def ingest_worker_observations(
+        self, observations: WorkerObservations, workers: int = 0
+    ) -> None:
+        """Merge one worker task's observations into this session.
+
+        Counters add, gauges keep the incoming value, histograms pool
+        (see :meth:`MetricsRegistry.merge <repro.obs.metrics.MetricsRegistry.merge>`);
+        captured runs are persisted here with this session's run
+        numbering.  Callers ingest in *task* order, so run files,
+        manifest entries, and gauge values land exactly as a sequential
+        run would have left them.
+        """
+        self.registry.merge(observations.registry)
+        if workers > self.manifest.workers:
+            self.manifest.workers = workers
+        for captured in observations.runs:
+            self._run_index += 1
+            run_manifest = captured.manifest
+            if self.trace_dir is not None:
+                name = f"run-{self._run_index:04d}.jsonl"
+                if captured.kind == "reduction":
+                    write_ledger_jsonl(
+                        self.trace_dir / name,
+                        manifest=run_manifest,
+                        ledger=captured.ledger or [],
+                        summary=captured.summary,
+                    )
+                else:
+                    write_trace_jsonl(
+                        captured.trace,
+                        self.trace_dir / name,
+                        manifest=run_manifest,
+                        node_ids=captured.node_ids,
+                        run_metrics=captured.run_metrics,
+                    )
+                run_manifest.trace_file = name
+            self.manifest.runs.append(run_manifest)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -177,3 +290,22 @@ def observe(
     finally:
         _SESSIONS.pop()
         session.close()
+
+
+@contextmanager
+def worker_capture():
+    """A collecting session for one pool-worker task.
+
+    Engines and reductions constructed inside the scope observe into a
+    fresh registry and buffer their runs as :class:`CapturedRun`; the
+    caller exports the result with
+    :meth:`ObservationSession.export_worker_observations` and ships it
+    back to the parent process.  Nothing is written to disk here — the
+    parent persists, preserving its own run numbering.
+    """
+    session = ObservationSession(collect=True)
+    _SESSIONS.append(session)
+    try:
+        yield session
+    finally:
+        _SESSIONS.pop()

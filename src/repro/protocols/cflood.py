@@ -81,8 +81,14 @@ def cflood_factory(
     source: int, d_param: Optional[int] = None, num_nodes: Optional[int] = None
 ) -> Callable[[int], ProtocolNode]:
     """Factory for the engine/reduction: known-D if ``d_param`` given,
-    conservative otherwise (then ``num_nodes`` is required)."""
+    conservative otherwise (then ``num_nodes`` is required).
+
+    Returns a :class:`~repro.sim.factories.BoundNode` (not a closure) so
+    the factory can cross a process boundary for parallel replication.
+    """
+    from ..sim.factories import BoundNode
+
     if d_param is not None:
-        return lambda uid: CFloodKnownDNode(uid, source, d_param)
+        return BoundNode(CFloodKnownDNode, source=source, d_param=d_param)
     require(num_nodes is not None, "need d_param or num_nodes")
-    return lambda uid: CFloodConservativeNode(uid, source, num_nodes)
+    return BoundNode(CFloodConservativeNode, source=source, num_nodes=num_nodes)

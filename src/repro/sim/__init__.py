@@ -22,8 +22,10 @@ algebra, and the :mod:`~repro.sim.runner` convenience helpers.
 from .actions import Action, Receive, Send
 from .coins import Coins, CoinSource
 from .engine import SynchronousEngine
+from .factories import BoundNode, Constant, NodeSet
 from .messages import congest_budget
 from .node import ProtocolNode
+from .parallel import WORKERS_ENV, ParallelExecutor, resolve_workers
 from .runner import ProtocolRun, replicate, run_protocol
 from .trace import ExecutionTrace, RoundRecord
 
@@ -41,4 +43,10 @@ __all__ = [
     "replicate",
     "ExecutionTrace",
     "RoundRecord",
+    "BoundNode",
+    "NodeSet",
+    "Constant",
+    "ParallelExecutor",
+    "resolve_workers",
+    "WORKERS_ENV",
 ]

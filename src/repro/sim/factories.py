@@ -1,0 +1,130 @@
+"""Picklable factory objects for process-pool execution.
+
+The experiment drivers historically built node/adversary factories as
+lambdas and closures — fine sequentially, but a closure cannot cross a
+process boundary, so a parallel :func:`~repro.sim.runner.replicate`
+would silently fall back to inline execution.  These small callables
+capture the same bindings as *data* (constructor + keyword arguments),
+which pickles by value and reconstructs identically in every worker:
+
+* :class:`BoundNode` — ``BoundNode(CFloodKnownDNode, source=0,
+  d_param=3)`` behaves like ``lambda uid: CFloodKnownDNode(uid,
+  source=0, d_param=3)``;
+* :class:`NodeSet` — a zero-argument factory producing a fresh
+  ``{uid: node}`` dict for the engine, optionally from per-uid overrides
+  (``NodeSet(range(n), default, {0: source_factory})``);
+* :class:`Constant` — a zero-argument factory returning a fixed
+  (picklable) object, e.g. a pre-built adversary.
+
+Equality is structural, so tests can assert two factories would build
+the same nodes without instantiating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+__all__ = ["BoundNode", "NodeSet", "Constant"]
+
+
+class BoundNode:
+    """``lambda uid: cls(uid, **kwargs)`` as a picklable object."""
+
+    __slots__ = ("cls", "kwargs")
+
+    def __init__(self, cls: Callable[..., Any], **kwargs: Any):
+        self.cls = cls
+        self.kwargs = kwargs
+
+    def __call__(self, uid: int) -> Any:
+        return self.cls(uid, **self.kwargs)
+
+    def __getstate__(self):
+        return {"cls": self.cls, "kwargs": self.kwargs}
+
+    def __setstate__(self, state):
+        self.cls = state["cls"]
+        self.kwargs = state["kwargs"]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BoundNode)
+            and self.cls is other.cls
+            and self.kwargs == other.kwargs
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - dict-key convenience
+        return hash((self.cls, tuple(sorted(self.kwargs.items(), key=repr))))
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs.items())
+        return f"BoundNode({self.cls.__name__}, {args})"
+
+
+class NodeSet:
+    """``lambda: {uid: factory(uid) for uid in uids}`` as a picklable object.
+
+    ``overrides`` replaces the default per-uid factory for selected uids
+    (the usual "node 0 is the source" pattern).
+    """
+
+    __slots__ = ("uids", "factory", "overrides")
+
+    def __init__(
+        self,
+        uids: Iterable[int],
+        factory: Callable[[int], Any],
+        overrides: Optional[Mapping[int, Callable[[int], Any]]] = None,
+    ):
+        self.uids = tuple(uids)
+        self.factory = factory
+        self.overrides = dict(overrides) if overrides else {}
+
+    def __call__(self) -> Dict[int, Any]:
+        return {
+            uid: self.overrides.get(uid, self.factory)(uid) for uid in self.uids
+        }
+
+    def __getstate__(self):
+        return {"uids": self.uids, "factory": self.factory, "overrides": self.overrides}
+
+    def __setstate__(self, state):
+        self.uids = state["uids"]
+        self.factory = state["factory"]
+        self.overrides = state["overrides"]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NodeSet)
+            and self.uids == other.uids
+            and self.factory == other.factory
+            and self.overrides == other.overrides
+        )
+
+    def __repr__(self) -> str:
+        extra = f", overrides={self.overrides!r}" if self.overrides else ""
+        return f"NodeSet({self.uids!r}, {self.factory!r}{extra})"
+
+
+class Constant:
+    """``lambda: value`` as a picklable object (e.g. a fixed adversary)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __call__(self) -> Any:
+        return self.value
+
+    def __getstate__(self):
+        return {"value": self.value}
+
+    def __setstate__(self, state):
+        self.value = state["value"]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"

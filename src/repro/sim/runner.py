@@ -9,13 +9,21 @@ Both drivers thread observability through: pass ``instrument=True`` (or
 run inside :func:`repro.obs.runtime.observe`) and every run carries its
 per-phase wall-clock breakdown and counters in ``ProtocolRun.metrics``;
 a replication aggregates them in ``ReplicationSummary``.
+
+Replication is embarrassingly parallel — every run is deterministic in
+its seed — so ``replicate(..., workers=4)`` fans the seeds out over a
+process pool (see :mod:`repro.sim.parallel`) and returns a summary
+equal, run for run, to the sequential one.  Factories that cannot cross
+the process boundary (closures, lambdas) fall back to inline execution
+with a warning rather than failing.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean, median
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .coins import CoinSource
 from .engine import SynchronousEngine
@@ -146,6 +154,40 @@ class ReplicationSummary:
         return sum(not correct(r) for r in self.runs) / max(1, len(self.runs))
 
 
+def _replicate_task(
+    make_nodes: NodeFactory,
+    make_adversary: AdversaryFactory,
+    seed: int,
+    max_rounds: int,
+    bandwidth_factor: int,
+    check_connected: bool,
+    instrument: bool,
+) -> Tuple[ProtocolRun, Optional[Any]]:
+    """One seed's run inside a pool worker: the run plus its registry.
+
+    With ``instrument=True`` the worker builds its own registry (there
+    is no shared one across processes); the parent merges the returned
+    registries in seed order, reproducing the sequential shared-registry
+    aggregate.
+    """
+    registry = None
+    if instrument:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    run = run_protocol(
+        make_nodes,
+        make_adversary,
+        seed,
+        max_rounds,
+        bandwidth_factor=bandwidth_factor,
+        check_connected=check_connected,
+        instrument=instrument,
+        registry=registry,
+    )
+    return run, registry
+
+
 def replicate(
     make_nodes: NodeFactory,
     make_adversary: AdversaryFactory,
@@ -155,13 +197,61 @@ def replicate(
     check_connected: bool = True,
     instrument: bool = False,
     registry: Optional[Any] = None,
+    workers: Optional[int] = None,
 ) -> ReplicationSummary:
     """Run the same cell under each seed and aggregate.
 
     With ``instrument=True`` all runs share ``registry`` (a fresh one by
     default), so cross-seed counters aggregate while each run keeps its
     own phase breakdown.
+
+    ``workers`` > 0 runs the seeds on a process pool (``None`` defers to
+    the ``REPRO_WORKERS`` environment variable, 0 stays sequential); the
+    returned summary is identical to the sequential one, and instrumented
+    metrics merge back in seed order.  Factories that cannot be pickled
+    (closures over local state) fall back to inline execution with a
+    :class:`UserWarning`.
     """
+    from .parallel import ParallelExecutor, ensure_picklable, resolve_workers
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 0:
+        unpicklable = ensure_picklable(
+            make_nodes=make_nodes, make_adversary=make_adversary
+        )
+        if unpicklable is not None:
+            warnings.warn(
+                f"replicate: {unpicklable} cannot be pickled for process-pool "
+                f"execution (closure or lambda?); running seeds inline. "
+                f"Use module-level factories (see repro.sim.factories) to "
+                f"parallelize.",
+                stacklevel=2,
+            )
+            n_workers = 0
+    if n_workers > 0:
+        results = ParallelExecutor(n_workers).map(
+            _replicate_task,
+            [
+                (
+                    make_nodes,
+                    make_adversary,
+                    seed,
+                    max_rounds,
+                    bandwidth_factor,
+                    check_connected,
+                    instrument,
+                )
+                for seed in seeds
+            ],
+            labels=[f"seed={seed}" for seed in seeds],
+        )
+        runs = []
+        for run, worker_registry in results:
+            if registry is not None and worker_registry is not None:
+                registry.merge(worker_registry)
+            runs.append(run)
+        return ReplicationSummary(runs=runs)
+
     if instrument and registry is None:
         from ..obs.metrics import MetricsRegistry
 

@@ -1,0 +1,196 @@
+"""Tests for the parallel execution layer: executor, factories, failures.
+
+The failure-path contract matters most: a worker exception must surface
+in the parent with its original type and the failing task's label (seed,
+sweep-cell parameters), never as a bare pool error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BandwidthExceeded,
+    ConfigurationError,
+    ParallelExecutionError,
+    SimulationDiverged,
+)
+from repro.network.adversaries import RandomConnectedAdversary
+from repro.protocols.cflood import CFloodConservativeNode, cflood_factory
+from repro.sim.factories import BoundNode, Constant, NodeSet
+from repro.sim.parallel import (
+    WORKERS_ENV,
+    ParallelExecutor,
+    ensure_picklable,
+    resolve_workers,
+)
+from repro.sim.runner import replicate
+
+
+# ---- module-level task functions (must be importable from workers) ----
+
+def _square(x):
+    return x * x
+
+
+def _raise_diverged(seed):
+    raise SimulationDiverged(f"states disagree at round 3 (seed {seed})")
+
+
+def _raise_bandwidth(seed):
+    # multi-argument constructor: cannot be rebuilt as cls(message)
+    raise BandwidthExceeded(bits=99, budget=24, sender=1, round_=2)
+
+
+def _workers_inside_worker(_):
+    # resolve_workers must report 0 inside a pool worker, whatever the
+    # argument or environment says — parallelism never nests
+    return resolve_workers(8)
+
+
+def _make_nodes_n8():
+    fac = cflood_factory(0, num_nodes=8)
+    return {u: fac(u) for u in range(8)}
+
+
+def _make_adversary_n8():
+    return RandomConnectedAdversary(range(8), seed=5)
+
+
+class TestResolveWorkers:
+    def test_default_is_inline(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 0
+        assert resolve_workers(None) == 0
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert resolve_workers() == 2
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert resolve_workers() == 0
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            resolve_workers(-1)
+
+
+class TestParallelExecutor:
+    def test_inline_mode(self):
+        out = ParallelExecutor(0).map(_square, [(i,) for i in range(6)])
+        assert out == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_mode_preserves_input_order(self):
+        out = ParallelExecutor(2).map(_square, [(i,) for i in range(20)])
+        assert out == [i * i for i in range(20)]
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="labels"):
+            ParallelExecutor(0).map(_square, [(1,)], labels=["a", "b"])
+
+    def test_no_nested_pools(self):
+        assert ParallelExecutor(2).map(_workers_inside_worker, [(0,), (1,)]) == [0, 0]
+
+    def test_worker_exception_surfaces_type_and_label(self):
+        with pytest.raises(SimulationDiverged) as exc_info:
+            ParallelExecutor(2).map(
+                _raise_diverged, [(7,)], labels=["seed=7"]
+            )
+        assert "seed=7" in str(exc_info.value)
+        assert "states disagree" in str(exc_info.value)
+        assert exc_info.value.worker_label == "seed=7"
+        assert "SimulationDiverged" in exc_info.value.worker_traceback
+
+    def test_unreconstructible_exception_falls_back(self):
+        # BandwidthExceeded needs 4 constructor args; the parent raises
+        # ParallelExecutionError naming the original type and the label
+        with pytest.raises(ParallelExecutionError, match="BandwidthExceeded") as ei:
+            ParallelExecutor(2).map(_raise_bandwidth, [(1,)], labels=["seed=1"])
+        assert "seed=1" in str(ei.value)
+
+    def test_ensure_picklable(self):
+        assert ensure_picklable(fn=_square) is None
+        assert ensure_picklable(fn=lambda: 1) == "fn"
+        assert ensure_picklable(a=_square, b=lambda: 1) == "b"
+
+
+class TestReplicateParallel:
+    def test_failure_names_the_seed(self):
+        # seed 2's run diverges... simulate by a node factory that explodes
+        with pytest.raises(SimulationDiverged) as ei:
+            ParallelExecutor(2).map(
+                _raise_diverged, [(1,), (2,)], labels=["seed=1", "seed=2"]
+            )
+        assert "seed=1" in str(ei.value)  # first failing task in input order
+
+    def test_lambda_factories_fall_back_inline(self):
+        with pytest.warns(UserWarning, match="cannot be pickled"):
+            summary = replicate(
+                lambda: {u: CFloodConservativeNode(u, 0, num_nodes=4) for u in range(4)},
+                lambda: RandomConnectedAdversary(range(4), seed=1),
+                seeds=[1, 2],
+                max_rounds=50,
+                workers=2,
+            )
+        assert summary.num_runs == 2
+        assert all(r.terminated for r in summary.runs)
+
+    def test_picklable_factories_do_not_warn(self, recwarn):
+        summary = replicate(
+            _make_nodes_n8,
+            _make_adversary_n8,
+            seeds=[1, 2],
+            max_rounds=200,
+            workers=2,
+        )
+        assert summary.num_runs == 2
+        assert not [w for w in recwarn if "pickled" in str(w.message)]
+
+
+class TestFactories:
+    def test_bound_node_builds_and_pickles(self):
+        fac = BoundNode(CFloodConservativeNode, source=0, num_nodes=8)
+        node = fac(3)
+        assert node.uid == 3 and node.source == 0
+        clone = pickle.loads(pickle.dumps(fac))
+        assert clone == fac
+        assert clone(3).d_param == node.d_param
+
+    def test_cflood_factory_is_picklable(self):
+        fac = cflood_factory(0, d_param=3)
+        clone = pickle.loads(pickle.dumps(fac))
+        assert clone == fac and clone(1).d_param == 3
+
+    def test_node_set(self):
+        default = BoundNode(CFloodConservativeNode, source=0, num_nodes=4)
+        ns = NodeSet(range(4), default)
+        nodes = ns()
+        assert sorted(nodes) == [0, 1, 2, 3]
+        assert all(nodes[u].uid == u for u in nodes)
+        assert pickle.loads(pickle.dumps(ns)) == ns
+
+    def test_node_set_overrides(self):
+        default = BoundNode(CFloodConservativeNode, source=0, num_nodes=4)
+        special = BoundNode(CFloodConservativeNode, source=1, num_nodes=4)
+        ns = NodeSet(range(4), default, overrides={1: special})
+        nodes = ns()
+        assert nodes[1].source == 1 and nodes[0].source == 0
+
+    def test_constant(self):
+        adv = RandomConnectedAdversary(range(4), seed=9)
+        c = Constant(adv)
+        assert c() is adv
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone().seed == adv.seed
