@@ -10,6 +10,7 @@ Usage::
     python -m repro inspect out/thm8              # whole-session table
     python -m repro audit out/thm6                # proof-ledger checks
     python -m repro bench-diff baseline/ benchmarks/out/
+    python -m repro faultcheck --out benchmarks/out/EXP-FI.json
     python -m repro all --quick
 
 Each command prints the experiment's rendered table (the same rows the
@@ -29,7 +30,10 @@ phase timing, realized dynamic diameter) or a whole session directory.
 reduction runs and exits nonzero if any Lemma 3/4 spoil budget or the
 O(s log N) cut-bit envelope was violated.  ``repro bench-diff OLD NEW``
 compares two directories of ``benchmarks/out/EXP-*.json`` sidecars and
-flags result drift and wall-time regressions.
+flags result drift and wall-time regressions.  ``repro faultcheck``
+runs the fault-injection detection matrix (``docs/FAULTS.md``) and
+exits nonzero unless every injected fault was caught by its expected
+checker, one to one.
 """
 
 from __future__ import annotations
@@ -179,6 +183,9 @@ def _run_inspect(paths: Sequence[str]) -> int:
     except FileNotFoundError:
         print(f"repro inspect: no such file or directory: {paths[0]}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        print(f"repro inspect: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     return 0
 
@@ -193,6 +200,9 @@ def _run_audit(paths: Sequence[str]) -> int:
         reports, skipped, code = audit_path(paths[0])
     except FileNotFoundError:
         print(f"repro audit: no such file or directory: {paths[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro audit: {exc}", file=sys.stderr)
         return 2
     print(render_audit(reports, skipped, label=paths[0]))
     return code
@@ -209,11 +219,54 @@ def _run_bench_diff(paths: Sequence[str], threshold: float) -> int:
     except FileNotFoundError as exc:
         print(f"repro bench-diff: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        print(f"repro bench-diff: {exc}", file=sys.stderr)
+        return 2
     if not diffs:
         print("repro bench-diff: no EXP-*.json files in either directory", file=sys.stderr)
         return code
     print(render_diff(diffs, threshold=threshold))
     return code
+
+
+def _run_faultcheck(out: Optional[str]) -> int:
+    """Run the fault-injection detection matrix (see docs/FAULTS.md).
+
+    Exit 0 iff every taxonomy cell was injected exactly once and every
+    injection was caught by its expected checker — the mutation-style
+    guarantee CI enforces.  ``--out`` writes the matrix as an EXP-FI
+    JSON sidecar (same schema as ``benchmarks/out/EXP-*.json``).
+    """
+    import pathlib
+    import tempfile
+
+    from .faults.check import matrix_result, render_matrix, run_detection_matrix
+
+    with tempfile.TemporaryDirectory(prefix="repro-faultcheck-") as tmp:
+        records = run_detection_matrix(work_dir=pathlib.Path(tmp))
+    result = matrix_result(records)
+    print(render_matrix(records))
+    if out is not None:
+        out_path = pathlib.Path(out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(result.to_json() + "\n")
+        print(f"matrix: EXP-FI sidecar -> {out_path}")
+    summary = result.summary
+    ok = (
+        summary.get("detection_rate") == 1.0
+        and summary.get("one_to_one")
+        and summary.get("applicability_covered")
+    )
+    if not ok:
+        undetected = [r for r in records if not r.one_to_one]
+        for record in undetected:
+            print(
+                f"repro faultcheck: FAIL {record.fault}/{record.layer} "
+                f"(expected {record.expect}): injected={record.injected} "
+                f"detected={record.detected} — {record.detail}",
+                file=sys.stderr,
+            )
+    return 0 if ok else 1
 
 
 def _write_metrics_out(session, path: str) -> None:
@@ -233,11 +286,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "inspect", "audit", "bench-diff"],
+        choices=sorted(EXPERIMENTS)
+        + ["list", "all", "inspect", "audit", "bench-diff", "faultcheck"],
         help="experiment to run ('list' to enumerate, 'all' for "
         "everything; 'inspect' summarizes a persisted run or session, "
         "'audit' checks reduction proof ledgers, 'bench-diff' compares "
-        "two benchmark output directories)",
+        "two benchmark output directories, 'faultcheck' runs the "
+        "fault-injection detection matrix)",
     )
     parser.add_argument(
         "paths",
@@ -277,6 +332,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(implies --metrics; per-experiment suffixes under 'all')",
     )
     parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="faultcheck: also write the detection matrix as an EXP-FI "
+        "JSON sidecar (benchmarks/out schema)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=None,
@@ -295,6 +357,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
         return _run_bench_diff(args.paths, threshold)
+    if args.command == "faultcheck":
+        if args.paths:
+            parser.error("'faultcheck' takes no positional paths (use --out FILE)")
+        return _run_faultcheck(args.out)
+    if args.out is not None:
+        parser.error("--out only applies to 'faultcheck'")
     if args.paths:
         parser.error(
             f"positional paths only apply to 'inspect'/'audit'/'bench-diff', "

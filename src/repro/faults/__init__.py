@@ -1,0 +1,57 @@
+"""Configurable fault injection for the whole simulation stack.
+
+``repro.faults`` exists to prove a negative capability: that every model
+violation the paper's machinery is supposed to catch actually *is*
+caught.  A seeded :class:`FaultPlan` (serializable to JSONL) names
+injections from a fixed taxonomy — message drop, payload corruption,
+CONGEST over-budget sends, topology disconnection, out-of-node-set
+edges, adversary schedule perturbation, coin-stream tampering, worker
+crash/hang — and wrapper injectors apply them to engines, adversaries,
+two-party reductions, and process-pool workers.  Every applied
+injection is recorded (into the ambient observation session when one is
+active), and the detection matrix behind ``repro faultcheck`` asserts a
+one-to-one match between injected and detected faults.
+
+See ``docs/FAULTS.md`` for the taxonomy, plan format, CLI, and the
+degradation semantics of worker-level faults.
+"""
+
+from .check import (
+    DetectionRecord,
+    compare_with_reference,
+    first_trace_divergence,
+    matrix_result,
+    render_matrix,
+    run_detection_matrix,
+    trace_fingerprint,
+)
+from .injectors import (
+    FaultRecorder,
+    FaultyAdversary,
+    FaultyCoinSource,
+    FaultyNode,
+    inject_reduction_faults,
+    wire_engine_faults,
+)
+from .plan import APPLICABILITY, FAULT_CLASSES, LAYERS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_CLASSES",
+    "LAYERS",
+    "APPLICABILITY",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultRecorder",
+    "FaultyNode",
+    "FaultyAdversary",
+    "FaultyCoinSource",
+    "wire_engine_faults",
+    "inject_reduction_faults",
+    "DetectionRecord",
+    "trace_fingerprint",
+    "first_trace_divergence",
+    "compare_with_reference",
+    "run_detection_matrix",
+    "matrix_result",
+    "render_matrix",
+]

@@ -47,7 +47,12 @@ def _load_dir(directory: pathlib.Path) -> Dict[str, dict]:
             data = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}: not valid JSON ({exc})") from exc
-        out[data.get("exp_id", path.stem)] = data
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"{path}: expected a JSON object with exp_id/rows/summary, "
+                f"got {type(data).__name__}"
+            )
+        out[str(data.get("exp_id", path.stem))] = data
     return out
 
 

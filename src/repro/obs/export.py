@@ -245,12 +245,27 @@ def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
             raw = raw.strip()
             if not raw:
                 continue
-            line = json.loads(raw)
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSONL ({exc})") from exc
+            if not isinstance(line, dict):
+                raise ValueError(
+                    f"{path}: expected JSON objects per line, got "
+                    f"{type(line).__name__}"
+                )
             kind = line.get("type")
             if kind == "manifest":
                 head = line
             elif kind == "round":
-                records.append(_record_from_line(line))
+                try:
+                    records.append(_record_from_line(line))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}: malformed round line (round "
+                        f"{line.get('round', '?')}): missing or invalid "
+                        f"field {exc}"
+                    ) from exc
             elif kind == "ledger":
                 ledger.append(line)
             elif kind == "summary":
@@ -259,6 +274,14 @@ def read_trace_jsonl(path: pathlib.Path) -> PersistedRun:
                 raise ValueError(f"unknown line type {kind!r} in {path}")
     if head is None:
         raise ValueError(f"{path}: no manifest line — not a run JSONL file")
+    if "format_version" not in head and (ledger or head.get("kind") == "reduction"):
+        # Ledger semantics (budgets, record kinds) are versioned; auditing
+        # a ledger whose format is undeclared would check the wrong books.
+        raise ValueError(
+            f"{path}: ledger-bearing run file declares no format_version "
+            f"(expected {FORMAT_VERSION}) — refusing to interpret its "
+            f"proof-ledger records"
+        )
     trace = ExecutionTrace(num_nodes=head.get("num_nodes", 0))
     for record in records:
         trace.append(record)

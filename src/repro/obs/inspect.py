@@ -187,9 +187,21 @@ class SessionReport:
         from .audit import resolve_run_files
 
         self.files = resolve_run_files(self.directory)
-        self.runs: List[Tuple[pathlib.Path, PersistedRun]] = [
-            (path, read_trace_jsonl(path)) for path in self.files
-        ]
+        if not self.files and self.manifest is None:
+            raise ValueError(
+                f"{self.directory}: no run-*.jsonl files and no "
+                f"{MANIFEST_FILENAME} — not an observation session directory"
+            )
+        self.runs: List[Tuple[pathlib.Path, PersistedRun]] = []
+        for path in self.files:
+            try:
+                self.runs.append((path, read_trace_jsonl(path)))
+            except FileNotFoundError:
+                raise ValueError(
+                    f"{path.name} is listed in {MANIFEST_FILENAME} but "
+                    f"missing from {self.directory} — partial or truncated "
+                    f"session"
+                ) from None
 
     def render(self) -> str:
         header = f"session: {self.directory}"

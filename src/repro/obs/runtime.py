@@ -78,6 +78,8 @@ class WorkerObservations:
 
     registry: MetricsRegistry
     runs: List[CapturedRun] = field(default_factory=list)
+    #: fault-injection events recorded inside the worker (repro.faults)
+    faults: List[dict] = field(default_factory=list)
 
 
 class ObservationSession:
@@ -109,6 +111,9 @@ class ObservationSession:
         #: :class:`CapturedRun` for the parent to persist, never written
         self.collect = collect
         self._captured: List[CapturedRun] = []
+        #: fault-injection events (:mod:`repro.faults`) recorded in this
+        #: scope; persisted as ``faults.jsonl`` next to ``manifest.json``
+        self.faults: List[dict] = []
         self._run_index = 0
         self._started_at = time.perf_counter()
         if self.trace_dir is not None:
@@ -203,6 +208,17 @@ class ObservationSession:
             run_manifest.trace_file = name
         self.manifest.runs.append(run_manifest)
 
+    # -- fault-injection integration ------------------------------------
+    def record_fault(self, event: dict) -> None:
+        """Record one applied fault injection (see :mod:`repro.faults`).
+
+        Events are JSON-ready dicts from
+        :class:`~repro.faults.injectors.FaultRecorder`; at :meth:`close`
+        they persist as ``faults.jsonl`` alongside the run manifest, so
+        an audited session names exactly what was injected into it.
+        """
+        self.faults.append(dict(event))
+
     # -- parallel-worker integration ------------------------------------
     def export_worker_observations(self) -> WorkerObservations:
         """Package a collecting session's registry + buffered runs.
@@ -211,7 +227,9 @@ class ObservationSession:
         the process boundary and is handed to the parent session's
         :meth:`ingest_worker_observations`.
         """
-        return WorkerObservations(registry=self.registry, runs=self._captured)
+        return WorkerObservations(
+            registry=self.registry, runs=self._captured, faults=self.faults
+        )
 
     def ingest_worker_observations(
         self, observations: WorkerObservations, workers: int = 0
@@ -226,6 +244,7 @@ class ObservationSession:
         run would have left them.
         """
         self.registry.merge(observations.registry)
+        self.faults.extend(getattr(observations, "faults", ()) or ())
         if workers > self.manifest.workers:
             self.manifest.workers = workers
         for captured in observations.runs:
@@ -261,6 +280,12 @@ class ObservationSession:
         self.manifest.wall_seconds = time.perf_counter() - self._started_at
         self.manifest.metrics = self.registry.snapshot()
         if self.trace_dir is not None:
+            if self.faults:
+                import json
+
+                with (self.trace_dir / "faults.jsonl").open("w") as fh:
+                    for event in self.faults:
+                        fh.write(json.dumps(event, sort_keys=True) + "\n")
             return self.manifest.write(self.trace_dir)
         return None
 

@@ -1,6 +1,9 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, markers, and hypothesis strategies for the test suite."""
 
 from __future__ import annotations
+
+import os
+import pathlib
 
 import pytest
 from hypothesis import HealthCheck, settings
@@ -8,14 +11,34 @@ from hypothesis import strategies as st
 
 from repro.cc.disjointness import DisjointnessInstance, allowed_pairs
 
-# Keep hypothesis fast and deterministic in CI-style runs.
-settings.register_profile(
-    "repro",
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-settings.load_profile("repro")
+# Hypothesis profiles (select with HYPOTHESIS_PROFILE, default "repro"):
+#   repro    local development — fast, random exploration
+#   ci       pull requests — derandomized, so a red PR is reproducibly red
+#   ci-main  pushes to main — derandomized but wider (more examples)
+_COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("repro", max_examples=40, **_COMMON)
+settings.register_profile("ci", max_examples=40, derandomize=True, **_COMMON)
+settings.register_profile("ci-main", max_examples=120, derandomize=True, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+_TESTS_DIR = pathlib.Path(__file__).parent
+_FAULTS_DIR = _TESTS_DIR / "faults"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply the tier markers (see pyproject ``[tool.pytest.ini_options]``).
+
+    Everything under ``tests/faults/`` is ``faults``; everything not
+    explicitly ``slow`` is ``tier1`` — so ``-m tier1`` and
+    ``-m "not slow"`` select the same fast PR gate, and ``-m faults``
+    names the fault-injection subsystem alone.
+    """
+    for item in items:
+        path = pathlib.Path(str(item.fspath))
+        if _FAULTS_DIR in path.parents:
+            item.add_marker(pytest.mark.faults)
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
 
 
 def odd_q(min_q: int = 3, max_q: int = 13):

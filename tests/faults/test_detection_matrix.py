@@ -1,0 +1,95 @@
+"""The headline CI gate: 100% detection, one injection per detection.
+
+Runs the full mutation-style matrix — every applicable (fault class,
+layer) cell of the taxonomy — and requires every cell to report its
+expected detector firing on exactly one applied injection.  A cell
+regressing here means a model violation the paper's machinery claims to
+catch would now slip through silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import APPLICABILITY, matrix_result, run_detection_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix(tmp_path_factory):
+    work_dir = tmp_path_factory.mktemp("faultcheck")
+    return run_detection_matrix(work_dir=work_dir)
+
+
+class TestDetectionMatrix:
+    def test_every_cell_detected(self, matrix):
+        undetected = [r for r in matrix if not r.detected]
+        assert not undetected, "\n".join(
+            f"{r.fault}/{r.layer} expected {r.expect}: {r.detail}" for r in undetected
+        )
+
+    def test_one_to_one_injected_vs_detected(self, matrix):
+        for record in matrix:
+            assert record.injected == 1, (
+                f"{record.fault}/{record.layer}: {record.injected} injections "
+                f"recorded, expected exactly 1 ({record.detail})"
+            )
+            assert record.one_to_one
+
+    def test_every_applicability_cell_is_exercised(self, matrix):
+        covered = {(r.fault, r.layer) for r in matrix}
+        expected = {
+            (fault, layer)
+            for fault, layers in APPLICABILITY.items()
+            for layer in layers
+        }
+        assert covered == expected
+
+    def test_exception_cells_name_the_exact_class(self, matrix):
+        for record in matrix:
+            if record.expect in (
+                "BandwidthExceeded",
+                "InvalidAction",
+                "DisconnectedTopology",
+                "ModelViolation",
+            ):
+                assert record.detail.startswith(record.expect + ":"), record.detail
+
+    def test_perturb_cell_requires_the_audit_finding_too(self, matrix):
+        (cell,) = [r for r in matrix if r.fault == "adversary-perturb"]
+        assert "SimulationDiverged" in cell.detail
+        assert "audit" in cell.detail
+
+    def test_summary_is_the_ci_contract(self, matrix):
+        summary = matrix_result(matrix).summary
+        assert summary["detection_rate"] == 1.0
+        assert summary["one_to_one"] is True
+        assert summary["applicability_covered"] is True
+        assert summary["cells"] == len(matrix) == 13
+
+
+class TestFaultcheckCli:
+    def test_faultcheck_exits_zero_and_writes_sidecar(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "EXP-FI.json"
+        assert main(["faultcheck", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "EXP-FI" in stdout and "detection matrix" in stdout
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["summary"]["detection_rate"] == 1.0
+        assert data["summary"]["one_to_one"] is True
+        assert len(data["rows"]) == 13
+
+    def test_out_flag_rejected_elsewhere(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig1", "--out", "x.json"])
+
+    def test_faultcheck_rejects_positional_paths(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["faultcheck", "some/dir"])

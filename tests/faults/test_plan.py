@@ -1,0 +1,149 @@
+"""Tests for the fault taxonomy and FaultPlan serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import APPLICABILITY, FAULT_CLASSES, LAYERS, FaultPlan, FaultSpec
+from repro.faults.plan import PLAN_FORMAT_VERSION
+
+
+class TestTaxonomy:
+    def test_applicability_covers_every_fault_class(self):
+        assert set(APPLICABILITY) == set(FAULT_CLASSES)
+
+    def test_applicability_layers_are_known(self):
+        for fault, layers in APPLICABILITY.items():
+            assert set(layers) <= set(LAYERS), fault
+
+    def test_every_cell_names_a_detector(self):
+        for fault, layers in APPLICABILITY.items():
+            for layer, expect in layers.items():
+                assert expect, (fault, layer)
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault class"):
+            FaultSpec("cosmic-ray", "engine")
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown layer"):
+            FaultSpec("message-drop", "kernel")
+
+    def test_inapplicable_pair_rejected(self):
+        # worker-crash cannot be injected into the engine layer
+        with pytest.raises(ConfigurationError, match="does not apply"):
+            FaultSpec("worker-crash", "engine")
+
+    def test_expect_property(self):
+        assert FaultSpec("over-budget", "engine").expect == "BandwidthExceeded"
+        assert FaultSpec("message-drop", "engine").expect == "trace-divergence"
+        assert (
+            FaultSpec("adversary-perturb", "reduction").expect == "SimulationDiverged"
+        )
+
+    def test_param_default(self):
+        spec = FaultSpec("over-budget", "engine", params={"bits": 128})
+        assert spec.param("bits") == 128
+        assert spec.param("missing", 7) == 7
+
+
+class TestPlanRoundTrip:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=99,
+            specs=[
+                FaultSpec("over-budget", "engine", round=3, target=2, params={"bits": 64}),
+                FaultSpec("disconnect", "adversary", round=4, target=1),
+                FaultSpec("message-drop", "reduction", round=2, params={"party": "bob"}),
+            ],
+        )
+
+    def test_jsonl_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = plan.to_jsonl(tmp_path / "plan.jsonl")
+        loaded = FaultPlan.from_jsonl(path)
+        assert loaded == plan
+        assert loaded.seed == 99 and len(loaded) == 3
+
+    def test_header_carries_version_and_count(self, tmp_path):
+        path = self._plan().to_jsonl(tmp_path / "plan.jsonl")
+        head = json.loads(path.read_text().splitlines()[0])
+        assert head["type"] == "fault-plan"
+        assert head["format_version"] == PLAN_FORMAT_VERSION
+        assert head["num_specs"] == 3
+
+    def test_specs_serialize_their_expected_detector(self, tmp_path):
+        path = self._plan().to_jsonl(tmp_path / "plan.jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()[1:]]
+        assert [l["expect"] for l in lines] == [
+            "BandwidthExceeded",
+            "DisconnectedTopology",
+            "reference-divergence",
+        ]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "plan.jsonl"
+        path.write_text('{"type": "fault", "fault": "disconnect", "layer": "adversary"}\n')
+        with pytest.raises(ConfigurationError, match="no fault-plan header"):
+            FaultPlan.from_jsonl(path)
+
+    def test_unknown_line_type_rejected(self, tmp_path):
+        path = tmp_path / "plan.jsonl"
+        path.write_text('{"type": "surprise"}\n')
+        with pytest.raises(ConfigurationError, match="unknown line type"):
+            FaultPlan.from_jsonl(path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = tmp_path / "plan.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "fault-plan",
+                    "format_version": PLAN_FORMAT_VERSION + 1,
+                    "seed": 0,
+                    "num_specs": 0,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(ConfigurationError, match="newer than supported"):
+            FaultPlan.from_jsonl(path)
+
+    def test_truncated_plan_rejected(self, tmp_path):
+        plan = self._plan()
+        path = plan.to_jsonl(tmp_path / "plan.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last spec
+        with pytest.raises(ConfigurationError, match="truncated"):
+            FaultPlan.from_jsonl(path)
+
+
+class TestPlanQueries:
+    def test_empty_plan_is_inactive(self):
+        assert not FaultPlan(seed=1).active
+
+    def test_specs_for_layer(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=[
+                FaultSpec("disconnect", "adversary", round=2),
+                FaultSpec("over-budget", "engine", round=3, target=0),
+            ],
+        )
+        assert [s.fault for s in plan.specs_for("adversary")] == ["disconnect"]
+        assert [s.fault for s in plan.specs_for("engine")] == ["over-budget"]
+        assert plan.specs_for("worker") == []
+
+    def test_specs_for_unknown_layer_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown layer"):
+            FaultPlan(seed=1).specs_for("kernel")
+
+    def test_single_and_add(self):
+        spec = FaultSpec("disconnect", "adversary", round=2)
+        plan = FaultPlan.single(5, spec)
+        assert list(plan) == [spec]
+        plan.add(FaultSpec("foreign-edge", "adversary", round=3))
+        assert len(plan) == 2

@@ -1,0 +1,93 @@
+"""The zero-cost property: no planned faults, bit-identical execution.
+
+The acceptance contract of the fault layer is that *disabling* it is
+free: wiring an engine through :func:`wire_engine_faults` with an empty
+(or absent) plan must return the very same objects, produce a
+byte-identical :class:`~repro.sim.trace.ExecutionTrace`, and leave the
+observability metrics indistinguishable from the unwrapped path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultRecorder, trace_fingerprint, wire_engine_faults
+from repro.faults.injectors import inject_reduction_faults
+from repro.network.adversaries import RandomConnectedAdversary
+from repro.obs.runtime import observe
+from repro.protocols.flooding import GossipMaxNode
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def _run(seed: int, n: int, rounds: int, wire: bool):
+    """One seeded gossip run; returns (fingerprint, metrics snapshot)."""
+    nodes = {u: GossipMaxNode(u) for u in range(n)}
+    adversary = RandomConnectedAdversary(range(n), seed=seed + 1)
+    coins = CoinSource(seed)
+    if wire:
+        nodes, adversary, coins = wire_engine_faults(
+            nodes, adversary, coins, FaultPlan(seed=seed), FaultRecorder()
+        )
+    with observe() as session:
+        trace = SynchronousEngine(nodes, adversary, coins).run(rounds)
+    return trace_fingerprint(trace), session.manifest.metrics
+
+
+def _comparable(metrics: dict) -> dict:
+    """Metrics minus wall-clock noise: counter/gauge values, histogram counts."""
+    out = {}
+    for key, metric in metrics.items():
+        if metric.get("type") in ("counter", "gauge"):
+            out[key] = (metric["type"], metric["value"])
+        elif metric.get("type") == "histogram":
+            out[key] = ("histogram", metric["count"])
+    return out
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    # n >= 4 keeps the CONGEST budget above the gossip payload size, so
+    # the honest scenario itself never trips the bandwidth check
+    n=st.integers(4, 8),
+    rounds=st.integers(1, 25),
+)
+@settings(max_examples=25)
+def test_empty_plan_is_bit_identical(seed, n, rounds):
+    plain_fp, plain_metrics = _run(seed, n, rounds, wire=False)
+    wired_fp, wired_metrics = _run(seed, n, rounds, wire=True)
+    assert wired_fp == plain_fp
+    assert _comparable(wired_metrics) == _comparable(plain_metrics)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=10)
+def test_empty_plan_returns_identical_objects(seed):
+    nodes = {u: GossipMaxNode(u) for u in range(4)}
+    adversary = RandomConnectedAdversary(range(4), seed=1)
+    coins = CoinSource(seed)
+    for plan in (None, FaultPlan(seed=seed)):
+        w_nodes, w_adv, w_coins = wire_engine_faults(
+            nodes, adversary, coins, plan, FaultRecorder()
+        )
+        assert w_nodes is nodes
+        assert w_adv is adversary
+        assert w_coins is coins
+
+
+def test_empty_plan_leaves_reduction_untouched():
+    from repro.cc.disjointness import random_instance
+    from repro.core.simulation import TwoPartyReduction
+
+    inst = random_instance(2, 5, seed=1)
+    red = TwoPartyReduction(inst, "T6", GossipMaxNode, seed=1)
+    for plan in (None, FaultPlan(seed=1)):
+        out = inject_reduction_faults(red, plan, FaultRecorder())
+        assert out is red
+        # injection patches instance attributes over the class methods;
+        # untouched parties must carry no such patches
+        for party in (red.alice, red.bob):
+            assert "step_actions" not in vars(party)
+            assert "edge_set" not in vars(party)
+            assert "coin_source" in vars(party)  # the honest source stays

@@ -114,3 +114,110 @@ class TestCliObservability:
     def test_path_rejected_for_experiments(self, capsys):
         with pytest.raises(SystemExit):
             main(["thm6", "some/file.jsonl"])
+
+
+class TestCliEdgeCases:
+    """Malformed inputs must exit 2 with a message, never a traceback."""
+
+    def test_inspect_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["inspect", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "not an observation session directory" in err
+
+    def test_inspect_partial_session(self, tmp_path, capsys):
+        # manifest.json names a run file that was never written
+        session = tmp_path / "partial"
+        session.mkdir()
+        (session / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "label": "x",
+                    "runs": [
+                        {
+                            "seed": 1,
+                            "num_nodes": 4,
+                            "adversary": "x",
+                            "trace_file": "run-0001.jsonl",
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["inspect", str(session)]) == 2
+        err = capsys.readouterr().err
+        assert "partial or truncated session" in err
+
+    def test_inspect_malformed_round_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"type": "manifest", "format_version": 2, "num_nodes": 2, '
+            '"seed": 1, "adversary": "x"}\n'
+            '{"type": "round"}\n'
+            '{"type": "summary"}\n'
+        )
+        assert main(["inspect", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "malformed round line" in err
+
+    def test_inspect_non_jsonl_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["inspect", str(bad)]) == 2
+        assert "not valid JSONL" in capsys.readouterr().err
+
+    def test_audit_ledger_missing_format_version(self, tmp_path, capsys):
+        bad = tmp_path / "run-0001.jsonl"
+        bad.write_text(
+            '{"type": "manifest", "kind": "reduction", "num_nodes": 10, '
+            '"seed": 1, "adversary": "x"}\n'
+            '{"type": "ledger", "kind": "spoiled", "party": "alice", '
+            '"round": 1, "count": 0, "budget": 3, "ok": true}\n'
+            '{"type": "summary"}\n'
+        )
+        assert main(["audit", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "format_version" in err
+
+    def test_audit_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "run-0001.jsonl"
+        bad.write_text('{"type": "round"}\n')
+        assert main(["audit", str(bad)]) == 2
+        assert "repro audit:" in capsys.readouterr().err
+
+    def test_bench_diff_non_object_json(self, tmp_path, capsys):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        for d in (old, new):
+            d.mkdir()
+            (d / "EXP-X.json").write_text("[1, 2, 3]\n")
+        assert main(["bench-diff", str(old), str(new)]) == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_bench_diff_missing_key_is_reported_not_raised(self, tmp_path, capsys):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        for d in (old, new):
+            d.mkdir()
+        payload = {"exp_id": "EXP-A", "rows": [], "summary": {}, "timings": {}}
+        (old / "EXP-A.json").write_text(json.dumps(payload))
+        # EXP-A vanished from the new run: exit 1 with an only-old row
+        assert main(["bench-diff", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "only-old" in out and "EXP-A" in out
+
+    def test_bench_diff_renamed_key_shows_both_sides(self, tmp_path, capsys):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        for d in (old, new):
+            d.mkdir()
+        (old / "EXP-A.json").write_text(
+            json.dumps({"exp_id": "EXP-A", "rows": [], "summary": {}})
+        )
+        (new / "EXP-B.json").write_text(
+            json.dumps({"exp_id": "EXP-B", "rows": [], "summary": {}})
+        )
+        assert main(["bench-diff", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "only-old" in out and "only-new" in out
