@@ -21,6 +21,7 @@ import time
 from repro.analysis.experiments.base import ExperimentResult
 from repro.network.adversaries import RandomConnectedAdversary
 from repro.protocols.cflood import cflood_factory
+from repro.sim.config import RunConfig
 from repro.sim.factories import Constant, NodeSet
 from repro.sim.runner import replicate
 
@@ -33,7 +34,7 @@ def _workload(workers: int):
     make_nodes = NodeSet(range(N), cflood_factory(0, num_nodes=N))
     make_adv = Constant(RandomConnectedAdversary(range(N), seed=11))
     return replicate(
-        make_nodes, make_adv, seeds=SEEDS, max_rounds=30 * N, workers=workers
+        make_nodes, make_adv, SEEDS, RunConfig(max_rounds=30 * N, workers=workers)
     )
 
 

@@ -1,14 +1,33 @@
-"""Shared experiment-result container."""
+"""Shared experiment-result container and driver-config resolution."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..tables import format_float, render_table
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "resolve_exp_config"]
+
+
+def resolve_exp_config(
+    workers: Optional[int], config: Optional[Any]
+) -> Tuple[Optional[int], str]:
+    """``(workers, backend)`` for an experiment driver.
+
+    An explicit ``workers`` argument wins over ``config.workers``; the
+    backend always comes from the config (or, with no config, from
+    ``$REPRO_BACKEND``).  The backend is resolved *here*, in the parent,
+    so pool tasks receive a fixed name instead of re-reading the
+    environment in each worker.
+    """
+    from ...sim.config import RunConfig
+
+    cfg = config if config is not None else RunConfig()
+    if workers is None:
+        workers = cfg.workers
+    return workers, cfg.resolved_backend()
 
 
 def _jsonable(value: Any) -> Any:

@@ -26,9 +26,10 @@ from ...core.composition import (
 from ...core.lambda_net import LambdaSubnetwork
 from ...core.simulation import run_reference_execution
 from ...protocols.hearfrom import CountNodesNode
+from ...sim.config import RunConfig
 from ...sim.factories import BoundNode
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult
+from .base import ExperimentResult, resolve_exp_config
 
 __all__ = ["exp_estimate_insensitivity"]
 
@@ -74,8 +75,15 @@ def exp_estimate_insensitivity(
     seeds: Sequence[int] = (1, 2),
     late_factor: int = 350,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
-    """Same answer-0 instance, same seed, same Λ — with and without Υ."""
+    """Same answer-0 instance, same seed, same Λ — with and without Υ.
+
+    ``config`` supplies ``workers``; the backend choice does not apply —
+    the reference-execution harness drives the (adaptive) reference
+    adversary, which the batch backend always declines.
+    """
+    workers, _ = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-EST",
         title="Estimating N under unknown D: the Λ+Υ indistinguishability window",

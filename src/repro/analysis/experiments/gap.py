@@ -28,32 +28,35 @@ from ...network.adversaries import OverlappingStarsAdversary
 from ...protocols.consensus import ConsensusKnownDNode
 from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import max_rounds_budget
+from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
-from ...sim.engine import SynchronousEngine
+from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
 from ..fitting import crossover_x, loglog_slope
-from .base import ExperimentResult
+from .base import ExperimentResult, resolve_exp_config
 
 __all__ = ["exp_exponential_gap", "exp_sensitivity"]
 
 
-def _gap_cell(n: int, seed: int) -> int:
+def _gap_cell(n: int, seed: int, backend: str = "reference") -> int:
     """One measured-anchor run: known-D consensus on the D=2 stars."""
     ids = list(range(1, n + 1))
     adv = OverlappingStarsAdversary(ids)
     budget = max_rounds_budget(2, n)
     nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(budget + 4)
     return tr.termination_round or budget + 4
 
 
-def _sens_cell(n: int, n_prime: float, seed: int, max_rounds: int) -> Tuple[str, int]:
+def _sens_cell(
+    n: int, n_prime: float, seed: int, max_rounds: int, backend: str = "reference"
+) -> Tuple[str, int]:
     """One sensitivity run; outcome is 'ok' / 'stalled' / 'split'."""
     ids = list(range(1, n + 1))
     adv = OverlappingStarsAdversary(ids)
     nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(max_rounds)
     leaders = {o[1] for o in tr.outputs.values() if o is not None}
     if tr.termination_round is None:
@@ -70,8 +73,10 @@ def exp_exponential_gap(
     formula_sizes: Sequence[int] = (10**2, 10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9),
     seeds: Sequence[int] = (31, 32),
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Known-D measured flooding rounds vs the unknown-D floor vs D=N."""
+    workers, backend = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-GAP",
         title="The exponential gap: known-D vs unknown-D (flooding rounds)",
@@ -82,10 +87,10 @@ def exp_exponential_gap(
     )
     # measured anchor: known-D consensus on the D=2 stars schedule
     d = 2
-    tasks: List[Tuple] = [(n, seed) for n in measured_sizes for seed in seeds]
+    tasks: List[Tuple] = [(n, seed, backend) for n in measured_sizes for seed in seeds]
     executor = ParallelExecutor(workers)
     outcomes = executor.map(
-        _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s in tasks]
+        _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s, _ in tasks]
     )
     if executor.workers:
         result.timings["workers"] = executor.workers
@@ -127,8 +132,10 @@ def exp_sensitivity(
     seeds: Sequence[int] = (41, 42, 43),
     max_rounds: int = 25_000,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Leader election success as the N'-estimate error crosses 1/3."""
+    workers, backend = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-SENS",
         title=f"Sensitivity to the N' estimate (N = {n}, overlapping stars)",
@@ -136,13 +143,15 @@ def exp_sensitivity(
     )
     n_primes = [max(2.0, (1 + err) * n) for err in errors]
     tasks: List[Tuple] = [
-        (n, n_prime, seed, max_rounds) for n_prime in n_primes for seed in seeds
+        (n, n_prime, seed, max_rounds, backend)
+        for n_prime in n_primes
+        for seed in seeds
     ]
     executor = ParallelExecutor(workers)
     outcomes = executor.map(
         _sens_cell,
         tasks,
-        labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _ in tasks],
+        labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _, _ in tasks],
     )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -20,10 +20,11 @@ from ...network.adversaries import (
 from ...network.generators import line_edges, lollipop_edges
 from ...protocols.cflood import CFloodConservativeNode
 from ...protocols.doubling import CFloodDoublingNode
+from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
-from ...sim.engine import SynchronousEngine
+from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult
+from .base import ExperimentResult, resolve_exp_config
 
 __all__ = ["exp_doubling_heuristic"]
 
@@ -40,7 +41,8 @@ def _suite(n: int):
 
 
 def _heur_cell(
-    n: int, name: str, thr: float, seed: int, max_rounds: int
+    n: int, name: str, thr: float, seed: int, max_rounds: int,
+    backend: str = "reference",
 ) -> Tuple[bool, bool, int, int]:
     """One (adversary, threshold, seed) doubling-heuristic run."""
     ids, suite = _suite(n)
@@ -49,7 +51,7 @@ def _heur_cell(
         u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
         for u in ids
     }
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(max_rounds)
     informed = sum(node.informed for node in nodes.values())
     confirmed = tr.termination_round is not None
@@ -57,12 +59,14 @@ def _heur_cell(
     return confirmed, premature, tr.termination_round or max_rounds, informed
 
 
-def _heur_baseline_cell(n: int, seed: int, max_rounds: int) -> Tuple[bool, int]:
+def _heur_baseline_cell(
+    n: int, seed: int, max_rounds: int, backend: str = "reference"
+) -> Tuple[bool, int]:
     """One conservative-CFLOOD baseline run on the lollipop."""
     ids, suite = _suite(n)
     adv = suite["lollipop"]
     nodes = {u: CFloodConservativeNode(u, ids[0], num_nodes=n) for u in ids}
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(max_rounds)
     premature = sum(node.informed for node in nodes.values()) < n
     return premature, tr.termination_round or max_rounds
@@ -74,7 +78,9 @@ def exp_doubling_heuristic(
     seeds: Sequence[int] = (1, 2, 3),
     max_rounds: int = 80_000,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
+    workers, backend = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-HEUR",
         title=f"Doubling-guess CFLOOD heuristic (N = {n}, knows N, not D)",
@@ -86,10 +92,12 @@ def exp_doubling_heuristic(
     _ids, suite = _suite(n)
     cells = [(name, thr) for name in suite for thr in thresholds]
     tasks: List[Tuple] = [
-        (n, name, thr, seed, max_rounds) for name, thr in cells for seed in seeds
+        (n, name, thr, seed, max_rounds, backend)
+        for name, thr in cells
+        for seed in seeds
     ]
     # the conservative baseline rides the same pool as the sweep cells
-    baseline_tasks: List[Tuple] = [(n, seed, max_rounds) for seed in seeds]
+    baseline_tasks: List[Tuple] = [(n, seed, max_rounds, backend) for seed in seeds]
     executor = ParallelExecutor(workers)
     outcomes = executor.map(
         _heur_cell,
@@ -99,7 +107,7 @@ def exp_doubling_heuristic(
     baseline = executor.map(
         _heur_baseline_cell,
         baseline_tasks,
-        labels=[f"baseline, seed={s}" for _, s, _ in baseline_tasks],
+        labels=[f"baseline, seed={t[1]}" for t in baseline_tasks],
     )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -15,6 +15,13 @@ process pool via :class:`repro.sim.parallel.ParallelExecutor`; every
 cell function is module-level (picklable), and run order is the same
 nested loop order as the sequential path, so results and persisted
 observability are identical at any worker count.
+
+Every driver also accepts ``config=RunConfig(...)``, which supplies
+``workers`` and the execution ``backend``: the parent resolves the
+backend once (explicit > ``$REPRO_BACKEND`` > reference) and threads
+the resolved name into each pool task, so workers never re-read the
+environment.  The batch backend is bit-identical, so measurements are
+unchanged — only faster.
 """
 
 from __future__ import annotations
@@ -36,11 +43,12 @@ from ...protocols.consensus import ConsensusKnownDNode
 from ...protocols.hearfrom import CountNodesNode, HearFromAllNode, count_rounds_budget
 from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import MaxIdNode, max_rounds_budget
+from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
-from ...sim.engine import SynchronousEngine
+from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
 from ..fitting import loglog_slope
-from .base import ExperimentResult
+from .base import ExperimentResult, resolve_exp_config
 
 __all__ = ["exp_thm8_leader_election", "exp_known_d_upper_bounds", "measured_diameter"]
 
@@ -62,7 +70,8 @@ def _adversary_suite(n: int, seed: int) -> Dict[str, Adversary]:
 
 
 def _thm8_cell(
-    n: int, name: str, n_prime_error: float, seed: int, max_rounds: int
+    n: int, name: str, n_prime_error: float, seed: int, max_rounds: int,
+    backend: str = "reference",
 ) -> Tuple[bool, int]:
     """One (size, adversary, seed) leader-election run (pool-safe)."""
     ids = list(range(1, n + 1))
@@ -71,7 +80,7 @@ def _thm8_cell(
         u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
         for u in ids
     }
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(max_rounds)
     leaders = {o[1] for o in tr.outputs.values() if o is not None}
     ok = tr.termination_round is not None and len(leaders) == 1
@@ -86,8 +95,10 @@ def exp_thm8_leader_election(
     max_rounds: int = 120_000,
     include_line_up_to: int = 16,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Leader election without D, given N' = (1 + err) N."""
+    workers, backend = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-T8",
         title=f"Theorem 8: leader election, unknown D, N' error {n_prime_error:+.2f}",
@@ -105,7 +116,9 @@ def exp_thm8_leader_election(
             names.append("static-line")
         for name in names:
             cells.append((n, name, measured_diameter(suite[name])))
-            tasks.extend((n, name, n_prime_error, seed, max_rounds) for seed in seeds)
+            tasks.extend(
+                (n, name, n_prime_error, seed, max_rounds, backend) for seed in seeds
+            )
     executor = ParallelExecutor(workers)
     outcomes = executor.map(
         _thm8_cell,
@@ -146,7 +159,7 @@ def exp_thm8_leader_election(
 _UB_PROBLEMS = ("CFLOOD", "CONSENSUS", "MAX", "HEARFROM-N", "COUNT-N")
 
 
-def _ub_cell(problem: str, n: int, seed: int) -> Tuple[int, bool]:
+def _ub_cell(problem: str, n: int, seed: int, backend: str = "reference") -> Tuple[int, bool]:
     """One (problem, size, seed) known-D run on the stars schedule.
 
     Builds nodes, runs, and applies the problem's correctness predicate
@@ -198,7 +211,7 @@ def _ub_cell(problem: str, n: int, seed: int) -> Tuple[int, bool]:
 
     else:  # pragma: no cover - guarded by _UB_PROBLEMS
         raise ValueError(f"unknown EXP-UB problem {problem!r}")
-    eng = SynchronousEngine(nodes, adv, CoinSource(seed))
+    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
     tr = eng.run(max_r)
     rounds = tr.termination_round or max_r
     return rounds, tr.termination_round is not None and check()
@@ -208,22 +221,24 @@ def exp_known_d_upper_bounds(
     sizes: Sequence[int] = (16, 32, 64),
     seeds: Sequence[int] = (21, 22),
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Known-D protocols on the D=2 overlapping-stars schedule."""
+    workers, backend = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-UB",
         title="Known-D trivial upper bounds (overlapping stars, D = 2)",
         headers=["problem", "N", "D", "rounds", "flood rounds", "correct"],
     )
     tasks: List[Tuple] = [
-        (problem, n, seed)
+        (problem, n, seed, backend)
         for n in sizes
         for problem in _UB_PROBLEMS
         for seed in seeds
     ]
     executor = ParallelExecutor(workers)
     outcomes = executor.map(
-        _ub_cell, tasks, labels=[f"problem={p}, N={n}, seed={s}" for p, n, s in tasks]
+        _ub_cell, tasks, labels=[f"problem={p}, N={n}, seed={s}" for p, n, s, _ in tasks]
     )
     if executor.workers:
         result.timings["workers"] = executor.workers

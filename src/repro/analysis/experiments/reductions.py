@@ -40,8 +40,9 @@ from ...core.reduction import implied_time_lower_bound
 from ...core.simulation import TwoPartyReduction
 from ...protocols.cflood import cflood_factory
 from ...protocols.consensus import ConsensusFromLeaderNode
+from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult
+from .base import ExperimentResult, resolve_exp_config
 
 __all__ = ["exp_thm6_reduction", "exp_thm7_reduction", "exp_cc_bounds"]
 
@@ -119,7 +120,11 @@ def exp_thm6_reduction(
     n: int = 3,
     seeds: Sequence[int] = (1, 2),
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
+    # config supplies workers; the two-party reductions drive the adaptive
+    # reference adversary, which the batch backend always declines
+    workers, _ = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-T6",
         title="Theorem 6: CFLOOD reduction over Γ+Λ (fast vs conservative oracle)",
@@ -162,7 +167,9 @@ def exp_thm7_reduction(
     n: int = 2,
     seeds: Sequence[int] = (1, 2),
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
+    workers, _ = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-T7",
         title="Theorem 7: CONSENSUS reduction over Λ+Υ with boundary N' (error = 1/3)",
@@ -227,7 +234,9 @@ def exp_cc_bounds(
     q_values: Sequence[int] = (5, 9, 17),
     seed: int = 3,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
+    workers, _ = resolve_exp_config(workers, config)
     result = ExperimentResult(
         exp_id="EXP-CC",
         title="DISJOINTNESSCP: measured two-party bits vs the Theorem-1 bound",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 __all__ = ["cartesian_sweep"]
 
@@ -23,21 +23,33 @@ def _cell_label(cell: Mapping[str, Any]) -> str:
 def cartesian_sweep(
     params: Mapping[str, Sequence[Any]],
     fn: Callable[..., Mapping[str, Any]],
-    workers: Optional[int] = None,
+    config: Any = None,
+    *legacy_args: Any,
+    **legacy_kwargs: Any,
 ) -> List[Dict[str, Any]]:
     """Run ``fn(**cell)`` for every cell of the parameter grid.
 
     Each result row is the cell's parameters merged with ``fn``'s result
     dict (result keys win on collision — they are the measurements).
 
-    ``workers`` > 0 evaluates the cells on a process pool (``None``
-    defers to ``REPRO_WORKERS``, 0 stays sequential) via
+    ``config`` is a :class:`~repro.sim.config.RunConfig`; the sweep reads
+    its ``workers`` field (> 0 evaluates the cells on a process pool,
+    ``None`` defers to ``REPRO_WORKERS``, 0 stays sequential) via
     :class:`repro.sim.parallel.ParallelExecutor`: rows come back in grid
     order regardless of completion order, and a failing cell re-raises
     with that cell's parameters in the message.  ``fn`` must be
     picklable (a module-level function) to parallelize; otherwise the
-    sweep runs inline.
+    sweep runs inline.  The legacy ``workers=`` argument still works
+    through the deprecation shim.
+
+    The backend choice stays with each cell's ``fn`` (pass it a config
+    or let ``$REPRO_BACKEND`` apply inside the workers); the sweep only
+    schedules cells.
     """
+    from ..sim.config import coerce_config
+
+    cfg = coerce_config("cartesian_sweep", ("workers",), config, legacy_args, legacy_kwargs)
+
     names = list(params)
     cells: List[Dict[str, Any]] = [
         dict(zip(names, values))
@@ -46,7 +58,7 @@ def cartesian_sweep(
 
     from ..sim.parallel import ParallelExecutor, ensure_picklable, resolve_workers
 
-    n_workers = resolve_workers(workers)
+    n_workers = resolve_workers(cfg.workers)
     if n_workers > 0 and ensure_picklable(fn=fn) is not None:
         import warnings
 

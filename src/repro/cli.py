@@ -15,7 +15,10 @@ Usage::
 
 Each command prints the experiment's rendered table (the same rows the
 benchmarks assert on).  ``--quick`` shrinks the parameter grid for a
-seconds-scale run; defaults match the benchmarks.  The figure commands
+seconds-scale run; defaults match the benchmarks.  ``--backend batch``
+routes engine runs through the vectorized batch backend (bit-identical;
+see ``docs/PERFORMANCE.md``) and ``--workers N`` fans seed sweeps over
+a process pool.  The figure commands
 (``fig1``/``fig2``/``fig3``) regenerate fixed paper constructions with no
 parameter grid, so ``--quick`` is accepted but changes nothing there.
 
@@ -56,91 +59,92 @@ from .analysis.experiments import (
     exp_thm7_reduction,
     exp_thm8_leader_election,
 )
+from .sim.config import BACKENDS, RunConfig
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig1(quick: bool, workers: Optional[int] = None):
+def _fig1(quick: bool, config: Optional[RunConfig] = None):
     # The figures are fixed paper constructions (no parameter grid), so
     # quick and full runs are identical — the flag is deliberately
-    # unused, and there is no seed sweep to parallelize either.
+    # unused, and there is no engine run to parallelize or re-backend.
     return exp_fig1()
 
 
-def _fig2(quick: bool, workers: Optional[int] = None):
-    return exp_fig2()  # fixed construction; --quick/--workers no-ops (see _fig1)
+def _fig2(quick: bool, config: Optional[RunConfig] = None):
+    return exp_fig2()  # fixed construction; --quick/config no-ops (see _fig1)
 
 
-def _fig3(quick: bool, workers: Optional[int] = None):
-    return exp_fig3()  # fixed construction; --quick/--workers no-ops (see _fig1)
+def _fig3(quick: bool, config: Optional[RunConfig] = None):
+    return exp_fig3()  # fixed construction; --quick/config no-ops (see _fig1)
 
 
-def _thm6(quick: bool, workers: Optional[int] = None):
+def _thm6(quick: bool, config: Optional[RunConfig] = None):
     return exp_thm6_reduction(
         q_values=(25,) if quick else (25, 41), seeds=(1,) if quick else (1, 2),
-        workers=workers,
+        config=config,
     )
 
 
-def _thm7(quick: bool, workers: Optional[int] = None):
+def _thm7(quick: bool, config: Optional[RunConfig] = None):
     return exp_thm7_reduction(
         q_values=(17,) if quick else (17, 25), seeds=(1,) if quick else (1, 2),
-        workers=workers,
+        config=config,
     )
 
 
-def _thm8(quick: bool, workers: Optional[int] = None):
+def _thm8(quick: bool, config: Optional[RunConfig] = None):
     if quick:
         return exp_thm8_leader_election(
             sizes=(8,), adversaries=("overlap-stars",), seeds=(11,),
-            include_line_up_to=0, workers=workers,
+            include_line_up_to=0, config=config,
         )
-    return exp_thm8_leader_election(workers=workers)
+    return exp_thm8_leader_election(config=config)
 
 
-def _ub(quick: bool, workers: Optional[int] = None):
+def _ub(quick: bool, config: Optional[RunConfig] = None):
     return exp_known_d_upper_bounds(
         sizes=(16,) if quick else (16, 32, 64), seeds=(21,) if quick else (21, 22),
-        workers=workers,
+        config=config,
     )
 
 
-def _cc(quick: bool, workers: Optional[int] = None):
-    return exp_cc_bounds(n_values=(64, 256) if quick else (64, 256, 1024), workers=workers)
+def _cc(quick: bool, config: Optional[RunConfig] = None):
+    return exp_cc_bounds(n_values=(64, 256) if quick else (64, 256, 1024), config=config)
 
 
-def _gap(quick: bool, workers: Optional[int] = None):
+def _gap(quick: bool, config: Optional[RunConfig] = None):
     return exp_exponential_gap(
         measured_sizes=(16,) if quick else (16, 32, 64),
-        seeds=(31,) if quick else (31, 32), workers=workers,
+        seeds=(31,) if quick else (31, 32), config=config,
     )
 
 
-def _sens(quick: bool, workers: Optional[int] = None):
+def _sens(quick: bool, config: Optional[RunConfig] = None):
     if quick:
         return exp_sensitivity(
-            n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000, workers=workers
+            n=12, errors=(0.0, 0.45), seeds=(41,), max_rounds=12_000, config=config
         )
-    return exp_sensitivity(workers=workers)
+    return exp_sensitivity(config=config)
 
 
-def _est(quick: bool, workers: Optional[int] = None):
+def _est(quick: bool, config: Optional[RunConfig] = None):
     if quick:
         return exp_estimate_insensitivity(
-            q_values=(9,), seeds=(1,), late_factor=150, workers=workers
+            q_values=(9,), seeds=(1,), late_factor=150, config=config
         )
-    return exp_estimate_insensitivity(workers=workers)
+    return exp_estimate_insensitivity(config=config)
 
 
-def _heur(quick: bool, workers: Optional[int] = None):
+def _heur(quick: bool, config: Optional[RunConfig] = None):
     if quick:
         return exp_doubling_heuristic(
-            n=24, thresholds=(0.75,), seeds=(1,), max_rounds=40_000, workers=workers
+            n=24, thresholds=(0.75,), seeds=(1,), max_rounds=40_000, config=config
         )
-    return exp_doubling_heuristic(workers=workers)
+    return exp_doubling_heuristic(config=config)
 
 
-#: command name -> (description, runner(quick, workers=None) -> ExperimentResult)
+#: command name -> (description, runner(quick, config=None) -> ExperimentResult)
 EXPERIMENTS: Dict[str, tuple] = {
     "fig1": ("Figure 1: type-Γ chains under the three adversaries (fixed; no quick grid)", _fig1),
     "fig2": ("Figure 2: Λ centipede cascade (x=y=0) (fixed; no quick grid)", _fig2),
@@ -314,6 +318,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "identical at any worker count — see docs/PARALLEL.md",
     )
     parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="execution backend for engine runs: 'reference' (default) or "
+        "'batch' (vectorized, bit-identical; falls back to reference on "
+        "adaptive adversaries — see docs/PERFORMANCE.md); default: the "
+        "REPRO_BACKEND environment variable, else 'reference'",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="instrument engine runs and print aggregate metrics/timings",
@@ -377,6 +390,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     observing = args.metrics or args.trace_out is not None or args.metrics_out is not None
+    run_config = RunConfig(workers=args.workers, backend=args.backend)
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         _desc, runner = EXPERIMENTS[name]
@@ -388,7 +402,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # one subdirectory per experiment when running several
                 trace_dir = args.trace_out if len(names) == 1 else f"{args.trace_out}/{name}"
             with observe(trace_dir=trace_dir, label=name) as session:
-                result = runner(args.quick, workers=args.workers)
+                result = runner(args.quick, config=run_config)
             result.attach_session(session)
             print(result.render())
             if args.metrics:
@@ -405,7 +419,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     out = str(p.with_name(f"{p.stem}-{name}{p.suffix or '.prom'}"))
                 _write_metrics_out(session, out)
         else:
-            result = runner(args.quick, workers=args.workers)
+            result = runner(args.quick, config=run_config)
             print(result.render())
         print()
     return 0

@@ -91,6 +91,12 @@ def adversary_divergence_round(adv_a: "Adversary", adv_b: "Adversary", rounds: i
 class Adversary(ABC):
     """Chooses the topology of each round."""
 
+    #: True iff :meth:`edges` never reads the view — the schedule is a
+    #: pure function of the round number, so it can be materialized into
+    #: a :class:`~repro.sim.batch.ScheduleTape` and replayed by the batch
+    #: backend.  Conservative default: adaptive unless a family opts in.
+    oblivious: bool = False
+
     def __init__(self, node_ids: Iterable[int]):
         self.node_ids: Tuple[int, ...] = tuple(sorted(set(node_ids)))
 
@@ -102,6 +108,17 @@ class Adversary(ABC):
     def edges(self, round_: int, view) -> Iterable[Edge]:
         """Edge set for the given 1-based round."""
 
+    def schedule_key(self, round_: int):
+        """A hashable key such that equal keys imply equal topologies.
+
+        The schedule tape uses this to skip re-materializing (and
+        re-validating) rounds whose topology provably repeats — rotating
+        and overlapping stars have period N, static families period 1,
+        T-interval families one key per epoch.  ``None`` (the default)
+        promises nothing; the tape then interns by edge-set content.
+        """
+        return None
+
     def schedule(self, rounds: int, view=None) -> DynamicSchedule:
         """Materialize the first ``rounds`` topologies (oblivious only).
 
@@ -110,15 +127,32 @@ class Adversary(ABC):
         tops = [RoundTopology(self.node_ids, self.edges(r, view)) for r in range(1, rounds + 1)]
         return DynamicSchedule(tops)
 
+    def export_tape(self):
+        """Export this adversary's schedule as a lazy ScheduleTape.
+
+        Only meaningful for oblivious families (the tape replays
+        ``edges(r, None)``); adaptive adversaries raise so callers fall
+        back to the reference engine instead of silently replaying a
+        schedule that would have depended on the view.
+        """
+        from ..sim.batch import ScheduleTape
+
+        return ScheduleTape(self)
+
 
 class StaticAdversary(Adversary):
     """The same graph every round (a static network)."""
+
+    oblivious = True
 
     def __init__(self, node_ids: Iterable[int], fixed_edges: Iterable[Edge]):
         super().__init__(node_ids)
         self._edges = frozenset(
             (u, v) if u < v else (v, u) for u, v in fixed_edges
         )
+
+    def schedule_key(self, round_: int):
+        return 0  # one topology, every round
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         return self._edges
@@ -127,20 +161,36 @@ class StaticAdversary(Adversary):
 class ScheduleAdversary(Adversary):
     """Plays back a pre-baked :class:`DynamicSchedule`."""
 
+    oblivious = True
+
     def __init__(self, schedule: DynamicSchedule):
         super().__init__(schedule.node_ids)
         self._schedule = schedule
+
+    def schedule_key(self, round_: int):
+        # the tail repeats the last explicit topology
+        return min(round_ - 1, self._schedule.explicit_rounds - 1)
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         return self._schedule.topology(round_).edges
 
 
 class FunctionAdversary(Adversary):
-    """Wraps an arbitrary ``(round, view) -> edges`` callable."""
+    """Wraps an arbitrary ``(round, view) -> edges`` callable.
 
-    def __init__(self, node_ids: Iterable[int], fn: Callable[[int, object], Iterable[Edge]]):
+    Pass ``oblivious=True`` only when ``fn`` provably ignores the view;
+    that opts the wrapper into the batch backend's schedule tape.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[int],
+        fn: Callable[[int, object], Iterable[Edge]],
+        oblivious: bool = False,
+    ):
         super().__init__(node_ids)
         self._fn = fn
+        self.oblivious = oblivious
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         return self._fn(round_, view)
@@ -152,6 +202,8 @@ class RandomConnectedAdversary(Adversary):
     Deterministic in (seed, round): replays identically across runs,
     which keeps replication honest.
     """
+
+    oblivious = True
 
     def __init__(self, node_ids: Iterable[int], seed: int, extra_edge_prob: float = 0.0):
         super().__init__(node_ids)
@@ -172,11 +224,16 @@ class ShiftingLineAdversary(Adversary):
     this the stress schedule for "unknown, large D".
     """
 
+    oblivious = True
+
     def __init__(self, node_ids: Iterable[int], seed: int, reshuffle_every: int = 1):
         super().__init__(node_ids)
         require(reshuffle_every >= 1, "reshuffle_every must be >= 1")
         self.seed = seed
         self.reshuffle_every = reshuffle_every
+
+    def schedule_key(self, round_: int):
+        return (round_ - 1) // self.reshuffle_every  # one line per epoch
 
     def _order(self, round_: int) -> List[int]:
         epoch = (round_ - 1) // self.reshuffle_every
@@ -198,9 +255,14 @@ class RotatingStarAdversary(Adversary):
     per-round diameter says nothing about the dynamic diameter.
     """
 
+    oblivious = True
+
     def __init__(self, node_ids: Iterable[int]):
         super().__init__(node_ids)
         require(len(self.node_ids) >= 2, "a star needs at least 2 nodes")
+
+    def schedule_key(self, round_: int):
+        return (round_ - 1) % len(self.node_ids)  # period-N rotation
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         center = self.node_ids[(round_ - 1) % len(self.node_ids)]
@@ -217,9 +279,14 @@ class OverlappingStarsAdversary(Adversary):
     This is the "tiny unknown D" regime the paper's question targets.
     """
 
+    oblivious = True
+
     def __init__(self, node_ids: Iterable[int]):
         super().__init__(node_ids)
         require(len(self.node_ids) >= 2, "stars need at least 2 nodes")
+
+    def schedule_key(self, round_: int):
+        return (round_ - 1) % len(self.node_ids)  # period-N rotation
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         n = len(self.node_ids)
@@ -231,12 +298,17 @@ class OverlappingStarsAdversary(Adversary):
 class TIntervalAdversary(Adversary):
     """Holds each (random connected) topology stable for T rounds."""
 
+    oblivious = True
+
     def __init__(self, node_ids: Iterable[int], seed: int, interval: int, extra_edge_prob: float = 0.0):
         super().__init__(node_ids)
         require(interval >= 1, "interval must be >= 1")
         self.seed = seed
         self.interval = interval
         self.extra_edge_prob = extra_edge_prob
+
+    def schedule_key(self, round_: int):
+        return (round_ - 1) // self.interval  # one topology per epoch
 
     def edges(self, round_: int, view) -> Iterable[Edge]:
         epoch = (round_ - 1) // self.interval

@@ -43,6 +43,9 @@ class RunManifest:
     #: "engine" for SynchronousEngine traces, "reduction" for two-party
     #: reduction runs whose persisted form is the proof ledger
     kind: str = "engine"
+    #: which execution backend produced the run ("reference" or "batch");
+    #: the backends are bit-identical, so this is provenance, not meaning
+    backend: str = "reference"
 
     @classmethod
     def from_engine(cls, engine: Any) -> "RunManifest":
@@ -54,6 +57,7 @@ class RunManifest:
             adversary=type(engine.adversary).__name__,
             bandwidth_factor=getattr(engine, "bandwidth_factor", None),
             check_connected=getattr(engine, "check_connected", True),
+            backend=getattr(engine, "backend", "reference"),
         )
 
     def as_dict(self) -> dict:

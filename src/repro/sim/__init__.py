@@ -16,11 +16,17 @@ as in the paper's model:
 Public API: :class:`~repro.sim.node.ProtocolNode`,
 :class:`~repro.sim.engine.SynchronousEngine`,
 :class:`~repro.sim.coins.CoinSource`, the :mod:`~repro.sim.actions`
-algebra, and the :mod:`~repro.sim.runner` convenience helpers.
+algebra, the :class:`~repro.sim.config.RunConfig` facade, and the
+:mod:`~repro.sim.runner` convenience helpers.  Two interchangeable
+execution backends implement the model: the reference engine and the
+vectorized :class:`~repro.sim.batch.BatchEngine` (bit-identical on
+oblivious adversaries; see ``docs/PERFORMANCE.md``).
 """
 
 from .actions import Action, Receive, Send
+from .batch import BatchEngine, ScheduleTape, batch_fallback_reason, build_engine
 from .coins import Coins, CoinSource
+from .config import BACKEND_ENV, BACKENDS, RunConfig, resolve_backend
 from .engine import SynchronousEngine
 from .factories import BoundNode, Constant, NodeSet
 from .messages import congest_budget
@@ -36,6 +42,14 @@ __all__ = [
     "Coins",
     "CoinSource",
     "SynchronousEngine",
+    "BatchEngine",
+    "ScheduleTape",
+    "batch_fallback_reason",
+    "build_engine",
+    "RunConfig",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "resolve_backend",
     "congest_budget",
     "ProtocolNode",
     "ProtocolRun",

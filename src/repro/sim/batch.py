@@ -1,0 +1,660 @@
+"""The vectorized batch backend: a drop-in fast path for the engine.
+
+:class:`~repro.sim.engine.SynchronousEngine` is the executable
+definition of the model — one readable Python loop per round.  That
+clarity costs throughput: every round re-asks the adversary for edges,
+re-normalizes and re-validates them, re-derives a coin stream per node
+with a tuple hash, and re-encodes every payload for bit accounting and
+delivery ordering.  For *oblivious* adversaries — schedules that are a
+pure function of the round number, which is every worst-case family the
+experiments sweep — all of that is redundant work.
+
+This module removes the redundancy without touching semantics:
+
+* :class:`ScheduleTape` materializes an oblivious adversary's schedule
+  lazily into interned topologies: each *unique* edge set is normalized,
+  connectivity-checked, and turned into a numpy adjacency matrix exactly
+  once.  Families advertise repetition through
+  :meth:`~repro.network.adversaries.Adversary.schedule_key` (rotating
+  stars have period N, static families period 1, T-interval one key per
+  epoch); rounds without a key are interned by edge-set content.
+* :class:`BatchEngine` replays a tape round by round, deriving all N
+  coin states per round with one vectorized FNV fold instead of N tuple
+  hashes, charging CONGEST bits from the process-global
+  :func:`~repro.sim.encoding.interned_encoding` cache, and resolving
+  delivery with one boolean sub-matrix per round instead of per-receiver
+  list scans.
+* :func:`run_batch_replicas` runs K same-cell replicas against one
+  shared tape (and one adversary instance) in lockstep, so
+  :func:`~repro.sim.runner.replicate` amortizes schedule materialization
+  across seeds within a worker.
+
+Equality with the reference engine is **bit-identical**, not
+approximate: the same :class:`~repro.sim.trace.RoundRecord` objects, the
+same delivery order (payloads sorted by canonical encoding with the
+sender id as tie-break), the same error types with the same messages,
+the same termination bookkeeping.  A Hypothesis property
+(``tests/sim/test_batch_equivalence.py``) pins the trace fingerprint,
+bit totals, and outputs of both backends to each other.
+
+Adaptive adversaries cannot be taped — their next topology may depend on
+the round's committed actions — so callers consult
+:func:`batch_fallback_reason` and drop to the reference engine, logging
+the reason on this module's logger (``repro.sim.batch``).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from .._util import require
+from ..errors import (
+    BandwidthExceeded,
+    ConfigurationError,
+    DisconnectedTopology,
+    InvalidAction,
+)
+from .actions import Receive, Send
+from .coins import Coins, CoinSource
+from .encoding import interned_encoding
+from .engine import _is_connected, _normalize_edges
+from .messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
+from .node import ProtocolNode
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "ScheduleTape",
+    "BatchEngine",
+    "run_batch_replicas",
+    "build_engine",
+    "batch_fallback_reason",
+    "DENSE_NODE_LIMIT",
+]
+
+logger = logging.getLogger("repro.sim.batch")
+
+Edge = Tuple[int, int]
+
+#: Above this many nodes the tape stops building dense adjacency
+#: matrices (N x N booleans per unique topology) and keeps neighbor
+#: lists instead; delivery falls back to per-receiver scans with the
+#: interned encodings still applied.
+DENSE_NODE_LIMIT = 512
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv_fold(h: int, part: int) -> int:
+    """One exact :func:`~repro._util.stable_hash64` folding step."""
+    value = part & _MASK64 if part >= 0 else (-part * 2 + 1)
+    while True:
+        h ^= value & _MASK64
+        h = (h * _FNV_PRIME) & _MASK64
+        value >>= 64
+        if value == 0:
+            break
+    return h
+
+
+#: leaf types whose values can never change under a live reference
+_SCALAR_TYPES = frozenset((int, float, bool, str, bytes, type(None)))
+
+
+def _immutable_payload(payload: Any) -> bool:
+    """True iff this exact object's encoding can be memoized by identity.
+
+    Flat tuples of scalars (and bare scalars) are immutable all the way
+    down, so the same object always encodes the same way.  Anything
+    nested or mutable falls back to the value-keyed interned cache.
+    """
+    cls = payload.__class__
+    if cls is tuple:
+        for item in payload:
+            if item.__class__ not in _SCALAR_TYPES:
+                return False
+        return True
+    return cls in _SCALAR_TYPES
+
+
+def batch_fallback_reason(adversary: Any) -> Optional[str]:
+    """Why this adversary cannot run on the batch backend (None = it can).
+
+    The single disqualifier is adaptivity: an adversary whose
+    ``oblivious`` flag is false may read the round view, and a
+    pre-materialized schedule tape would silently replay a different
+    schedule than the one the adversary would have chosen.
+    """
+    if not getattr(adversary, "oblivious", False):
+        return (
+            f"{type(adversary).__name__} is adaptive (oblivious=False): its "
+            f"topology may depend on the round view, which a pre-materialized "
+            f"schedule tape cannot replay"
+        )
+    return None
+
+
+class _Topology:
+    """One unique materialized topology: edges + derived delivery forms."""
+
+    __slots__ = ("edges", "connected", "adj", "neighbors")
+
+    def __init__(
+        self,
+        edges: FrozenSet[Edge],
+        connected: bool,
+        adj: Optional[np.ndarray],
+        neighbors: Optional[Dict[int, Tuple[int, ...]]],
+    ):
+        self.edges = edges
+        self.connected = connected
+        self.adj = adj
+        self.neighbors = neighbors
+
+
+class ScheduleTape:
+    """An oblivious adversary's schedule, interned topology by topology.
+
+    Lazy by design: experiments run for up to ~10^5 rounds, so the tape
+    materializes rounds on demand and only ever *stores* unique
+    topologies.  Two interning levels:
+
+    1. :meth:`~repro.network.adversaries.Adversary.schedule_key` — the
+       family's own statement that a round repeats an earlier one; a key
+       hit skips the ``edges()`` call entirely.
+    2. edge-set content — rounds without a key still share their
+       materialized form (normalized edges, connectivity verdict,
+       adjacency matrix) with any earlier round that produced the same
+       edge set.
+
+    One tape may back many engines (that is the point — see
+    :func:`run_batch_replicas`), as long as they share one node set; the
+    tape binds to the first engine's node ids and rejects mismatches.
+    """
+
+    def __init__(self, adversary: Any, dense_node_limit: int = DENSE_NODE_LIMIT):
+        reason = batch_fallback_reason(adversary)
+        if reason is not None:
+            raise ConfigurationError(f"cannot tape this adversary: {reason}")
+        self.adversary = adversary
+        self.dense_node_limit = dense_node_limit
+        self._node_ids: Optional[FrozenSet[int]] = None
+        self._uid_index: Dict[int, int] = {}
+        self._by_key: Dict[Any, _Topology] = {}
+        self._by_content: Dict[FrozenSet[Edge], _Topology] = {}
+        #: materialization counters (tests + docs/PERFORMANCE.md)
+        self.stats: Dict[str, int] = {
+            "rounds": 0,
+            "key_hits": 0,
+            "content_hits": 0,
+            "unique_topologies": 0,
+        }
+
+    def bind(self, node_ids: FrozenSet[int]) -> None:
+        """Fix the node set this tape validates against (idempotent)."""
+        node_ids = frozenset(node_ids)
+        if self._node_ids is None:
+            self._node_ids = node_ids
+            self._uid_index = {uid: i for i, uid in enumerate(sorted(node_ids))}
+        elif self._node_ids != node_ids:
+            raise ConfigurationError(
+                "schedule tape is already bound to a different node set; "
+                "tapes are shareable only across same-cell replicas"
+            )
+
+    @property
+    def uid_index(self) -> Dict[int, int]:
+        """uid -> dense index map (sorted-uid order); bound node set only."""
+        return self._uid_index
+
+    def topology(self, round_: int) -> _Topology:
+        """The (interned) topology of the given 1-based round."""
+        if self._node_ids is None:
+            raise ConfigurationError("bind() the tape to a node set first")
+        self.stats["rounds"] += 1
+        key = self.adversary.schedule_key(round_)
+        if key is not None:
+            topo = self._by_key.get(key)
+            if topo is not None:
+                self.stats["key_hits"] += 1
+                return topo
+        edges = _normalize_edges(self.adversary.edges(round_, None), self._node_ids)
+        topo = self._by_content.get(edges)
+        if topo is not None:
+            self.stats["content_hits"] += 1
+        else:
+            topo = self._materialize(edges)
+            self._by_content[edges] = topo
+            self.stats["unique_topologies"] += 1
+        if key is not None:
+            self._by_key[key] = topo
+        return topo
+
+    def _materialize(self, edges: FrozenSet[Edge]) -> _Topology:
+        connected = _is_connected(self._node_ids, edges)
+        n = len(self._node_ids)
+        idx = self._uid_index
+        if n <= self.dense_node_limit:
+            adj = np.zeros((n, n), dtype=bool)
+            for u, v in edges:
+                i, j = idx[u], idx[v]
+                adj[i, j] = True
+                adj[j, i] = True
+            return _Topology(edges, connected, adj, None)
+        neighbors: Dict[int, List[int]] = {uid: [] for uid in self._node_ids}
+        for u, v in edges:
+            neighbors[u].append(v)
+            neighbors[v].append(u)
+        return _Topology(
+            edges, connected, None, {u: tuple(vs) for u, vs in neighbors.items()}
+        )
+
+
+class BatchEngine:
+    """Drop-in vectorized engine for oblivious adversaries.
+
+    Same constructor shape, ``step()``/``run()`` surface, trace,
+    error types, and instrumentation hooks as
+    :class:`~repro.sim.engine.SynchronousEngine`; see that class for the
+    model semantics.  Extra parameter: ``tape``, a shared
+    :class:`ScheduleTape` (one is built from the adversary when absent).
+
+    Selection is via ``RunConfig(backend="batch")`` on the runner layer;
+    constructing one directly with an adaptive adversary raises
+    :class:`~repro.errors.ConfigurationError` (the runner logs a
+    fallback instead).
+    """
+
+    backend = "batch"
+
+    def __init__(
+        self,
+        nodes: Dict[int, ProtocolNode],
+        adversary: Any,
+        coin_source: CoinSource,
+        bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR,
+        check_connected: bool = True,
+        instrumentation: Optional[Any] = None,
+        tape: Optional[ScheduleTape] = None,
+    ):
+        self.nodes = dict(nodes)
+        self.node_ids = frozenset(self.nodes)
+        self.adversary = adversary
+        self.coin_source = coin_source
+        self.bandwidth_factor = bandwidth_factor
+        self.budget = congest_budget(len(self.nodes), bandwidth_factor)
+        self.check_connected = check_connected
+        self.trace = ExecutionTrace(num_nodes=len(self.nodes))
+        self.round = 0
+        if tape is None:
+            tape = ScheduleTape(adversary)
+        self.tape = tape
+        tape.bind(self.node_ids)
+        self._uids = sorted(self.nodes)
+        self._node_list = [self.nodes[uid] for uid in self._uids]
+        #: uids double as dense indices when they are already 0..N-1 —
+        #: the overwhelmingly common layout — letting delivery build its
+        #: index arrays straight from uid lists.
+        self._contiguous = self._uids == list(range(len(self._uids)))
+        # payload-object -> (payload, encoding, bits) memo keyed by id().
+        # Sound only for payloads that are immutable all the way down
+        # (checked once at insert); the stored reference keeps the id
+        # alive.  Mutable or nested payloads use interned_encoding.
+        self._id_memo: Dict[int, Tuple[Any, bytes, int]] = {}
+        # Vectorized coin-state derivation: stable_hash64((seed, uid, r))
+        # folds left to right, so h(seed) is a run constant and
+        # h(seed, uid) a per-node constant; per round one uint64 vector
+        # op finishes the fold.  uids outside [0, 2^64) need multi-chunk
+        # folding — rare enough to take the exact scalar path instead.
+        h_seed = _fnv_fold(_FNV_OFFSET, coin_source.seed)
+        if all(0 <= uid < 2 ** 64 for uid in self._uids):
+            uid_arr = np.array(self._uids, dtype=np.uint64)
+            self._h_seed_uid: Optional[np.ndarray] = (
+                (np.uint64(h_seed) ^ uid_arr) * np.uint64(_FNV_PRIME)
+            )
+        else:  # pragma: no cover - exotic uid ranges
+            self._h_seed_uid = None
+        if instrumentation is None:
+            from ..obs.runtime import instrument_engine
+
+            instrumentation = instrument_engine(self)
+        self.instrumentation = instrumentation
+
+    # ------------------------------------------------------------------
+    def _coin_states(self, round_: int) -> List[int]:
+        """splitmix64 seeds for every node this round, in uid order."""
+        if self._h_seed_uid is not None and 1 <= round_ < 2 ** 64:
+            states = (self._h_seed_uid ^ np.uint64(round_)) * np.uint64(_FNV_PRIME)
+            return states.tolist()
+        source = self.coin_source  # pragma: no cover - exotic uid ranges
+        return [
+            _fnv_fold(_fnv_fold(_fnv_fold(_FNV_OFFSET, source.seed), uid), round_)
+            for uid in self._uids
+        ]
+
+    def step(self) -> RoundRecord:
+        """Execute one round and return its record (reference semantics)."""
+        self.round += 1
+        r = self.round
+        instr = self.instrumentation
+        if instr is not None:
+            instr.run_started()
+            clock = instr.clock
+            t_phase = clock()
+
+        # (1)+(2): coins and committed actions, in deterministic id
+        # order.  Classification (send vs receive) is fused in — the
+        # tape never reads the committed-action view, so the reference
+        # engine's intermediate actions dict buys nothing here.
+        states = self._coin_states(r)
+        send_uids: List[int] = []
+        send_payloads: List[Any] = []
+        receiver_list: List[int] = []
+        append_send_uid = send_uids.append
+        append_payload = send_payloads.append
+        append_receiver = receiver_list.append
+        for uid, state, node in zip(self._uids, states, self._node_list):
+            action = node.action(r, Coins(uid, r, state))
+            cls = action.__class__
+            if cls is Send:
+                append_send_uid(uid)
+                append_payload(action.payload)
+            elif cls is Receive:
+                append_receiver(uid)
+            elif isinstance(action, Send):  # subclassed action types
+                append_send_uid(uid)
+                append_payload(action.payload)
+            elif isinstance(action, Receive):
+                append_receiver(uid)
+            else:
+                raise InvalidAction(
+                    f"node {uid} returned {action!r} from action() in round {r}"
+                )
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("actions", now - t_phase)
+            t_phase = now
+
+        # (3): the tape supplies (or lazily materializes) the topology.
+        topo = self.tape.topology(r)
+        edges = topo.edges
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("adversary", now - t_phase)
+            t_phase = now
+
+        # Validation: the verdict was computed once per unique topology.
+        if self.check_connected and not topo.connected:
+            raise DisconnectedTopology(f"round {r}: adversary topology is disconnected")
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("validation", now - t_phase)
+            t_phase = now
+
+        # (4): delivery.  Encodings and CONGEST bits come from the
+        # per-engine identity memo (payload objects repeat across
+        # rounds), falling back to the process-global interned cache.
+        memo = self._id_memo
+        encodings: List[bytes] = []
+        bits_list: List[int] = []
+        append_enc = encodings.append
+        append_bits = bits_list.append
+        for payload in send_payloads:
+            entry = memo.get(id(payload))
+            if entry is not None and entry[0] is payload:
+                append_enc(entry[1])
+                append_bits(entry[2])
+                continue
+            enc, nbits = interned_encoding(payload)
+            if _immutable_payload(payload):
+                if len(memo) >= 4096:  # bound memory on payload churn
+                    memo.clear()
+                memo[id(payload)] = (payload, enc, nbits)
+            append_enc(enc)
+            append_bits(nbits)
+        budget = self.budget
+        if bits_list and max(bits_list) > budget:
+            for uid, nbits in zip(send_uids, bits_list):  # first, in uid order
+                if nbits > budget:
+                    raise BandwidthExceeded(nbits, budget, uid, r)
+        sends: Dict[int, Any] = dict(zip(send_uids, send_payloads))
+        bits: Dict[int, int] = dict(zip(send_uids, bits_list))
+
+        # Global sender order by (encoding, uid): per-receiver delivery
+        # order is a sorted *subsequence* of it, so sorting once replaces
+        # the reference engine's per-receiver sort.  Unique uids break
+        # every encoding tie, so the payloads are never compared.
+        triples = sorted(zip(encodings, send_uids, send_payloads))
+        sorted_uids = [t[1] for t in triples]
+        sorted_payloads = [t[2] for t in triples]
+
+        delivered: Dict[int, int] = {}
+        nodes = self.nodes
+        if not receiver_list or not send_uids:
+            for uid in receiver_list:
+                delivered[uid] = 0
+                nodes[uid].on_messages(r, ())
+        elif topo.adj is not None:
+            if self._contiguous:
+                recv_idx = np.array(receiver_list, dtype=np.intp)
+                send_idx = np.array(sorted_uids, dtype=np.intp)
+            else:
+                idx = self.tape.uid_index
+                recv_idx = np.fromiter(
+                    (idx[u] for u in receiver_list),
+                    dtype=np.intp,
+                    count=len(receiver_list),
+                )
+                send_idx = np.fromiter(
+                    (idx[u] for u in sorted_uids),
+                    dtype=np.intp,
+                    count=len(sorted_uids),
+                )
+            incidence = topo.adj[np.ix_(recv_idx, send_idx)]
+            counts = incidence.sum(axis=1).tolist()
+            cols = np.nonzero(incidence)[1].tolist()  # row-major: grouped
+            getter = sorted_payloads.__getitem__
+            pos = 0
+            for uid, count in zip(receiver_list, counts):
+                delivered[uid] = count
+                end = pos + count
+                nodes[uid].on_messages(r, tuple(map(getter, cols[pos:end])))
+                pos = end
+        else:
+            rank = {uid: k for k, uid in enumerate(sorted_uids)}
+            neighbors = topo.neighbors
+            for uid in receiver_list:
+                senders = [v for v in neighbors[uid] if v in sends]
+                senders.sort(key=rank.__getitem__)
+                delivered[uid] = len(senders)
+                nodes[uid].on_messages(r, tuple(sends[v] for v in senders))
+        for uid in send_uids:
+            nodes[uid].on_sent(r)
+
+        record = RoundRecord(
+            round=r,
+            edges=edges,
+            sends=sends,
+            bits=bits,
+            receivers=frozenset(receiver_list),
+            delivered=delivered,
+        )
+        self.trace.append(record)
+        if instr is not None:
+            now = clock()
+            instr.observe_phase("delivery", now - t_phase)
+            t_phase = now
+
+        # (5): termination bookkeeping (same polling as the reference:
+        # every node's output() is read every round).
+        if self.trace.termination_round is None:
+            outs = [node.output() for node in self._node_list]
+            complete = True
+            for out in outs:
+                if out is None:
+                    complete = False
+                    break
+            if complete:
+                self.trace.termination_round = r
+                self.trace.outputs = dict(zip(self._uids, outs))
+        if instr is not None:
+            instr.observe_phase("termination", clock() - t_phase)
+            instr.round_finished(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int,
+        stop: Optional[Callable[[Dict[int, ProtocolNode]], bool]] = None,
+        stop_on_termination: bool = True,
+    ) -> ExecutionTrace:
+        """Run until termination, a custom stop predicate, or ``max_rounds``."""
+        while self.round < max_rounds:
+            self.step()
+            if stop_on_termination and self.trace.termination_round is not None:
+                break
+            if stop is not None and stop(self.nodes):
+                break
+        self.trace.outputs = {uid: node.output() for uid, node in self.nodes.items()}
+        if self.instrumentation is not None:
+            self.instrumentation.run_finished(self)
+        return self.trace
+
+
+def build_engine(
+    nodes: Dict[int, ProtocolNode],
+    adversary: Any,
+    coin_source: CoinSource,
+    bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR,
+    check_connected: bool = True,
+    instrumentation: Optional[Any] = None,
+    backend: str = "reference",
+    tape: Optional[ScheduleTape] = None,
+):
+    """Construct the engine a resolved backend name asks for.
+
+    ``backend="batch"`` with an adaptive adversary falls back to the
+    reference engine and logs the reason — the run is always correct,
+    the fast path is best-effort.  This is the single dispatch point the
+    runner, the analysis drivers, and the tests share.
+    """
+    from .engine import SynchronousEngine
+
+    if backend == "batch":
+        reason = batch_fallback_reason(adversary)
+        if reason is None:
+            return BatchEngine(
+                nodes,
+                adversary,
+                coin_source,
+                bandwidth_factor=bandwidth_factor,
+                check_connected=check_connected,
+                instrumentation=instrumentation,
+                tape=tape,
+            )
+        logger.info("batch backend falling back to reference: %s", reason)
+    elif backend != "reference":
+        raise ConfigurationError(f"unknown backend {backend!r}")
+    return SynchronousEngine(
+        nodes,
+        adversary,
+        coin_source,
+        bandwidth_factor=bandwidth_factor,
+        check_connected=check_connected,
+        instrumentation=instrumentation,
+    )
+
+
+def run_batch_replicas(
+    make_nodes: Callable[[], Dict[int, ProtocolNode]],
+    make_adversary: Callable[[], Any],
+    seeds,
+    *,
+    max_rounds: int,
+    bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR,
+    check_connected: bool = True,
+    instrument: bool = False,
+    registry: Optional[Any] = None,
+) -> List[Any]:
+    """Run one cell's replicas on a shared tape; list of ``ProtocolRun``.
+
+    One adversary instance and one :class:`ScheduleTape` serve every
+    seed (oblivious adversaries are stateless functions of the round, so
+    sharing is sound and amortizes materialization).  Uninstrumented
+    replicas advance in lockstep — round 1 of every replica, then round
+    2 — so the tape materializes each round at most once even when
+    replicas terminate at different times; traces are finalized in seed
+    order afterwards.  Instrumented replicas (explicit or via an ambient
+    observation session) run sequentially instead, keeping each run's
+    wall-clock span meaningful and the session's run numbering ordered.
+    """
+    from .runner import ProtocolRun
+
+    require(max_rounds is not None and max_rounds >= 0, "max_rounds must be >= 0")
+    adversary = make_adversary()
+    reason = batch_fallback_reason(adversary)
+    if reason is not None:
+        raise ConfigurationError(f"cannot run batch replicas: {reason}")
+    tape = ScheduleTape(adversary)
+    engines: List[BatchEngine] = []
+    for seed in seeds:
+        instrumentation = None
+        if instrument:
+            from ..obs.instrumentation import Instrumentation
+
+            instrumentation = Instrumentation(registry=registry)
+        engines.append(
+            BatchEngine(
+                make_nodes(),
+                adversary,
+                CoinSource(seed),
+                bandwidth_factor=bandwidth_factor,
+                check_connected=check_connected,
+                instrumentation=instrumentation,
+                tape=tape,
+            )
+        )
+    if any(engine.instrumentation is not None for engine in engines):
+        for engine in engines:
+            engine.run(max_rounds)
+    else:
+        active = list(engines) if max_rounds > 0 else []
+        while active:
+            still_running: List[BatchEngine] = []
+            for engine in active:
+                engine.step()
+                if (
+                    engine.trace.termination_round is None
+                    and engine.round < max_rounds
+                ):
+                    still_running.append(engine)
+            active = still_running
+        for engine in engines:  # finalize in seed order, like run() would
+            engine.trace.outputs = {
+                uid: node.output() for uid, node in engine.nodes.items()
+            }
+    runs: List[Any] = []
+    for engine in engines:
+        trace = engine.trace
+        terminated = trace.termination_round is not None
+        rounds = trace.termination_round if terminated else trace.rounds
+        metrics: Dict[str, Any] = {}
+        inst = engine.instrumentation
+        if inst is not None and hasattr(inst, "run_metrics"):
+            metrics = inst.run_metrics()
+        runs.append(
+            ProtocolRun(
+                trace=trace,
+                terminated=terminated,
+                rounds=rounds,
+                outputs=trace.outputs,
+                metrics=metrics,
+                backend="batch",
+            )
+        )
+    return runs

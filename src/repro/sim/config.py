@@ -1,0 +1,192 @@
+"""The run-configuration facade shared by every execution entry point.
+
+``run_protocol``/``replicate``/``cartesian_sweep`` and the CLI
+experiment drivers used to triplicate the same seven keyword arguments
+(seed, rounds, bandwidth, connectivity checking, instrumentation,
+registry, workers).  :class:`RunConfig` collapses them into one frozen
+value object and adds the one new axis this facade was built for:
+``backend`` selects between the reference engine
+(:class:`~repro.sim.engine.SynchronousEngine`) and the vectorized batch
+backend (:class:`~repro.sim.batch.BatchEngine`), which is verified
+bit-identical and exists purely for throughput.
+
+Legacy call styles keep working: the drivers accept the old individual
+arguments through a shim (:func:`coerce_config`) that folds them into a
+``RunConfig`` and emits a :class:`DeprecationWarning` — existing code
+never breaks, it just gets nudged.
+
+Backend resolution mirrors the worker resolution of
+:mod:`repro.sim.parallel`: an explicit ``backend=`` wins, otherwise the
+``REPRO_BACKEND`` environment variable applies (this is how CI runs the
+whole tier-1 suite under the batch backend), otherwise ``reference``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .messages import DEFAULT_BANDWIDTH_FACTOR
+
+__all__ = ["RunConfig", "BACKENDS", "BACKEND_ENV", "coerce_config", "resolve_backend"]
+
+#: recognized execution backends, in documentation order
+BACKENDS: Tuple[str, ...] = ("reference", "batch")
+
+#: environment variable supplying the default backend (cf. REPRO_WORKERS)
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a backend request against the environment default.
+
+    ``None`` defers to ``$REPRO_BACKEND`` (empty/unset means
+    ``reference``); anything not in :data:`BACKENDS` is a
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or "reference"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that shapes a protocol execution, minus the cell itself.
+
+    The cell — node factory, adversary factory, seeds — stays positional
+    on the drivers; this object carries the *how*:
+
+    seed:
+        Public coin seed (``run_protocol`` only; ``replicate`` takes an
+        explicit seed sequence instead).
+    max_rounds:
+        Round budget; runs stop there if the protocol has not terminated.
+    bandwidth_factor:
+        CONGEST budget multiplier (messages are limited to
+        ``bandwidth_factor * ceil(log2 N)`` bits).
+    check_connected:
+        Enforce per-round connectivity (the model constraint); the
+        lower-bound subnetworks legitimately turn this off.
+    instrument:
+        Attach per-run instrumentation (phase timings, counters).
+    registry:
+        Metrics registry the instrumentation feeds (fresh one if None).
+    workers:
+        Process-pool width for ``replicate``/``cartesian_sweep``
+        (``None`` defers to ``$REPRO_WORKERS``, 0 is sequential).
+    backend:
+        ``"reference"`` or ``"batch"`` (``None`` defers to
+        ``$REPRO_BACKEND``, then ``reference``).  The batch backend is
+        bit-identical on oblivious adversaries and falls back to the
+        reference engine, with a logged reason, on adaptive ones.
+    """
+
+    seed: Optional[int] = None
+    max_rounds: Optional[int] = None
+    bandwidth_factor: int = DEFAULT_BANDWIDTH_FACTOR
+    check_connected: bool = True
+    instrument: bool = False
+    registry: Optional[Any] = None
+    workers: Optional[int] = None
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
+
+    # -- derived ---------------------------------------------------------
+    def resolved_backend(self) -> str:
+        """The backend this config actually selects (env-resolved)."""
+        return resolve_backend(self.backend)
+
+    # -- ergonomics ------------------------------------------------------
+    def evolve(self, **changes: Any) -> "RunConfig":
+        """A copy with the given fields replaced (the dataclass is frozen)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Field dict (shallow; the registry object rides along as-is)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored (forward
+        compatibility with configs written by newer versions)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def coerce_config(
+    fn_name: str,
+    legacy_order: Sequence[str],
+    config: Optional[Any],
+    legacy_args: Tuple[Any, ...],
+    legacy_kwargs: Dict[str, Any],
+) -> RunConfig:
+    """Fold a driver's legacy arguments into a :class:`RunConfig`.
+
+    The drivers are declared as ``fn(..., config=None, *legacy_args,
+    **legacy_kwargs)``: new code passes a :class:`RunConfig` (or nothing)
+    in the ``config`` slot; old code keeps passing the individual values
+    positionally or by keyword.  This shim
+
+    * treats a non-``RunConfig`` value in the ``config`` slot as the
+      first legacy positional (so ``run_protocol(mn, ma, seed, rounds)``
+      still means what it always did),
+    * maps remaining positionals onto ``legacy_order``,
+    * accepts legacy keywords whose names are ``RunConfig`` fields,
+    * emits one :class:`DeprecationWarning` whenever any legacy argument
+      was used, and
+    * refuses mixtures: ``config=`` plus legacy arguments is ambiguous
+      and raises :class:`~repro.errors.ConfigurationError`.
+
+    Unknown keywords raise :class:`TypeError`, like any Python call.
+    """
+    legacy: Dict[str, Any] = {}
+    if config is not None and not isinstance(config, RunConfig):
+        legacy_args = (config,) + tuple(legacy_args)
+        config = None
+    if len(legacy_args) > len(legacy_order):
+        raise TypeError(
+            f"{fn_name}() takes at most {len(legacy_order)} positional "
+            f"configuration arguments ({', '.join(legacy_order)}); "
+            f"got {len(legacy_args)}"
+        )
+    for name, value in zip(legacy_order, legacy_args):
+        legacy[name] = value
+    allowed = {f.name for f in fields(RunConfig)}
+    for name, value in legacy_kwargs.items():
+        if name not in allowed:
+            raise TypeError(
+                f"{fn_name}() got an unexpected keyword argument {name!r}"
+            )
+        if name in legacy:
+            raise TypeError(f"{fn_name}() got multiple values for argument {name!r}")
+        legacy[name] = value
+    if not legacy:
+        return config if config is not None else RunConfig()
+    if config is not None:
+        raise ConfigurationError(
+            f"{fn_name}: pass either config=RunConfig(...) or the legacy "
+            f"individual arguments, not both (got both config= and "
+            f"{sorted(legacy)})"
+        )
+    warnings.warn(
+        f"{fn_name}: passing configuration as individual arguments is "
+        f"deprecated; use {fn_name}(..., config=RunConfig("
+        + ", ".join(f"{k}=..." for k in sorted(legacy))
+        + "))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunConfig(**legacy)

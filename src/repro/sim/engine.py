@@ -31,6 +31,7 @@ from ..errors import (
 )
 from .actions import Action, Receive, Send
 from .coins import CoinSource
+from .encoding import types_match
 from .messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
 from .node import ProtocolNode
 from .trace import ExecutionTrace, RoundRecord
@@ -96,6 +97,12 @@ def _is_connected(node_ids: FrozenSet[int], edges: FrozenSet[Edge]) -> bool:
 class SynchronousEngine:
     """Runs a protocol over an adversary-controlled dynamic network.
 
+    This is the *reference* backend: the executable definition of the
+    model, one readable Python loop per round.  The drop-in fast path
+    (:class:`~repro.sim.batch.BatchEngine`, selected with
+    ``RunConfig(backend="batch")``) is verified bit-identical to this
+    engine and exists purely for throughput.
+
     Parameters
     ----------
     nodes:
@@ -121,6 +128,10 @@ class SynchronousEngine:
         runs the uninstrumented path — no clocks, no counters.
     """
 
+    #: which execution backend produced this engine's traces (manifests
+    #: record it; see :mod:`repro.sim.batch` for the "batch" backend)
+    backend = "reference"
+
     def __init__(
         self,
         nodes: Dict[int, ProtocolNode],
@@ -139,9 +150,11 @@ class SynchronousEngine:
         self.check_connected = check_connected
         self.trace = ExecutionTrace(num_nodes=len(self.nodes))
         self.round = 0
-        # payload -> canonical_encoding memo (payloads repeat heavily
-        # across rounds; unhashable ones fall through to direct encoding)
-        self._enc_cache: Dict[Any, bytes] = {}
+        # payload -> (payload, canonical_encoding) memo (payloads repeat
+        # heavily across rounds; unhashable ones fall through to direct
+        # encoding).  The stored payload guards against equal-but-
+        # differently-encoded keys (True == 1, 0.0 == -0.0).
+        self._enc_cache: Dict[Any, Tuple[Any, bytes]] = {}
         if instrumentation is None:
             # Lazy import: obs depends on sim.trace, so importing it at
             # module scope would be cyclic.  One dict lookup per engine.
@@ -221,14 +234,18 @@ class SynchronousEngine:
         sort_keys: Dict[int, Tuple[bytes, int]] = {}
         for uid, payload in sends.items():
             try:
-                enc = cache[payload]
-            except KeyError:
-                enc = cache[payload] = canonical_encoding(payload)
-                if len(cache) > 8192:  # bound memory on high-entropy payloads
-                    cache.clear()
-                    cache[payload] = enc
+                entry = cache.get(payload)
             except TypeError:  # unhashable payload: encode every time
+                sort_keys[uid] = (canonical_encoding(payload), uid)
+                continue
+            if entry is not None and types_match(entry[0], payload):
+                enc = entry[1]
+            else:
                 enc = canonical_encoding(payload)
+                if entry is None:
+                    if len(cache) > 8192:  # bound memory on high entropy
+                        cache.clear()
+                    cache[payload] = (payload, enc)
             sort_keys[uid] = (enc, uid)
         delivered: Dict[int, int] = {}
         for uid in sorted(receivers):

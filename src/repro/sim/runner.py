@@ -5,15 +5,32 @@ These helpers standardize how all experiments execute protocols, so that
 computed the same way everywhere: fixed adversary and input, many public
 seeds, report the distribution of termination rounds.
 
-Both drivers thread observability through: pass ``instrument=True`` (or
-run inside :func:`repro.obs.runtime.observe`) and every run carries its
-per-phase wall-clock breakdown and counters in ``ProtocolRun.metrics``;
-a replication aggregates them in ``ReplicationSummary``.
+Execution is shaped by a :class:`~repro.sim.config.RunConfig`::
+
+    run_protocol(make_nodes, make_adversary, RunConfig(seed=7, max_rounds=100))
+    replicate(make_nodes, make_adversary, seeds, RunConfig(max_rounds=100,
+                                                           backend="batch"))
+
+The config selects the execution backend: ``"reference"`` is the
+readable one-loop-per-round :class:`~repro.sim.engine.SynchronousEngine`;
+``"batch"`` is the vectorized :class:`~repro.sim.batch.BatchEngine`,
+bit-identical on oblivious adversaries and automatically falling back to
+the reference engine (with a logged reason) on adaptive ones.  Legacy
+call styles — the individual seed/max_rounds/... arguments — keep
+working through a deprecation shim.
+
+Both drivers thread observability through: ``RunConfig(instrument=True)``
+(or an ambient :func:`repro.obs.runtime.observe` session) gives every
+run a per-phase wall-clock breakdown and counters in
+``ProtocolRun.metrics``; a replication aggregates them in
+``ReplicationSummary``.
 
 Replication is embarrassingly parallel — every run is deterministic in
-its seed — so ``replicate(..., workers=4)`` fans the seeds out over a
-process pool (see :mod:`repro.sim.parallel`) and returns a summary
-equal, run for run, to the sequential one.  Factories that cannot cross
+its seed — so ``RunConfig(workers=4)`` fans the seeds out over a process
+pool (see :mod:`repro.sim.parallel`) and returns a summary equal, run
+for run, to the sequential one.  On the batch backend the seeds are
+split into contiguous chunks (one per worker) so each worker amortizes
+one shared schedule tape across its chunk.  Factories that cannot cross
 the process boundary (closures, lambdas) fall back to inline execution
 with a warning rather than failing.
 """
@@ -25,8 +42,10 @@ from dataclasses import dataclass, field
 from statistics import mean, median
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .._util import require
+from .batch import batch_fallback_reason, build_engine, run_batch_replicas
 from .coins import CoinSource
-from .engine import SynchronousEngine
+from .config import RunConfig, coerce_config
 from .node import ProtocolNode
 from .trace import ExecutionTrace
 
@@ -34,6 +53,17 @@ __all__ = ["ProtocolRun", "run_protocol", "replicate", "ReplicationSummary"]
 
 NodeFactory = Callable[[], Dict[int, ProtocolNode]]
 AdversaryFactory = Callable[[], Any]
+
+#: Legacy positional orders of the pre-RunConfig signatures; the shim
+#: maps stray positionals onto these names (and deprecation-warns).
+_RUN_PROTOCOL_LEGACY = (
+    "seed", "max_rounds", "bandwidth_factor", "check_connected",
+    "instrument", "registry",
+)
+_REPLICATE_LEGACY = (
+    "max_rounds", "bandwidth_factor", "check_connected",
+    "instrument", "registry", "workers",
+)
 
 
 @dataclass
@@ -47,6 +77,9 @@ class ProtocolRun:
     #: per-run instrumentation summary (wall_seconds, phase_seconds,
     #: counters) when the run was instrumented; {} otherwise
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: which engine produced this run ("reference" or "batch"); batch
+    #: requests that fell back to the reference engine record "reference"
+    backend: str = "reference"
 
     @property
     def total_bits(self) -> int:
@@ -57,37 +90,65 @@ class ProtocolRun:
         return self.metrics.get("wall_seconds")
 
 
+def _resolve_batch(make_adversary: AdversaryFactory, backend: str) -> str:
+    """Downgrade a batch request to reference when the cell can't tape.
+
+    Probes one adversary instance; the fallback reason is logged on the
+    ``repro.sim.batch`` logger so a sweep that silently ran on the
+    reference engine is explainable after the fact.
+    """
+    if backend != "batch":
+        return backend
+    reason = batch_fallback_reason(make_adversary())
+    if reason is None:
+        return "batch"
+    from .batch import logger
+
+    logger.info("batch backend falling back to reference: %s", reason)
+    return "reference"
+
+
 def run_protocol(
     make_nodes: NodeFactory,
     make_adversary: AdversaryFactory,
-    seed: int,
-    max_rounds: int,
-    bandwidth_factor: int = 24,
-    check_connected: bool = True,
-    instrument: bool = False,
-    registry: Optional[Any] = None,
+    config: Optional[RunConfig] = None,
+    *legacy_args: Any,
+    **legacy_kwargs: Any,
 ) -> ProtocolRun:
     """Run one protocol execution to termination (or ``max_rounds``).
 
-    ``instrument=True`` attaches a fresh
+    Configuration comes as ``RunConfig(seed=..., max_rounds=..., ...)``;
+    ``seed`` and ``max_rounds`` are required.  The legacy individual
+    arguments (``run_protocol(mn, ma, seed, max_rounds, ...)``) still
+    work and emit a :class:`DeprecationWarning`.
+
+    ``RunConfig(instrument=True)`` attaches a fresh
     :class:`~repro.obs.instrumentation.Instrumentation` (feeding
-    ``registry`` if given) and stores its summary on the returned run.
+    ``config.registry`` if given) and stores its summary on the returned
+    run.  ``RunConfig(backend="batch")`` runs the vectorized backend
+    when the adversary is oblivious (reference otherwise — the returned
+    run's ``backend`` field records which engine actually ran).
     """
+    cfg = coerce_config(
+        "run_protocol", _RUN_PROTOCOL_LEGACY, config, legacy_args, legacy_kwargs
+    )
+    require(cfg.seed is not None, "run_protocol requires RunConfig(seed=...)")
+    require(cfg.max_rounds is not None, "run_protocol requires RunConfig(max_rounds=...)")
     instrumentation = None
-    if instrument:
+    if cfg.instrument:
         from ..obs.instrumentation import Instrumentation
 
-        instrumentation = Instrumentation(registry=registry)
-    nodes = make_nodes()
-    engine = SynchronousEngine(
-        nodes,
+        instrumentation = Instrumentation(registry=cfg.registry)
+    engine = build_engine(
+        make_nodes(),
         make_adversary(),
-        CoinSource(seed),
-        bandwidth_factor=bandwidth_factor,
-        check_connected=check_connected,
+        CoinSource(cfg.seed),
+        bandwidth_factor=cfg.bandwidth_factor,
+        check_connected=cfg.check_connected,
         instrumentation=instrumentation,
+        backend=cfg.resolved_backend(),
     )
-    trace = engine.run(max_rounds)
+    trace = engine.run(cfg.max_rounds)
     terminated = trace.termination_round is not None
     rounds = trace.termination_round if terminated else trace.rounds
     metrics: Dict[str, Any] = {}
@@ -100,6 +161,7 @@ def run_protocol(
         rounds=rounds,
         outputs=trace.outputs,
         metrics=metrics,
+        backend=engine.backend,
     )
 
 
@@ -178,32 +240,87 @@ def _replicate_task(
     run = run_protocol(
         make_nodes,
         make_adversary,
-        seed,
-        max_rounds,
+        RunConfig(
+            seed=seed,
+            max_rounds=max_rounds,
+            bandwidth_factor=bandwidth_factor,
+            check_connected=check_connected,
+            instrument=instrument,
+            registry=registry,
+            # the parent already resolved (or fell back) to reference;
+            # never let a worker re-resolve $REPRO_BACKEND differently
+            backend="reference",
+        ),
+    )
+    return run, registry
+
+
+def _replicate_batch_task(
+    make_nodes: NodeFactory,
+    make_adversary: AdversaryFactory,
+    seeds: Tuple[int, ...],
+    max_rounds: int,
+    bandwidth_factor: int,
+    check_connected: bool,
+    instrument: bool,
+) -> Tuple[List[ProtocolRun], Optional[Any]]:
+    """One contiguous seed chunk on the batch backend, inside a worker.
+
+    The chunk shares a single schedule tape (that is what the chunking
+    buys); the worker's registry rides back for in-order merging exactly
+    like :func:`_replicate_task`.
+    """
+    registry = None
+    if instrument:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    runs = run_batch_replicas(
+        make_nodes,
+        make_adversary,
+        seeds,
+        max_rounds=max_rounds,
         bandwidth_factor=bandwidth_factor,
         check_connected=check_connected,
         instrument=instrument,
         registry=registry,
     )
-    return run, registry
+    return runs, registry
+
+
+def _chunk_seeds(seeds: Sequence[int], n_workers: int) -> List[Tuple[int, ...]]:
+    """Split seeds into at most ``n_workers`` contiguous, ordered chunks."""
+    n_chunks = min(len(seeds), n_workers)
+    if n_chunks == 0:
+        return []
+    base, extra = divmod(len(seeds), n_chunks)
+    chunks: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(tuple(seeds[start:start + size]))
+        start += size
+    return chunks
 
 
 def replicate(
     make_nodes: NodeFactory,
     make_adversary: AdversaryFactory,
     seeds: Sequence[int],
-    max_rounds: int,
-    bandwidth_factor: int = 24,
-    check_connected: bool = True,
-    instrument: bool = False,
-    registry: Optional[Any] = None,
-    workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
+    *legacy_args: Any,
+    **legacy_kwargs: Any,
 ) -> ReplicationSummary:
     """Run the same cell under each seed and aggregate.
 
-    With ``instrument=True`` all runs share ``registry`` (a fresh one by
-    default), so cross-seed counters aggregate while each run keeps its
-    own phase breakdown.
+    Configuration comes as ``RunConfig(max_rounds=..., ...)``
+    (``max_rounds`` required; ``config.seed`` is ignored — the explicit
+    ``seeds`` sequence governs).  Legacy individual arguments still work
+    with a :class:`DeprecationWarning`.
+
+    With ``instrument=True`` all runs share ``config.registry`` (a fresh
+    one by default), so cross-seed counters aggregate while each run
+    keeps its own phase breakdown.
 
     ``workers`` > 0 runs the seeds on a process pool (``None`` defers to
     the ``REPRO_WORKERS`` environment variable, 0 stays sequential); the
@@ -211,10 +328,23 @@ def replicate(
     metrics merge back in seed order.  Factories that cannot be pickled
     (closures over local state) fall back to inline execution with a
     :class:`UserWarning`.
+
+    ``backend="batch"`` replays every seed against one shared schedule
+    tape per worker (see :func:`repro.sim.batch.run_batch_replicas`);
+    adaptive adversaries fall back to the reference engine with a logged
+    reason, identical results either way.
     """
     from .parallel import ParallelExecutor, ensure_picklable, resolve_workers
 
-    n_workers = resolve_workers(workers)
+    cfg = coerce_config(
+        "replicate", _REPLICATE_LEGACY, config, legacy_args, legacy_kwargs
+    )
+    require(cfg.max_rounds is not None, "replicate requires RunConfig(max_rounds=...)")
+    max_rounds = cfg.max_rounds
+    registry = cfg.registry
+    backend = _resolve_batch(make_adversary, cfg.resolved_backend())
+
+    n_workers = resolve_workers(cfg.workers)
     if n_workers > 0:
         unpicklable = ensure_picklable(
             make_nodes=make_nodes, make_adversary=make_adversary
@@ -228,6 +358,30 @@ def replicate(
                 stacklevel=2,
             )
             n_workers = 0
+    if n_workers > 0 and backend == "batch":
+        chunks = _chunk_seeds(seeds, n_workers)
+        results = ParallelExecutor(n_workers).map(
+            _replicate_batch_task,
+            [
+                (
+                    make_nodes,
+                    make_adversary,
+                    chunk,
+                    max_rounds,
+                    cfg.bandwidth_factor,
+                    cfg.check_connected,
+                    cfg.instrument,
+                )
+                for chunk in chunks
+            ],
+            labels=[f"seeds={chunk[0]}..{chunk[-1]}" for chunk in chunks],
+        )
+        runs: List[ProtocolRun] = []
+        for chunk_runs, worker_registry in results:
+            if registry is not None and worker_registry is not None:
+                registry.merge(worker_registry)
+            runs.extend(chunk_runs)
+        return ReplicationSummary(runs=runs)
     if n_workers > 0:
         results = ParallelExecutor(n_workers).map(
             _replicate_task,
@@ -237,9 +391,9 @@ def replicate(
                     make_adversary,
                     seed,
                     max_rounds,
-                    bandwidth_factor,
-                    check_connected,
-                    instrument,
+                    cfg.bandwidth_factor,
+                    cfg.check_connected,
+                    cfg.instrument,
                 )
                 for seed in seeds
             ],
@@ -252,20 +406,36 @@ def replicate(
             runs.append(run)
         return ReplicationSummary(runs=runs)
 
-    if instrument and registry is None:
+    if cfg.instrument and registry is None:
         from ..obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
+    if backend == "batch":
+        return ReplicationSummary(
+            runs=run_batch_replicas(
+                make_nodes,
+                make_adversary,
+                seeds,
+                max_rounds=max_rounds,
+                bandwidth_factor=cfg.bandwidth_factor,
+                check_connected=cfg.check_connected,
+                instrument=cfg.instrument,
+                registry=registry,
+            )
+        )
     runs = [
         run_protocol(
             make_nodes,
             make_adversary,
-            seed,
-            max_rounds,
-            bandwidth_factor=bandwidth_factor,
-            check_connected=check_connected,
-            instrument=instrument,
-            registry=registry,
+            RunConfig(
+                seed=seed,
+                max_rounds=max_rounds,
+                bandwidth_factor=cfg.bandwidth_factor,
+                check_connected=cfg.check_connected,
+                instrument=cfg.instrument,
+                registry=registry,
+                backend="reference",  # already resolved/fallen back above
+            ),
         )
         for seed in seeds
     ]

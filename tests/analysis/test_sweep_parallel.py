@@ -8,6 +8,7 @@ from repro.analysis.sweep import cartesian_sweep
 from repro.errors import ConfigurationError
 from repro.network.adversaries import RandomConnectedAdversary
 from repro.protocols.cflood import cflood_factory
+from repro.sim.config import RunConfig
 from repro.sim.runner import replicate
 
 
@@ -17,7 +18,7 @@ def _cell(n, seed):
         lambda: {u: fac(u) for u in range(n)},
         lambda: RandomConnectedAdversary(range(n), seed=seed),
         seeds=[seed],
-        max_rounds=10 * n,
+        config=RunConfig(max_rounds=10 * n),
     )
     return {"rounds": summary.mean_rounds, "bits": summary.mean_bits}
 
@@ -32,8 +33,8 @@ class TestParallelSweep:
     PARAMS = {"n": [4, 6, 8], "seed": [1, 2]}
 
     def test_rows_match_sequential(self):
-        seq = cartesian_sweep(self.PARAMS, _cell, workers=0)
-        par = cartesian_sweep(self.PARAMS, _cell, workers=2)
+        seq = cartesian_sweep(self.PARAMS, _cell, RunConfig(workers=0))
+        par = cartesian_sweep(self.PARAMS, _cell, RunConfig(workers=2))
         assert seq == par
         # grid order: n-major, seed-minor
         assert [(r["n"], r["seed"]) for r in par] == [
@@ -42,18 +43,20 @@ class TestParallelSweep:
 
     def test_failing_cell_reports_parameters(self):
         with pytest.raises(ConfigurationError) as ei:
-            cartesian_sweep(self.PARAMS, _failing_cell, workers=2)
+            cartesian_sweep(self.PARAMS, _failing_cell, RunConfig(workers=2))
         msg = str(ei.value)
         assert "boom" in msg and "n=6" in msg and "seed=2" in msg
 
     def test_failing_cell_inline_unlabelled(self):
         # inline mode: the exception propagates untouched
         with pytest.raises(ConfigurationError, match="^boom$"):
-            cartesian_sweep(self.PARAMS, _failing_cell, workers=0)
+            cartesian_sweep(self.PARAMS, _failing_cell, RunConfig(workers=0))
 
     def test_lambda_fn_falls_back_inline(self):
         with pytest.warns(UserWarning, match="cannot be pickled"):
-            rows = cartesian_sweep({"a": [1, 2]}, lambda a: {"b": a + 1}, workers=2)
+            rows = cartesian_sweep(
+                {"a": [1, 2]}, lambda a: {"b": a + 1}, RunConfig(workers=2)
+            )
         assert rows == [{"a": 1, "b": 2}, {"a": 2, "b": 3}]
 
     def test_env_opt_in(self, monkeypatch):

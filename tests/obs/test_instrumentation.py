@@ -8,6 +8,7 @@ from repro.obs.instrumentation import PHASES, Instrumentation
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
 from repro.sim.coins import CoinSource
+from repro.sim.config import RunConfig
 from repro.sim.engine import SynchronousEngine
 from repro.sim.runner import replicate, run_protocol
 
@@ -104,9 +105,7 @@ class TestRunnerThreading:
         run = run_protocol(
             lambda: {u: TokenFloodNode(u, source=1) for u in ids},
             lambda: StaticAdversary(ids, line_edges(ids)),
-            seed=2,
-            max_rounds=50,
-            instrument=True,
+            RunConfig(seed=2, max_rounds=50, instrument=True),
         )
         assert run.metrics["rounds"] == run.trace.rounds
         assert run.wall_seconds is not None and run.wall_seconds > 0
@@ -117,8 +116,7 @@ class TestRunnerThreading:
         run = run_protocol(
             lambda: {u: TokenFloodNode(u, source=1) for u in ids},
             lambda: StaticAdversary(ids, line_edges(ids)),
-            seed=2,
-            max_rounds=20,
+            RunConfig(seed=2, max_rounds=20),
         )
         assert run.metrics == {}
         assert run.wall_seconds is None
@@ -130,9 +128,7 @@ class TestRunnerThreading:
             lambda: {u: TokenFloodNode(u, source=1) for u in ids},
             lambda: StaticAdversary(ids, line_edges(ids)),
             seeds=(1, 2, 3),
-            max_rounds=30,
-            instrument=True,
-            registry=reg,
+            config=RunConfig(max_rounds=30, instrument=True, registry=reg),
         )
         assert summary.num_runs == 3
         assert reg.counter("runs_total").value == 3

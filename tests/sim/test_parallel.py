@@ -20,6 +20,7 @@ from repro.errors import (
 )
 from repro.network.adversaries import RandomConnectedAdversary
 from repro.protocols.cflood import CFloodConservativeNode, cflood_factory
+from repro.sim.config import RunConfig
 from repro.sim.factories import BoundNode, Constant, NodeSet
 from repro.sim.parallel import (
     WORKERS_ENV,
@@ -141,8 +142,7 @@ class TestReplicateParallel:
                 lambda: {u: CFloodConservativeNode(u, 0, num_nodes=4) for u in range(4)},
                 lambda: RandomConnectedAdversary(range(4), seed=1),
                 seeds=[1, 2],
-                max_rounds=50,
-                workers=2,
+                config=RunConfig(max_rounds=50, workers=2),
             )
         assert summary.num_runs == 2
         assert all(r.terminated for r in summary.runs)
@@ -152,8 +152,7 @@ class TestReplicateParallel:
             _make_nodes_n8,
             _make_adversary_n8,
             seeds=[1, 2],
-            max_rounds=200,
-            workers=2,
+            config=RunConfig(max_rounds=200, workers=2),
         )
         assert summary.num_runs == 2
         assert not [w for w in recwarn if "pickled" in str(w.message)]

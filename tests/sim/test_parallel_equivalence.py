@@ -25,6 +25,7 @@ from repro.network.generators import line_edges
 from repro.obs.metrics import MetricsRegistry
 from repro.protocols.cflood import cflood_factory
 from repro.protocols.flooding import TokenFloodNode
+from repro.sim.config import RunConfig
 from repro.sim.factories import BoundNode, Constant, NodeSet
 from repro.sim.runner import replicate
 
@@ -82,12 +83,14 @@ def test_parallel_replicate_equals_sequential(case):
     seq_registry = MetricsRegistry()
     par_registry = MetricsRegistry()
     seq = replicate(
-        make_nodes, make_adv, seeds=seeds, max_rounds=max_rounds,
-        instrument=True, registry=seq_registry, workers=0,
+        make_nodes, make_adv, seeds,
+        RunConfig(max_rounds=max_rounds, instrument=True,
+                  registry=seq_registry, workers=0),
     )
     par = replicate(
-        make_nodes, make_adv, seeds=seeds, max_rounds=max_rounds,
-        instrument=True, registry=par_registry, workers=workers,
+        make_nodes, make_adv, seeds,
+        RunConfig(max_rounds=max_rounds, instrument=True,
+                  registry=par_registry, workers=workers),
     )
 
     assert [r.rounds for r in seq.runs] == [r.rounds for r in par.runs]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.network.adversaries import StaticAdversary
 from repro.protocols.flooding import TokenFloodNode
 from repro.sim.actions import Receive, Send
+from repro.sim.config import RunConfig
 from repro.sim.node import ProtocolNode
 from repro.sim.runner import replicate, run_protocol
 from repro.sim.trace import ExecutionTrace, RoundRecord
@@ -53,8 +54,7 @@ class TestRunner:
         return run_protocol(
             make_nodes=lambda: {u: TokenFloodNode(u, source=1) for u in ids},
             make_adversary=lambda: StaticAdversary(ids, [(1, 2), (2, 3), (3, 4)]),
-            seed=seed,
-            max_rounds=20,
+            config=RunConfig(seed=seed, max_rounds=20),
         )
 
     def test_run_protocol_terminates(self):
@@ -69,7 +69,7 @@ class TestRunner:
             make_nodes=lambda: {u: TokenFloodNode(u, source=1) for u in ids},
             make_adversary=lambda: StaticAdversary(ids, [(1, 2), (2, 3), (3, 4)]),
             seeds=[1, 2, 3],
-            max_rounds=20,
+            config=RunConfig(max_rounds=20),
         )
         assert summary.num_runs == 3
         assert summary.termination_rate == 1.0
