@@ -8,18 +8,26 @@ speedup, and the host's CPU count in the ``timings`` sidecar of
 The speedup is *recorded, not asserted*: on a single-core container the
 pool cannot beat inline execution (fork + pickle overhead with no
 parallel hardware underneath), and pinning a ratio would make the
-benchmark a property of the host, not the code.  What *is* asserted is
-the determinism contract — the parallel run must be row-for-row
-identical to the sequential one.
+benchmark a property of the host, not the code.  The recorded
+``cpu_count`` is what makes the number honest downstream: ``repro
+bench-diff`` skips the speedup comparison (with a logged reason) when
+the two sides ran under different hardware parallelism.  What *is*
+asserted is the determinism contract — the parallel run must be
+row-for-row identical to the sequential one — and the span-merge
+contract: both workloads run under an observation session, and the
+merged parallel span tree must have the same shape as the sequential
+one.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import Counter
 
 from repro.analysis.experiments.base import ExperimentResult
 from repro.network.adversaries import RandomConnectedAdversary
+from repro.obs.runtime import observe
 from repro.protocols.cflood import cflood_factory
 from repro.sim.config import RunConfig
 from repro.sim.factories import Constant, NodeSet
@@ -38,13 +46,22 @@ def _workload(workers: int):
     )
 
 
+def _span_shape(session) -> Counter:
+    """Multiset of (kind, name) over the session's non-event spans."""
+    return Counter(
+        (sp.kind, sp.name) for sp in session.spans.spans if sp.kind != "event"
+    )
+
+
 def _run_experiment() -> ExperimentResult:
     t0 = time.perf_counter()
-    seq = _workload(0)
+    with observe(label="EXP-PAR-seq") as seq_session:
+        seq = _workload(0)
     seq_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    par = _workload(WORKERS)
+    with observe(label="EXP-PAR-par") as par_session:
+        par = _workload(WORKERS)
     par_seconds = time.perf_counter() - t0
 
     result = ExperimentResult(
@@ -62,10 +79,13 @@ def _run_experiment() -> ExperimentResult:
             "identical_rounds": [r.rounds for r in seq.runs] == [r.rounds for r in par.runs],
             "identical_bits": [r.total_bits for r in seq.runs] == [r.total_bits for r in par.runs],
             "identical_outputs": [r.outputs for r in seq.runs] == [r.outputs for r in par.runs],
+            "identical_span_shape": _span_shape(seq_session) == _span_shape(par_session),
+            "spans_per_side": sum(_span_shape(seq_session).values()),
         },
         notes=[
             "speedup is recorded in timings, not asserted: it is a property "
-            "of the host's core count, not of the code",
+            "of the host's core count, not of the code; bench-diff only "
+            "compares it between equal recorded cpu_counts",
         ],
     )
     result.timings.update(
@@ -82,9 +102,11 @@ def _run_experiment() -> ExperimentResult:
 def test_parallel_speedup(benchmark, exp_output):
     result = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
     exp_output(result)
-    # the determinism contract is the assertable part
+    # the determinism + span-merge contracts are the assertable part
     assert result.summary["identical_rounds"]
     assert result.summary["identical_bits"]
     assert result.summary["identical_outputs"]
+    assert result.summary["identical_span_shape"]
+    assert result.summary["spans_per_side"] > 0
     assert result.timings["workers"] == WORKERS
     assert result.timings["speedup"] is not None

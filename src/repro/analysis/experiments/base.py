@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..tables import format_float, render_table
 
-__all__ = ["ExperimentResult", "resolve_exp_config"]
+__all__ = ["ExperimentResult", "exp_scope", "resolve_exp_config"]
 
 
 def resolve_exp_config(
@@ -28,6 +29,31 @@ def resolve_exp_config(
     if workers is None:
         workers = cfg.workers
     return workers, cfg.resolved_backend()
+
+
+@contextmanager
+def exp_scope(exp_id: str, total: int, unit: str = "runs", **tags: Any) -> Iterator[None]:
+    """One experiment driver's observability scope.
+
+    Opens a ``sweep`` span named after the experiment (a no-op without
+    an ambient observation session) and a progress scope of ``total``
+    work items (a no-op without an installed
+    :class:`~repro.obs.progress.ProgressReporter`); the driver's
+    :class:`~repro.sim.parallel.ParallelExecutor` advances the reporter
+    one step per task, inline or pooled.
+    """
+    from ...obs.progress import current_reporter
+    from ...obs.spans import span
+
+    with span("sweep", exp_id, **tags):
+        reporter = current_reporter()
+        if reporter is not None:
+            reporter.begin(total, unit=unit, label=exp_id)
+        try:
+            yield
+        finally:
+            if reporter is not None:
+                reporter.finish()
 
 
 def _jsonable(value: Any) -> Any:

@@ -29,7 +29,8 @@ from ...protocols.hearfrom import CountNodesNode
 from ...sim.config import RunConfig
 from ...sim.factories import BoundNode
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult, resolve_exp_config
+from ...obs.spans import span
+from .base import ExperimentResult, exp_scope, resolve_exp_config
 
 __all__ = ["exp_estimate_insensitivity"]
 
@@ -61,12 +62,14 @@ def _est_cell(
     q: int, n: int, seed: int, horizon: int, late: int
 ) -> Tuple[float, float, float, float]:
     """One (q, seed) pair of estimate series: bare Λ vs full Λ+Υ."""
-    inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=1)
-    bare = _bare_lambda_network(inst)
-    full = theorem7_network(inst)
-    b_h, b_l = _estimate_series(inst, bare, seed, (horizon, late))
-    f_h, f_l = _estimate_series(inst, full, seed, (horizon, late))
-    return b_h, b_l, f_h, f_l
+    with span("cell", f"q={q}", q=q, n=n, seed=seed,
+              protocol="CountNodesNode"):
+        inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=1)
+        bare = _bare_lambda_network(inst)
+        full = theorem7_network(inst)
+        b_h, b_l = _estimate_series(inst, bare, seed, (horizon, late))
+        f_h, f_l = _estimate_series(inst, full, seed, (horizon, late))
+        return b_h, b_l, f_h, f_l
 
 
 def exp_estimate_insensitivity(
@@ -103,9 +106,10 @@ def exp_estimate_insensitivity(
             cells.append((q, n1, n0, horizon, seed))
             tasks.append((q, n, seed, horizon, late))
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _est_cell, tasks, labels=[f"q={t[0]}, seed={t[2]}" for t in tasks]
-    )
+    with exp_scope("EXP-EST", len(tasks), workers=executor.workers):
+        outcomes = executor.map(
+            _est_cell, tasks, labels=[f"q={t[0]}, seed={t[2]}" for t in tasks]
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for (q, n1, n0, horizon, seed), (b_h, b_l, f_h, f_l) in zip(cells, outcomes):

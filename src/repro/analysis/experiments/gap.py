@@ -32,32 +32,37 @@ from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
+from ...obs.spans import span
 from ..fitting import crossover_x, loglog_slope
-from .base import ExperimentResult, resolve_exp_config
+from .base import ExperimentResult, exp_scope, resolve_exp_config
 
 __all__ = ["exp_exponential_gap", "exp_sensitivity"]
 
 
 def _gap_cell(n: int, seed: int, backend: str = "reference") -> int:
     """One measured-anchor run: known-D consensus on the D=2 stars."""
-    ids = list(range(1, n + 1))
-    adv = OverlappingStarsAdversary(ids)
-    budget = max_rounds_budget(2, n)
-    nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(budget + 4)
-    return tr.termination_round or budget + 4
+    with span("cell", f"N={n}", n=n, seed=seed, backend=backend,
+              protocol="ConsensusKnownDNode"):
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        budget = max_rounds_budget(2, n)
+        nodes = {u: ConsensusKnownDNode(u, value=u % 2, total_rounds=budget) for u in ids}
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(budget + 4)
+        return tr.termination_round or budget + 4
 
 
 def _sens_cell(
     n: int, n_prime: float, seed: int, max_rounds: int, backend: str = "reference"
 ) -> Tuple[str, int]:
     """One sensitivity run; outcome is 'ok' / 'stalled' / 'split'."""
-    ids = list(range(1, n + 1))
-    adv = OverlappingStarsAdversary(ids)
-    nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(max_rounds)
+    with span("cell", f"N'={n_prime:.1f}", n=n, n_prime=n_prime, seed=seed,
+              backend=backend, protocol="LeaderElectNode"):
+        ids = list(range(1, n + 1))
+        adv = OverlappingStarsAdversary(ids)
+        nodes = {u: LeaderElectNode(u, n_estimate=n_prime) for u in ids}
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(max_rounds)
     leaders = {o[1] for o in tr.outputs.values() if o is not None}
     if tr.termination_round is None:
         outcome = "stalled"
@@ -89,9 +94,11 @@ def exp_exponential_gap(
     d = 2
     tasks: List[Tuple] = [(n, seed, backend) for n in measured_sizes for seed in seeds]
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s, _ in tasks]
-    )
+    with exp_scope("EXP-GAP", len(tasks), backend=backend,
+                   workers=executor.workers):
+        outcomes = executor.map(
+            _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s, _ in tasks]
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for i, n in enumerate(measured_sizes):
@@ -148,11 +155,13 @@ def exp_sensitivity(
         for seed in seeds
     ]
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _sens_cell,
-        tasks,
-        labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _, _ in tasks],
-    )
+    with exp_scope("EXP-SENS", len(tasks), backend=backend,
+                   workers=executor.workers):
+        outcomes = executor.map(
+            _sens_cell,
+            tasks,
+            labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _, _ in tasks],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for i, (err, n_prime) in enumerate(zip(errors, n_primes)):

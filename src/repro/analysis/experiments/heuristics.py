@@ -24,7 +24,8 @@ from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult, resolve_exp_config
+from ...obs.spans import span
+from .base import ExperimentResult, exp_scope, resolve_exp_config
 
 __all__ = ["exp_doubling_heuristic"]
 
@@ -45,14 +46,17 @@ def _heur_cell(
     backend: str = "reference",
 ) -> Tuple[bool, bool, int, int]:
     """One (adversary, threshold, seed) doubling-heuristic run."""
-    ids, suite = _suite(n)
-    adv = suite[name]
-    nodes = {
-        u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
-        for u in ids
-    }
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(max_rounds)
+    with span("cell", f"adversary={name}, threshold={thr}", n=n,
+              adversary=name, threshold=thr, seed=seed, backend=backend,
+              protocol="CFloodDoublingNode"):
+        ids, suite = _suite(n)
+        adv = suite[name]
+        nodes = {
+            u: CFloodDoublingNode(u, source=ids[0], num_nodes=n, threshold=thr)
+            for u in ids
+        }
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(max_rounds)
     informed = sum(node.informed for node in nodes.values())
     confirmed = tr.termination_round is not None
     premature = confirmed and informed < n
@@ -63,11 +67,13 @@ def _heur_baseline_cell(
     n: int, seed: int, max_rounds: int, backend: str = "reference"
 ) -> Tuple[bool, int]:
     """One conservative-CFLOOD baseline run on the lollipop."""
-    ids, suite = _suite(n)
-    adv = suite["lollipop"]
-    nodes = {u: CFloodConservativeNode(u, ids[0], num_nodes=n) for u in ids}
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(max_rounds)
+    with span("cell", "baseline lollipop", n=n, adversary="lollipop",
+              seed=seed, backend=backend, protocol="CFloodConservativeNode"):
+        ids, suite = _suite(n)
+        adv = suite["lollipop"]
+        nodes = {u: CFloodConservativeNode(u, ids[0], num_nodes=n) for u in ids}
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(max_rounds)
     premature = sum(node.informed for node in nodes.values()) < n
     return premature, tr.termination_round or max_rounds
 
@@ -99,16 +105,18 @@ def exp_doubling_heuristic(
     # the conservative baseline rides the same pool as the sweep cells
     baseline_tasks: List[Tuple] = [(n, seed, max_rounds, backend) for seed in seeds]
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _heur_cell,
-        tasks,
-        labels=[f"adversary={t[1]}, threshold={t[2]}, seed={t[3]}" for t in tasks],
-    )
-    baseline = executor.map(
-        _heur_baseline_cell,
-        baseline_tasks,
-        labels=[f"baseline, seed={t[1]}" for t in baseline_tasks],
-    )
+    with exp_scope("EXP-HEUR", len(tasks) + len(baseline_tasks),
+                   backend=backend, workers=executor.workers):
+        outcomes = executor.map(
+            _heur_cell,
+            tasks,
+            labels=[f"adversary={t[1]}, threshold={t[2]}, seed={t[3]}" for t in tasks],
+        )
+        baseline = executor.map(
+            _heur_baseline_cell,
+            baseline_tasks,
+            labels=[f"baseline, seed={t[1]}" for t in baseline_tasks],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for i, (name, thr) in enumerate(cells):

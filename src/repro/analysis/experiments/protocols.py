@@ -47,8 +47,9 @@ from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
+from ...obs.spans import span
 from ..fitting import loglog_slope
-from .base import ExperimentResult, resolve_exp_config
+from .base import ExperimentResult, exp_scope, resolve_exp_config
 
 __all__ = ["exp_thm8_leader_election", "exp_known_d_upper_bounds", "measured_diameter"]
 
@@ -74,17 +75,19 @@ def _thm8_cell(
     backend: str = "reference",
 ) -> Tuple[bool, int]:
     """One (size, adversary, seed) leader-election run (pool-safe)."""
-    ids = list(range(1, n + 1))
-    adv = _adversary_suite(n, seed=5)[name]
-    nodes = {
-        u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
-        for u in ids
-    }
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(max_rounds)
-    leaders = {o[1] for o in tr.outputs.values() if o is not None}
-    ok = tr.termination_round is not None and len(leaders) == 1
-    return ok, tr.termination_round or max_rounds
+    with span("cell", f"N={n}, adversary={name}", n=n, adversary=name,
+              seed=seed, backend=backend, protocol="LeaderElectNode"):
+        ids = list(range(1, n + 1))
+        adv = _adversary_suite(n, seed=5)[name]
+        nodes = {
+            u: LeaderElectNode(u, n_estimate=max(2.0, (1 + n_prime_error) * n))
+            for u in ids
+        }
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(max_rounds)
+        leaders = {o[1] for o in tr.outputs.values() if o is not None}
+        ok = tr.termination_round is not None and len(leaders) == 1
+        return ok, tr.termination_round or max_rounds
 
 
 def exp_thm8_leader_election(
@@ -120,11 +123,13 @@ def exp_thm8_leader_election(
                 (n, name, n_prime_error, seed, max_rounds, backend) for seed in seeds
             )
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _thm8_cell,
-        tasks,
-        labels=[f"N={t[0]}, adversary={t[1]}, seed={t[3]}" for t in tasks],
-    )
+    with exp_scope("EXP-T8", len(tasks), backend=backend,
+                   workers=executor.workers):
+        outcomes = executor.map(
+            _thm8_cell,
+            tasks,
+            labels=[f"N={t[0]}, adversary={t[1]}, seed={t[3]}" for t in tasks],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     star_floods = []
@@ -211,8 +216,10 @@ def _ub_cell(problem: str, n: int, seed: int, backend: str = "reference") -> Tup
 
     else:  # pragma: no cover - guarded by _UB_PROBLEMS
         raise ValueError(f"unknown EXP-UB problem {problem!r}")
-    eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
-    tr = eng.run(max_r)
+    with span("cell", f"problem={problem}, N={n}", problem=problem, n=n,
+              seed=seed, backend=backend):
+        eng = build_engine(nodes, adv, CoinSource(seed), backend=backend)
+        tr = eng.run(max_r)
     rounds = tr.termination_round or max_r
     return rounds, tr.termination_round is not None and check()
 
@@ -237,9 +244,12 @@ def exp_known_d_upper_bounds(
         for seed in seeds
     ]
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _ub_cell, tasks, labels=[f"problem={p}, N={n}, seed={s}" for p, n, s, _ in tasks]
-    )
+    with exp_scope("EXP-UB", len(tasks), backend=backend,
+                   workers=executor.workers):
+        outcomes = executor.map(
+            _ub_cell, tasks,
+            labels=[f"problem={p}, N={n}, seed={s}" for p, n, s, _ in tasks],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     i = 0

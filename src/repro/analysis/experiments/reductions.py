@@ -42,7 +42,8 @@ from ...protocols.cflood import cflood_factory
 from ...protocols.consensus import ConsensusFromLeaderNode
 from ...sim.config import RunConfig
 from ...sim.parallel import ParallelExecutor
-from .base import ExperimentResult, resolve_exp_config
+from ...obs.spans import span
+from .base import ExperimentResult, exp_scope, resolve_exp_config
 
 __all__ = ["exp_thm6_reduction", "exp_thm7_reduction", "exp_cc_bounds"]
 
@@ -57,6 +58,12 @@ def _thm6_cell(q: int, n: int, truth: int, seed: int) -> List[list]:
     sequential loop did), so the task granularity is the instance, not
     the oracle.  Returns the two finished result rows.
     """
+    with span("cell", f"q={q}, truth={truth}", q=q, n=n, truth=truth,
+              seed=seed, protocol="CFLOOD-oracle"):
+        return _thm6_cell_body(q, n, truth, seed)
+
+
+def _thm6_cell_body(q: int, n: int, truth: int, seed: int) -> List[list]:
     inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
     net = theorem6_network(inst)
     source = net.special_nodes()["A_gamma"]
@@ -109,10 +116,12 @@ def _thm7_cell(
     q: int, n: int, truth: int, seed: int, n1: int, n_prime: float
 ) -> Tuple[int, int, int, int]:
     """One (q, truth, seed) Theorem-7 reduction at boundary N'."""
-    inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
-    red = TwoPartyReduction(inst, "T7", _ConsensusSplitFactory(n1, n_prime), seed=seed)
-    out = red.run()
-    return out.decision, out.bits_alice_to_bob, out.bits_bob_to_alice, out.rounds_simulated
+    with span("cell", f"q={q}, truth={truth}", q=q, n=n, truth=truth,
+              seed=seed, protocol="ConsensusFromLeaderNode"):
+        inst = random_instance(n, q, seed=seed + 100 * truth, value=truth)
+        red = TwoPartyReduction(inst, "T7", _ConsensusSplitFactory(n1, n_prime), seed=seed)
+        out = red.run()
+        return out.decision, out.bits_alice_to_bob, out.bits_bob_to_alice, out.rounds_simulated
 
 
 def exp_thm6_reduction(
@@ -141,11 +150,12 @@ def exp_thm6_reduction(
         for seed in seeds
     ]
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _thm6_cell,
-        tasks,
-        labels=[f"q={q}, truth={t}, seed={s}" for q, _, t, s in tasks],
-    )
+    with exp_scope("EXP-T6", len(tasks), workers=executor.workers):
+        outcomes = executor.map(
+            _thm6_cell,
+            tasks,
+            labels=[f"q={q}, truth={t}, seed={s}" for q, _, t, s in tasks],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for rows in outcomes:
@@ -185,11 +195,12 @@ def exp_thm7_reduction(
         for truth in (0, 1):
             cells.extend((q, n1, n0, n_prime, truth, seed) for seed in seeds)
     executor = ParallelExecutor(workers)
-    outcomes = executor.map(
-        _thm7_cell,
-        [(q, n, truth, seed, n1, n_prime) for q, n1, _n0, n_prime, truth, seed in cells],
-        labels=[f"q={c[0]}, truth={c[4]}, seed={c[5]}" for c in cells],
-    )
+    with exp_scope("EXP-T7", len(cells), workers=executor.workers):
+        outcomes = executor.map(
+            _thm7_cell,
+            [(q, n, truth, seed, n1, n_prime) for q, n1, _n0, n_prime, truth, seed in cells],
+            labels=[f"q={c[0]}, truth={c[4]}, seed={c[5]}" for c in cells],
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     for (q, n1, n0, n_prime, truth, _seed), out in zip(cells, outcomes):
@@ -214,6 +225,12 @@ def exp_thm7_reduction(
 
 def _cc_cell(n: int, q: int, seed: int) -> list:
     """One (n, q) DISJOINTNESSCP cell: all four protocols + the bound."""
+    with span("cell", f"n={n}, q={q}", n=n, q=q, seed=seed,
+              protocol="DISJOINTNESSCP"):
+        return _cc_cell_body(n, q, seed)
+
+
+def _cc_cell_body(n: int, q: int, seed: int) -> list:
     inst = random_instance(n, q, seed=seed, value=0, zero_zero_count=max(1, n // 64))
     row = [n, q, inst.evaluate()]
     for proto in (SendAllProtocol, ZeroBitmaskProtocol, MinListProtocol):
@@ -244,9 +261,10 @@ def exp_cc_bounds(
     )
     tasks: List[Tuple] = [(n, q, seed) for n in n_values for q in q_values]
     executor = ParallelExecutor(workers)
-    result.rows.extend(
-        executor.map(_cc_cell, tasks, labels=[f"n={n}, q={q}" for n, q, _ in tasks])
-    )
+    with exp_scope("EXP-CC", len(tasks), workers=executor.workers):
+        result.rows.extend(
+            executor.map(_cc_cell, tasks, labels=[f"n={n}, q={q}" for n, q, _ in tasks])
+        )
     if executor.workers:
         result.timings["workers"] = executor.workers
     result.notes.append(

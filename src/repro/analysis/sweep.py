@@ -10,7 +10,10 @@ __all__ = ["cartesian_sweep"]
 
 def _sweep_cell(fn: Callable[..., Mapping[str, Any]], cell: Dict[str, Any]) -> Dict[str, Any]:
     """One grid cell, shaped for the process pool (module-level, picklable)."""
-    result = fn(**cell)
+    from ..obs.spans import span
+
+    with span("cell", _cell_label(cell), **cell):
+        result = fn(**cell)
     row = dict(cell)
     row.update(result)
     return row
@@ -45,7 +48,15 @@ def cartesian_sweep(
     The backend choice stays with each cell's ``fn`` (pass it a config
     or let ``$REPRO_BACKEND`` apply inside the workers); the sweep only
     schedules cells.
+
+    Under an ambient observation session every cell is timed as a
+    ``cell`` span beneath one ``sweep`` span (identical tree whether the
+    cells ran inline or on the pool); an installed
+    :class:`~repro.obs.progress.ProgressReporter` sees cells
+    done/total as they complete.
     """
+    from ..obs.progress import current_reporter
+    from ..obs.spans import span
     from ..sim.config import coerce_config
 
     cfg = coerce_config("cartesian_sweep", ("workers",), config, legacy_args, legacy_kwargs)
@@ -68,9 +79,28 @@ def cartesian_sweep(
             stacklevel=2,
         )
         n_workers = 0
-    if n_workers > 0:
-        tasks: List[Tuple] = [(fn, cell) for cell in cells]
-        return ParallelExecutor(n_workers).map(
-            _sweep_cell, tasks, labels=[_cell_label(c) for c in cells]
-        )
-    return [_sweep_cell(fn, cell) for cell in cells]
+    with span(
+        "sweep", getattr(fn, "__name__", "sweep"),
+        cells=len(cells), workers=n_workers,
+        params={k: len(v) for k, v in params.items()},
+    ):
+        reporter = current_reporter()
+        if reporter is not None:
+            reporter.begin(
+                len(cells), unit="cells", label=getattr(fn, "__name__", "sweep")
+            )
+        try:
+            if n_workers > 0:
+                tasks: List[Tuple] = [(fn, cell) for cell in cells]
+                return ParallelExecutor(n_workers).map(
+                    _sweep_cell, tasks, labels=[_cell_label(c) for c in cells]
+                )
+            rows: List[Dict[str, Any]] = []
+            for cell in cells:
+                rows.append(_sweep_cell(fn, cell))
+                if reporter is not None:
+                    reporter.advance(label=_cell_label(cell))
+            return rows
+        finally:
+            if reporter is not None:
+                reporter.finish()

@@ -10,8 +10,12 @@ Usage::
     python -m repro inspect out/thm8              # whole-session table
     python -m repro audit out/thm6                # proof-ledger checks
     python -m repro bench-diff baseline/ benchmarks/out/
+    python -m repro bench-diff baseline/ benchmarks/out/ \\
+        --fail-on-regression --tolerance wall=0.4
+    python -m repro profile out/thm8                   # span rollups
+    python -m repro report out/thm8 --out report.html  # static HTML page
     python -m repro faultcheck --out benchmarks/out/EXP-FI.json
-    python -m repro all --quick
+    python -m repro all --quick --progress
 
 Each command prints the experiment's rendered table (the same rows the
 benchmarks assert on).  ``--quick`` shrinks the parameter grid for a
@@ -37,6 +41,16 @@ flags result drift and wall-time regressions.  ``repro faultcheck``
 runs the fault-injection detection matrix (``docs/FAULTS.md``) and
 exits nonzero unless every injected fault was caught by its expected
 checker, one to one.
+
+Spans and progress (PR 6): every experiment records hierarchical spans
+(sweep → cell → run → phase) into the observation session; ``repro
+profile SESSION`` rolls them up (self/total by kind, protocol,
+adversary, backend; hottest cells) and ``repro report SESSION --out
+report.html`` renders one self-contained HTML page.  ``--progress``
+streams a live done/total + rate + ETA line to stderr (default: on for
+a TTY; ``--no-progress`` disables).  ``repro bench-diff`` grows
+``--fail-on-regression`` (CI gate mode) and repeatable ``--tolerance
+NAME=FRAC`` per-metric thresholds.
 """
 
 from __future__ import annotations
@@ -212,14 +226,26 @@ def _run_audit(paths: Sequence[str]) -> int:
     return code
 
 
-def _run_bench_diff(paths: Sequence[str], threshold: float) -> int:
+def _run_bench_diff(
+    paths: Sequence[str],
+    threshold: float,
+    tolerance_specs: Optional[Sequence[str]] = None,
+    fail_on_regression: bool = False,
+) -> int:
     if len(paths) != 2:
         print("usage: repro bench-diff <old-dir> <new-dir>", file=sys.stderr)
         return 2
-    from .obs.benchdiff import diff_dirs, render_diff
+    from .obs.benchdiff import diff_dirs, parse_tolerances, render_diff
 
     try:
-        diffs, code = diff_dirs(paths[0], paths[1], threshold=threshold)
+        tolerances = parse_tolerances(list(tolerance_specs or ()))
+        diffs, code = diff_dirs(
+            paths[0],
+            paths[1],
+            threshold=threshold,
+            tolerances=tolerances,
+            fail_on_regression=fail_on_regression,
+        )
     except FileNotFoundError as exc:
         print(f"repro bench-diff: {exc}", file=sys.stderr)
         return 2
@@ -231,6 +257,63 @@ def _run_bench_diff(paths: Sequence[str], threshold: float) -> int:
         return code
     print(render_diff(diffs, threshold=threshold))
     return code
+
+
+def _run_profile(paths: Sequence[str], top: int) -> int:
+    if len(paths) != 1:
+        print("usage: repro profile <session-dir | manifest.json>", file=sys.stderr)
+        return 2
+    import pathlib
+
+    from .obs.manifest import MANIFEST_FILENAME
+    from .obs.profile import profile_session, render_profile
+
+    path = pathlib.Path(paths[0])
+    if path.is_file() and path.name == MANIFEST_FILENAME:
+        path = path.parent
+    try:
+        profile = profile_session(path, top_k=top)
+    except FileNotFoundError as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    print(render_profile(profile, top_k=top))
+    return 0
+
+
+def _run_report(
+    paths: Sequence[str], out: Optional[str], baseline: Optional[str], top: int
+) -> int:
+    if len(paths) != 1 or out is None:
+        print(
+            "usage: repro report <session-dir | manifest.json> --out report.html "
+            "[--baseline DIR]",
+            file=sys.stderr,
+        )
+        return 2
+    import pathlib
+
+    from .obs.manifest import MANIFEST_FILENAME
+    from .obs.report import write_report
+
+    path = pathlib.Path(paths[0])
+    if path.is_file() and path.name == MANIFEST_FILENAME:
+        path = path.parent
+    try:
+        out_path = pathlib.Path(out)
+        if out_path.parent != pathlib.Path("."):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        written = write_report(path, out_path, baseline=baseline, top_k=top)
+    except FileNotFoundError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    print(f"report: {written}")
+    return 0
 
 
 def _run_faultcheck(out: Optional[str]) -> int:
@@ -291,19 +374,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(EXPERIMENTS)
-        + ["list", "all", "inspect", "audit", "bench-diff", "faultcheck"],
+        + ["list", "all", "inspect", "audit", "bench-diff", "faultcheck",
+           "profile", "report"],
         help="experiment to run ('list' to enumerate, 'all' for "
         "everything; 'inspect' summarizes a persisted run or session, "
         "'audit' checks reduction proof ledgers, 'bench-diff' compares "
         "two benchmark output directories, 'faultcheck' runs the "
-        "fault-injection detection matrix)",
+        "fault-injection detection matrix, 'profile' rolls up a "
+        "session's spans, 'report' writes a session as one HTML page)",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=[],
-        help="run file / session dir for 'inspect' and 'audit'; "
-        "old-dir new-dir for 'bench-diff'",
+        help="run file / session dir for 'inspect'/'audit'/'profile'/"
+        "'report'; old-dir new-dir for 'bench-diff'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink parameter grids for a fast run"
@@ -349,7 +434,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FILE",
         default=None,
         help="faultcheck: also write the detection matrix as an EXP-FI "
-        "JSON sidecar (benchmarks/out schema)",
+        "JSON sidecar (benchmarks/out schema); report: the HTML output "
+        "file (required)",
     )
     parser.add_argument(
         "--threshold",
@@ -358,6 +444,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FRAC",
         help="bench-diff: relative wall-time slow-down treated as a "
         "regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=None,
+        metavar="NAME=FRAC",
+        help="bench-diff: per-metric tolerance overriding --threshold "
+        "(repeatable; e.g. wall=0.4, phase[delivery]=0.5, speedup=0.2, "
+        "optionally scoped EXP-SUB:speedup=0.2)",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="bench-diff: gate mode — additionally fail experiments with "
+        "no committed baseline (only-new)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default=None,
+        help="report: a baseline session directory to render deltas against",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="profile/report: how many hottest cells to show (default 10)",
+    )
+    parser.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="stream live progress (done/total, rate, ETA, fallback "
+        "events) to stderr; default: on when stderr is a TTY",
+    )
+    parser.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="disable progress streaming even on a TTY",
     )
     args = parser.parse_args(argv)
 
@@ -369,20 +497,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs.benchdiff import DEFAULT_THRESHOLD
 
         threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-        return _run_bench_diff(args.paths, threshold)
+        return _run_bench_diff(
+            args.paths,
+            threshold,
+            tolerance_specs=args.tolerance,
+            fail_on_regression=args.fail_on_regression,
+        )
+    if args.command == "profile":
+        return _run_profile(args.paths, args.top)
+    if args.command == "report":
+        return _run_report(args.paths, args.out, args.baseline, args.top)
     if args.command == "faultcheck":
         if args.paths:
             parser.error("'faultcheck' takes no positional paths (use --out FILE)")
         return _run_faultcheck(args.out)
     if args.out is not None:
-        parser.error("--out only applies to 'faultcheck'")
+        parser.error("--out only applies to 'faultcheck' and 'report'")
     if args.paths:
         parser.error(
-            f"positional paths only apply to 'inspect'/'audit'/'bench-diff', "
-            f"not {args.command!r}"
+            f"positional paths only apply to 'inspect'/'audit'/'bench-diff'/"
+            f"'profile'/'report', not {args.command!r}"
         )
     if args.threshold is not None:
         parser.error("--threshold only applies to 'bench-diff'")
+    if args.tolerance is not None or args.fail_on_regression:
+        parser.error("--tolerance/--fail-on-regression only apply to 'bench-diff'")
+    if args.baseline is not None:
+        parser.error("--baseline only applies to 'report'")
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -392,6 +533,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     observing = args.metrics or args.trace_out is not None or args.metrics_out is not None
     run_config = RunConfig(workers=args.workers, backend=args.backend)
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
+
+    progress = args.progress if args.progress is not None else sys.stderr.isatty()
+
+    def _run(name: str, runner, config) -> "object":
+        if not progress:
+            return runner(args.quick, config=config)
+        from .obs.progress import StderrTicker, progress_scope
+
+        with progress_scope(StderrTicker(sys.stderr, label=name)):
+            return runner(args.quick, config=config)
+
     for name in names:
         _desc, runner = EXPERIMENTS[name]
         if observing:
@@ -402,7 +554,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # one subdirectory per experiment when running several
                 trace_dir = args.trace_out if len(names) == 1 else f"{args.trace_out}/{name}"
             with observe(trace_dir=trace_dir, label=name) as session:
-                result = runner(args.quick, config=run_config)
+                result = _run(name, runner, run_config)
             result.attach_session(session)
             print(result.render())
             if args.metrics:
@@ -419,7 +571,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     out = str(p.with_name(f"{p.stem}-{name}{p.suffix or '.prom'}"))
                 _write_metrics_out(session, out)
         else:
-            result = runner(args.quick, config=run_config)
+            result = _run(name, runner, run_config)
             print(result.render())
         print()
     return 0

@@ -27,13 +27,28 @@ The layer every quantitative claim runs through:
     Lemma 3/4 or O(s log N) cut-budget violation.
 ``repro.obs.benchdiff``
     ``repro bench-diff``: compare ``benchmarks/out/EXP-*.json`` sets,
-    flagging result drift and wall-time regressions.
+    flagging result drift and wall-time regressions, with per-metric
+    tolerances and a blocking ``--fail-on-regression`` gate mode.
+``repro.obs.spans``
+    Hierarchical spans (sweep → cell → replicate → run → phase) with
+    wall + CPU time, persisted as ``spans.jsonl`` (format_version 3)
+    next to a session's runs; a no-op without an active session.
+``repro.obs.progress``
+    :class:`ProgressReporter` callback protocol + the stderr ticker
+    behind ``--progress``: cells done/total, rate, ETA, fallback and
+    degraded-retry events.
+``repro.obs.profile``
+    ``repro profile``: self/total rollups of a session's spans by
+    kind/protocol/adversary/backend plus the top-K hottest cells.
+``repro.obs.report``
+    ``repro report``: one self-contained static HTML page per session
+    (span treemap, metrics snapshot, run table, baseline deltas).
 
 See ``docs/OBSERVABILITY.md`` for the metrics catalogue and schemas.
 """
 
 from .audit import AuditReport, audit_path, audit_run, resolve_run_files
-from .benchdiff import BenchDiff, diff_dirs, render_diff
+from .benchdiff import BenchDiff, diff_dirs, parse_tolerances, render_diff
 from .export import (
     PersistedRun,
     decode_payload,
@@ -61,7 +76,26 @@ from .metrics import (
     NULL_REGISTRY,
     NullRegistry,
 )
+from .profile import SessionProfile, profile_session, render_profile
+from .progress import (
+    ProgressReporter,
+    StderrTicker,
+    current_reporter,
+    progress_scope,
+    report_event,
+)
+from .report import render_report, write_report
 from .runtime import ObservationSession, current_session, observe
+from .spans import (
+    Span,
+    SpanRecorder,
+    current_span,
+    read_spans_jsonl,
+    session_spans,
+    span,
+    span_event,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -98,5 +132,24 @@ __all__ = [
     "resolve_run_files",
     "BenchDiff",
     "diff_dirs",
+    "parse_tolerances",
     "render_diff",
+    "Span",
+    "SpanRecorder",
+    "span",
+    "span_event",
+    "current_span",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+    "session_spans",
+    "ProgressReporter",
+    "StderrTicker",
+    "current_reporter",
+    "progress_scope",
+    "report_event",
+    "SessionProfile",
+    "profile_session",
+    "render_profile",
+    "render_report",
+    "write_report",
 ]

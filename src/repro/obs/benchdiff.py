@@ -9,32 +9,71 @@ fixture).  Those files carry two different kinds of signal:
   deterministic in its seeds, so *any* change here means the code now
   computes something different: reported as ``drift``.
 * **timings** — the observability sidecar (wall seconds, per-phase
-  seconds).  Wall clock is noisy, so changes only count as a
-  ``regression`` when the new time exceeds the old by more than
-  ``threshold`` (default 25%) *and* the old time was big enough to
-  measure honestly (``MIN_SECONDS``).
+  seconds, parallel ``speedup``).  Wall clock is noisy, so changes only
+  count as a ``regression`` when the new time exceeds the old by more
+  than the metric's tolerance (default ``threshold``, 25%) *and* the
+  old time was big enough to measure honestly (``MIN_SECONDS``).
+  Per-metric tolerances come from ``--tolerance NAME=FRAC`` (repeatable;
+  ``NAME`` is ``wall``, ``phase[delivery]``, ``speedup``, ... optionally
+  prefixed ``EXP-ID:`` to scope one experiment).  The ``speedup``
+  comparison is *skipped with a logged reason* when the two sides record
+  different ``cpu_count`` — a 1-CPU CI runner cannot regress a speedup
+  measured on a 4-CPU box, it can only fail to reproduce it.
 
 Exit status: 0 when every experiment is ``ok`` (or only got faster);
 1 when anything drifted or regressed; 2 when there was nothing to
-compare.  CI runs this ``continue-on-error`` — the diff report is an
-artifact, the exit code a warning light, and refreshing the committed
-baseline is the intended fix for legitimate drift.
+compare.  ``repro bench-diff --fail-on-regression`` additionally fails
+``only-new`` experiments (no committed baseline) — that is the blocking
+CI gate mode; refreshing the committed baseline is the intended fix for
+legitimate drift.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["BenchDiff", "diff_dirs", "render_diff", "DEFAULT_THRESHOLD", "MIN_SECONDS"]
+__all__ = [
+    "BenchDiff",
+    "diff_dirs",
+    "parse_tolerances",
+    "render_diff",
+    "DEFAULT_THRESHOLD",
+    "MIN_SECONDS",
+]
+
+logger = logging.getLogger("repro.obs.benchdiff")
 
 #: Relative slow-down below which a wall/phase time change is noise.
 DEFAULT_THRESHOLD = 0.25
 #: Old-side floor (seconds) under which timing comparisons are skipped —
 #: a 2ms phase doubling to 4ms is scheduler jitter, not a regression.
 MIN_SECONDS = 0.05
+
+
+def parse_tolerances(specs: Optional[List[str]]) -> Dict[str, float]:
+    """``["wall=0.4", "EXP-SUB:speedup=0.2"]`` -> per-metric fractions."""
+    out: Dict[str, float] = {}
+    for spec in specs or ():
+        name, sep, raw = spec.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"--tolerance {spec!r}: expected NAME=FRACTION "
+                f"(e.g. wall=0.4 or EXP-SUB:speedup=0.2)"
+            )
+        try:
+            frac = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"--tolerance {spec!r}: {raw!r} is not a number"
+            ) from None
+        if frac < 0:
+            raise ValueError(f"--tolerance {spec!r}: fraction must be >= 0")
+        out[name] = frac
+    return out
 
 
 def _load_dir(directory: pathlib.Path) -> Dict[str, dict]:
@@ -85,8 +124,25 @@ def _summary_changes(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
 
 
 def _timing_regressions(
-    old: Dict[str, Any], new: Dict[str, Any], threshold: float
-) -> List[str]:
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float,
+    tolerances: Optional[Dict[str, float]] = None,
+    exp_id: str = "",
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, notes)`` for one experiment's timing sidecars.
+
+    Notes record comparisons that were deliberately *skipped* (today:
+    the ``speedup`` metric when ``cpu_count`` differs between sides) so
+    a passing gate still says what it chose not to check.
+    """
+
+    def tol(name: str) -> float:
+        for key in (f"{exp_id}:{name}", name):
+            if tolerances and key in tolerances:
+                return tolerances[key]
+        return threshold
+
     pairs: List[Tuple[str, Optional[float], Optional[float]]] = [
         ("wall", old.get("wall_seconds"), new.get("wall_seconds"))
     ]
@@ -95,12 +151,31 @@ def _timing_regressions(
     for phase in sorted(set(old_phases) | set(new_phases)):
         pairs.append((f"phase[{phase}]", old_phases.get(phase), new_phases.get(phase)))
     regressions = []
+    notes: List[str] = []
     for name, a, b in pairs:
         if a is None or b is None or a < MIN_SECONDS:
             continue
-        if b > a * (1.0 + threshold):
+        if b > a * (1.0 + tol(name)):
             regressions.append(f"{name}: {a:.3f}s -> {b:.3f}s (+{(b / a - 1) * 100:.0f}%)")
-    return regressions
+
+    # speedup: higher is better, and only comparable on equal hardware
+    # parallelism — a 1-CPU runner cannot reproduce a 4-CPU speedup.
+    a_speed, b_speed = old.get("speedup"), new.get("speedup")
+    if a_speed is not None and b_speed is not None:
+        a_cpu, b_cpu = old.get("cpu_count"), new.get("cpu_count")
+        if a_cpu != b_cpu:
+            reason = (
+                f"speedup comparison skipped: cpu_count {a_cpu} -> {b_cpu} "
+                f"(baseline measured under different hardware parallelism)"
+            )
+            logger.info("%s: %s", exp_id or "bench-diff", reason)
+            notes.append(reason)
+        elif b_speed < a_speed * (1.0 - tol("speedup")):
+            regressions.append(
+                f"speedup: {a_speed:.2f}x -> {b_speed:.2f}x "
+                f"({(b_speed / a_speed - 1) * 100:.0f}%)"
+            )
+    return regressions, notes
 
 
 @dataclass
@@ -112,14 +187,25 @@ class BenchDiff:
     details: List[str] = field(default_factory=list)
     old_wall: Optional[float] = None
     new_wall: Optional[float] = None
+    #: deliberately skipped comparisons (informational; never a failure)
+    notes: List[str] = field(default_factory=list)
 
 
 def diff_dirs(
     old_dir: pathlib.Path,
     new_dir: pathlib.Path,
     threshold: float = DEFAULT_THRESHOLD,
+    tolerances: Optional[Dict[str, float]] = None,
+    fail_on_regression: bool = False,
 ) -> Tuple[List[BenchDiff], int]:
-    """Compare every ``EXP-*.json`` and return ``(diffs, exit_code)``."""
+    """Compare every ``EXP-*.json`` and return ``(diffs, exit_code)``.
+
+    ``tolerances`` maps metric names (optionally ``EXP-ID:``-scoped) to
+    per-metric fractions overriding ``threshold``.  With
+    ``fail_on_regression`` the exit code also fails ``only-new``
+    experiments — gate mode: every benchmark must have a committed
+    baseline.
+    """
     old = _load_dir(pathlib.Path(old_dir))
     new = _load_dir(pathlib.Path(new_dir))
     diffs: List[BenchDiff] = []
@@ -133,7 +219,10 @@ def diff_dirs(
         o, n = old[exp_id], new[exp_id]
         drift = _cell_changes(o.get("rows", []), n.get("rows", []))
         drift += _summary_changes(o.get("summary", {}), n.get("summary", {}))
-        slow = _timing_regressions(o.get("timings", {}), n.get("timings", {}), threshold)
+        slow, notes = _timing_regressions(
+            o.get("timings", {}), n.get("timings", {}), threshold,
+            tolerances=tolerances, exp_id=exp_id,
+        )
         status = "regression" if slow else ("drift" if drift else "ok")
         diffs.append(
             BenchDiff(
@@ -142,11 +231,14 @@ def diff_dirs(
                 details=slow + drift,
                 old_wall=(o.get("timings") or {}).get("wall_seconds"),
                 new_wall=(n.get("timings") or {}).get("wall_seconds"),
+                notes=notes,
             )
         )
     if not diffs:
         return diffs, 2
     bad = {"drift", "regression", "only-old"}
+    if fail_on_regression:
+        bad = bad | {"only-new"}
     return diffs, (1 if any(d.status in bad for d in diffs) else 0)
 
 
@@ -172,6 +264,8 @@ def render_diff(diffs: List[BenchDiff], threshold: float = DEFAULT_THRESHOLD) ->
         if d.details and d.status != "ok":
             lines.append(f"{d.exp_id} [{d.status}]:")
             lines.extend(f"  - {msg}" for msg in d.details)
+        # skipped comparisons are worth stating even on a passing gate
+        lines.extend(f"{d.exp_id} [note]: {msg}" for msg in d.notes)
     counts: Dict[str, int] = {}
     for d in diffs:
         counts[d.status] = counts.get(d.status, 0) + 1

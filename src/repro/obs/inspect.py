@@ -130,6 +130,7 @@ class RunReport:
         run, manifest = self.run, self.run.manifest
         lines = [
             f"run: {self.path}",
+            f"  backend            {manifest.backend}",
             f"  adversary          {manifest.adversary}",
             f"  nodes              {manifest.num_nodes}",
             f"  seed               {manifest.seed}",
@@ -226,6 +227,7 @@ class SessionReport:
             rows.append([
                 path.name,
                 run.manifest.kind,
+                run.manifest.backend,
                 run.manifest.adversary,
                 run.manifest.num_nodes,
                 rounds,
@@ -234,7 +236,8 @@ class SessionReport:
                 f"{wall * 1e3:.2f}ms" if wall is not None else "-",
             ])
         table = render_table(
-            ["run", "kind", "adversary", "nodes", "rounds", "terminated", "bits", "wall"],
+            ["run", "kind", "backend", "adversary", "nodes", "rounds",
+             "terminated", "bits", "wall"],
             rows,
         )
         return "\n".join([header, "", table])

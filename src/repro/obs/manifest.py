@@ -16,9 +16,19 @@ import pathlib
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["RunManifest", "SessionManifest", "MANIFEST_FILENAME"]
+__all__ = [
+    "RunManifest",
+    "SessionManifest",
+    "MANIFEST_FILENAME",
+    "SESSION_FORMAT_VERSION",
+]
 
 MANIFEST_FILENAME = "manifest.json"
+
+#: Version 3 added the ``spans.jsonl`` sidecar (``spans_file``).  A
+#: version-2 manifest (no ``format_version`` key, no spans) loads
+#: unchanged — every consumer treats spans as optional.
+SESSION_FORMAT_VERSION = 3
 
 
 def _package_version() -> str:
@@ -82,13 +92,19 @@ class SessionManifest:
     #: largest process-pool worker count whose runs merged into this
     #: session (0 = everything ran inline/sequentially)
     workers: int = 0
+    #: spans sidecar filename relative to the session directory, once
+    #: persisted (``None``: no spans were recorded, or a pre-v3 session)
+    spans_file: Optional[str] = None
+    format_version: int = SESSION_FORMAT_VERSION
 
     def as_dict(self) -> dict:
         return {
             "label": self.label,
+            "format_version": self.format_version,
             "package_version": self.package_version,
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
+            "spans_file": self.spans_file,
             "runs": [r.as_dict() for r in self.runs],
             "metrics": self.metrics,
         }
@@ -108,4 +124,6 @@ class SessionManifest:
             runs=[RunManifest.from_dict(r) for r in data.get("runs", ())],
             metrics=data.get("metrics", {}),
             workers=data.get("workers", 0),
+            spans_file=data.get("spans_file"),
+            format_version=data.get("format_version", 2),
         )

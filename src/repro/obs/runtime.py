@@ -38,6 +38,7 @@ from .instrumentation import Instrumentation
 from .ledger import ProofLedger
 from .manifest import RunManifest, SessionManifest
 from .metrics import MetricsRegistry, NULL_REGISTRY
+from .spans import SPANS_FILENAME, SpanRecorder, write_spans_jsonl
 
 __all__ = [
     "ObservationSession",
@@ -80,6 +81,9 @@ class WorkerObservations:
     runs: List[CapturedRun] = field(default_factory=list)
     #: fault-injection events recorded inside the worker (repro.faults)
     faults: List[dict] = field(default_factory=list)
+    #: span dicts recorded inside the worker (repro.obs.spans); the
+    #: parent re-keys ids and grafts worker roots onto its active span
+    spans: List[dict] = field(default_factory=list)
 
 
 class ObservationSession:
@@ -111,6 +115,9 @@ class ObservationSession:
         #: :class:`CapturedRun` for the parent to persist, never written
         self.collect = collect
         self._captured: List[CapturedRun] = []
+        #: the session's span tree (see :mod:`repro.obs.spans`);
+        #: persisted as ``spans.jsonl`` (format_version 3) at close
+        self.spans = SpanRecorder()
         #: fault-injection events (:mod:`repro.faults`) recorded in this
         #: scope; persisted as ``faults.jsonl`` next to ``manifest.json``
         self.faults: List[dict] = []
@@ -124,10 +131,21 @@ class ObservationSession:
         """A fresh per-run instrumentation feeding this session."""
         return Instrumentation(registry=self.registry, on_run_end=self._run_ended)
 
+    @staticmethod
+    def _engine_protocol(engine: Any) -> Optional[str]:
+        """Protocol class name, derived from the engine's node set."""
+        nodes = getattr(engine, "nodes", None)
+        if not nodes:
+            return None
+        return type(next(iter(nodes.values()))).__name__
+
     def _run_ended(self, instr: Instrumentation, engine: Any) -> None:
         if self.collect and engine is not None:
             run_manifest = RunManifest.from_engine(engine)
             run_manifest.wall_seconds = instr.wall_seconds
+            self.spans.record_run(
+                run_manifest, instr, protocol=self._engine_protocol(engine)
+            )
             self._captured.append(
                 CapturedRun(
                     kind="engine",
@@ -144,6 +162,9 @@ class ObservationSession:
         else:  # pragma: no cover - engines always pass themselves
             run_manifest = RunManifest(seed=None, num_nodes=0, adversary="?")
         run_manifest.wall_seconds = instr.wall_seconds
+        self.spans.record_run(
+            run_manifest, instr, protocol=self._engine_protocol(engine)
+        )
         if self.trace_dir is not None and engine is not None:
             name = f"run-{self._run_index:04d}.jsonl"
             write_trace_jsonl(
@@ -186,6 +207,7 @@ class ObservationSession:
             )
         else:
             summary.update(rounds=None, diverged=True)
+        self.spans.record_run(run_manifest, None)
         if self.collect:
             self._captured.append(
                 CapturedRun(
@@ -228,7 +250,10 @@ class ObservationSession:
         :meth:`ingest_worker_observations`.
         """
         return WorkerObservations(
-            registry=self.registry, runs=self._captured, faults=self.faults
+            registry=self.registry,
+            runs=self._captured,
+            faults=self.faults,
+            spans=self.spans.export(),
         )
 
     def ingest_worker_observations(
@@ -245,6 +270,7 @@ class ObservationSession:
         """
         self.registry.merge(observations.registry)
         self.faults.extend(getattr(observations, "faults", ()) or ())
+        self.spans.ingest(getattr(observations, "spans", ()) or [])
         if workers > self.manifest.workers:
             self.manifest.workers = workers
         for captured in observations.runs:
@@ -286,6 +312,13 @@ class ObservationSession:
                 with (self.trace_dir / "faults.jsonl").open("w") as fh:
                     for event in self.faults:
                         fh.write(json.dumps(event, sort_keys=True) + "\n")
+            if self.spans.spans:
+                write_spans_jsonl(
+                    self.trace_dir / SPANS_FILENAME,
+                    self.spans.spans,
+                    label=self.manifest.label,
+                )
+                self.manifest.spans_file = SPANS_FILENAME
             return self.manifest.write(self.trace_dir)
         return None
 

@@ -558,6 +558,11 @@ def build_engine(
                 tape=tape,
             )
         logger.info("batch backend falling back to reference: %s", reason)
+        from ..obs.progress import report_event
+        from ..obs.spans import span_event
+
+        span_event("batch-fallback", reason=reason)
+        report_event("batch-fallback", reason)
     elif backend != "reference":
         raise ConfigurationError(f"unknown backend {backend!r}")
     return SynchronousEngine(
@@ -619,9 +624,15 @@ def run_batch_replicas(
                 tape=tape,
             )
         )
+    from ..obs.progress import current_reporter
+    from ..obs.spans import span_event
+
+    reporter = current_reporter()
     if any(engine.instrumentation is not None for engine in engines):
-        for engine in engines:
+        for engine, seed in zip(engines, seeds):
             engine.run(max_rounds)
+            if reporter is not None:
+                reporter.advance(label=f"seed={seed}")
     else:
         active = list(engines) if max_rounds > 0 else []
         while active:
@@ -633,11 +644,16 @@ def run_batch_replicas(
                     and engine.round < max_rounds
                 ):
                     still_running.append(engine)
+                elif reporter is not None:
+                    reporter.advance()
             active = still_running
         for engine in engines:  # finalize in seed order, like run() would
             engine.trace.outputs = {
                 uid: node.output() for uid, node in engine.nodes.items()
             }
+    # How well the shared tape amortized: one event span per chunk, so
+    # `repro profile` can report interning effectiveness per cell.
+    span_event("tape-stats", replicas=len(engines), **tape.stats)
     runs: List[Any] = []
     for engine in engines:
         trace = engine.trace

@@ -141,9 +141,12 @@ def _worker_init() -> None:
     """
     global _IN_WORKER
     _IN_WORKER = True
-    from ..obs import runtime
+    from ..obs import progress, runtime
 
     runtime._SESSIONS.clear()
+    # Likewise inherited progress reporters: the parent is the single
+    # writer of progress output; workers stay silent.
+    progress._REPORTERS.clear()
 
 
 def _guarded_call(
@@ -260,19 +263,28 @@ class ParallelExecutor:
         or off; by default it is on exactly when an ambient observation
         session is active in the parent.
         """
+        from ..obs.progress import current_reporter
+
         tasks = [tuple(t) for t in tasks]
         if labels is None:
             labels = [repr(t) for t in tasks]
         if len(labels) != len(tasks):
             raise ConfigurationError("labels must match tasks one to one")
         if self.workers == 0:
-            return [fn(*args) for args in tasks]
+            reporter = current_reporter()
+            results_inline: List[Any] = []
+            for args, label in zip(tasks, labels):
+                results_inline.append(fn(*args))
+                if reporter is not None:
+                    reporter.advance(label=label)
+            return results_inline
 
         from concurrent.futures import ProcessPoolExecutor
 
         from ..obs.runtime import current_session
 
         session = current_session()
+        reporter = current_reporter()
         if capture is None:
             capture = session is not None
         if self.retries == 0 and self.task_timeout is None:
@@ -304,6 +316,8 @@ class ParallelExecutor:
                             observations, workers=self.workers
                         )
                     results.append(payload)
+                    if reporter is not None:
+                        reporter.advance(label=label)
             return results
         return self._map_degraded(fn, tasks, labels, capture, session)
 
@@ -380,13 +394,18 @@ class ParallelExecutor:
             pending = sorted(requeue)
         if first_error is not None:
             first_error.reraise()
-        if capture and session is not None:
-            for i in range(n):
+        from ..obs.progress import current_reporter
+
+        reporter = current_reporter()
+        for i in range(n):
+            if capture and session is not None:
                 observations = observations_by_index.get(i)
                 if observations is not None:
                     session.ingest_worker_observations(
                         observations, workers=self.workers
                     )
+            if reporter is not None:
+                reporter.advance(label=labels[i])
         return results
 
     def _degrade(self, kind: str, index: int, label: str, attempts: List[int],
@@ -395,6 +414,16 @@ class ParallelExecutor:
         attempts[index] += 1
         self.degradations.append(
             {"kind": kind, "label": label, "attempt": attempts[index]}
+        )
+        from ..obs.progress import report_event
+        from ..obs.spans import span_event
+
+        span_event(
+            "degraded-retry", kind=kind, label=label, attempt=attempts[index]
+        )
+        report_event(
+            "degraded-retry",
+            f"{kind} on [{label}] (attempt {attempts[index]})",
         )
         if attempts[index] > self.retries:
             what = (

@@ -102,9 +102,13 @@ def _resolve_batch(make_adversary: AdversaryFactory, backend: str) -> str:
     reason = batch_fallback_reason(make_adversary())
     if reason is None:
         return "batch"
+    from ..obs.progress import report_event
+    from ..obs.spans import span_event
     from .batch import logger
 
     logger.info("batch backend falling back to reference: %s", reason)
+    span_event("batch-fallback", reason=reason)
+    report_event("batch-fallback", reason)
     return "reference"
 
 
@@ -334,14 +338,13 @@ def replicate(
     adaptive adversaries fall back to the reference engine with a logged
     reason, identical results either way.
     """
-    from .parallel import ParallelExecutor, ensure_picklable, resolve_workers
+    from ..obs.spans import span
+    from .parallel import ensure_picklable, resolve_workers
 
     cfg = coerce_config(
         "replicate", _REPLICATE_LEGACY, config, legacy_args, legacy_kwargs
     )
     require(cfg.max_rounds is not None, "replicate requires RunConfig(max_rounds=...)")
-    max_rounds = cfg.max_rounds
-    registry = cfg.registry
     backend = _resolve_batch(make_adversary, cfg.resolved_backend())
 
     n_workers = resolve_workers(cfg.workers)
@@ -358,24 +361,53 @@ def replicate(
                 stacklevel=2,
             )
             n_workers = 0
+    with span(
+        "replicate", "replicate",
+        seeds=len(seeds), backend=backend, workers=n_workers,
+    ):
+        return _replicate_impl(make_nodes, make_adversary, seeds, cfg,
+                               backend, n_workers)
+
+
+def _replicate_impl(
+    make_nodes: NodeFactory,
+    make_adversary: AdversaryFactory,
+    seeds: Sequence[int],
+    cfg: RunConfig,
+    backend: str,
+    n_workers: int,
+) -> ReplicationSummary:
+    """The execution paths of :func:`replicate`, under its span/progress."""
+    from ..obs.progress import current_reporter
+    from .parallel import ParallelExecutor
+
+    max_rounds = cfg.max_rounds
+    registry = cfg.registry
+    reporter = current_reporter()
     if n_workers > 0 and backend == "batch":
         chunks = _chunk_seeds(seeds, n_workers)
-        results = ParallelExecutor(n_workers).map(
-            _replicate_batch_task,
-            [
-                (
-                    make_nodes,
-                    make_adversary,
-                    chunk,
-                    max_rounds,
-                    cfg.bandwidth_factor,
-                    cfg.check_connected,
-                    cfg.instrument,
-                )
-                for chunk in chunks
-            ],
-            labels=[f"seeds={chunk[0]}..{chunk[-1]}" for chunk in chunks],
-        )
+        if reporter is not None:
+            reporter.begin(len(chunks), unit="chunks", label="replicate")
+        try:
+            results = ParallelExecutor(n_workers).map(
+                _replicate_batch_task,
+                [
+                    (
+                        make_nodes,
+                        make_adversary,
+                        chunk,
+                        max_rounds,
+                        cfg.bandwidth_factor,
+                        cfg.check_connected,
+                        cfg.instrument,
+                    )
+                    for chunk in chunks
+                ],
+                labels=[f"seeds={chunk[0]}..{chunk[-1]}" for chunk in chunks],
+            )
+        finally:
+            if reporter is not None:
+                reporter.finish()
         runs: List[ProtocolRun] = []
         for chunk_runs, worker_registry in results:
             if registry is not None and worker_registry is not None:
@@ -383,22 +415,28 @@ def replicate(
             runs.extend(chunk_runs)
         return ReplicationSummary(runs=runs)
     if n_workers > 0:
-        results = ParallelExecutor(n_workers).map(
-            _replicate_task,
-            [
-                (
-                    make_nodes,
-                    make_adversary,
-                    seed,
-                    max_rounds,
-                    cfg.bandwidth_factor,
-                    cfg.check_connected,
-                    cfg.instrument,
-                )
-                for seed in seeds
-            ],
-            labels=[f"seed={seed}" for seed in seeds],
-        )
+        if reporter is not None:
+            reporter.begin(len(seeds), unit="runs", label="replicate")
+        try:
+            results = ParallelExecutor(n_workers).map(
+                _replicate_task,
+                [
+                    (
+                        make_nodes,
+                        make_adversary,
+                        seed,
+                        max_rounds,
+                        cfg.bandwidth_factor,
+                        cfg.check_connected,
+                        cfg.instrument,
+                    )
+                    for seed in seeds
+                ],
+                labels=[f"seed={seed}" for seed in seeds],
+            )
+        finally:
+            if reporter is not None:
+                reporter.finish()
         runs = []
         for run, worker_registry in results:
             if registry is not None and worker_registry is not None:
@@ -423,20 +461,29 @@ def replicate(
                 registry=registry,
             )
         )
-    runs = [
-        run_protocol(
-            make_nodes,
-            make_adversary,
-            RunConfig(
-                seed=seed,
-                max_rounds=max_rounds,
-                bandwidth_factor=cfg.bandwidth_factor,
-                check_connected=cfg.check_connected,
-                instrument=cfg.instrument,
-                registry=registry,
-                backend="reference",  # already resolved/fallen back above
-            ),
-        )
-        for seed in seeds
-    ]
+    if reporter is not None:
+        reporter.begin(len(seeds), unit="runs", label="replicate")
+    try:
+        runs = []
+        for seed in seeds:
+            runs.append(
+                run_protocol(
+                    make_nodes,
+                    make_adversary,
+                    RunConfig(
+                        seed=seed,
+                        max_rounds=max_rounds,
+                        bandwidth_factor=cfg.bandwidth_factor,
+                        check_connected=cfg.check_connected,
+                        instrument=cfg.instrument,
+                        registry=registry,
+                        backend="reference",  # already resolved/fallen back above
+                    ),
+                )
+            )
+            if reporter is not None:
+                reporter.advance(label=f"seed={seed}")
+    finally:
+        if reporter is not None:
+            reporter.finish()
     return ReplicationSummary(runs=runs)

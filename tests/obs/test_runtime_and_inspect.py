@@ -42,7 +42,8 @@ class TestObserveSession:
         assert current_session() is None
         assert session.num_runs == 2
         files = sorted(p.name for p in tmp_path.iterdir())
-        assert files == ["manifest.json", "run-0001.jsonl", "run-0002.jsonl"]
+        assert files == ["manifest.json", "run-0001.jsonl", "run-0002.jsonl",
+                         "spans.jsonl"]
 
         manifest = SessionManifest.load(tmp_path / "manifest.json")
         assert manifest.label == "cell"
