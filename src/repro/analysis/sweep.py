@@ -55,7 +55,7 @@ def cartesian_sweep(
     :class:`~repro.obs.progress.ProgressReporter` sees cells
     done/total as they complete.
     """
-    from ..obs.progress import current_reporter
+    from ..obs.progress import report_advance, report_begin, report_finish
     from ..obs.spans import span
     from ..sim.config import coerce_config
 
@@ -84,11 +84,7 @@ def cartesian_sweep(
         cells=len(cells), workers=n_workers,
         params={k: len(v) for k, v in params.items()},
     ):
-        reporter = current_reporter()
-        if reporter is not None:
-            reporter.begin(
-                len(cells), unit="cells", label=getattr(fn, "__name__", "sweep")
-            )
+        report_begin(len(cells), unit="cells", label=getattr(fn, "__name__", "sweep"))
         try:
             if n_workers > 0:
                 tasks: List[Tuple] = [(fn, cell) for cell in cells]
@@ -98,9 +94,7 @@ def cartesian_sweep(
             rows: List[Dict[str, Any]] = []
             for cell in cells:
                 rows.append(_sweep_cell(fn, cell))
-                if reporter is not None:
-                    reporter.advance(label=_cell_label(cell))
+                report_advance(label=_cell_label(cell))
             return rows
         finally:
-            if reporter is not None:
-                reporter.finish()
+            report_finish()

@@ -51,6 +51,19 @@ streams a live done/total + rate + ETA line to stderr (default: on for
 a TTY; ``--no-progress`` disables).  ``repro bench-diff`` grows
 ``--fail-on-regression`` (CI gate mode) and repeatable ``--tolerance
 NAME=FRAC`` per-metric thresholds.
+
+Streaming telemetry (PR 7): ``--stream`` (with ``--trace-out``; or
+``REPRO_STREAM=1``) makes the session crash-safe — every run/cell/
+fault/progress occurrence appends one fsync'd line to ``events.jsonl``
+and a background thread samples RSS/CPU/GC into ``resource.jsonl``, so
+a killed sweep leaves a loadable partial session (``inspect``/
+``profile``/``report`` mark it PARTIAL instead of failing).  ``repro
+tail SESSION-DIR`` attaches to a live session and follows its events
+(done/total, rates, ETA, faults, retries).  ``repro bench-history
+HISTORY.jsonl`` analyzes the benchmark history store for windowed
+trends (latest vs median-of-last-K) and exits nonzero on regressions;
+``repro report --baseline`` accepts either a baseline session directory
+(metric deltas) or a history file (sparkline trend table).
 """
 
 from __future__ import annotations
@@ -316,6 +329,58 @@ def _run_report(
     return 0
 
 
+def _run_tail(
+    paths: Sequence[str], poll: float, timeout: float, follow: bool, verbose: bool
+) -> int:
+    if len(paths) != 1:
+        print("usage: repro tail <session-dir>", file=sys.stderr)
+        return 2
+    import pathlib
+
+    from .obs.tail import tail_session
+
+    try:
+        return tail_session(
+            pathlib.Path(paths[0]),
+            sys.stdout,
+            follow=follow,
+            poll=poll,
+            timeout=timeout,
+            verbose=verbose,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro tail: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro tail: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_bench_history(paths: Sequence[str], window: int, threshold: float) -> int:
+    if len(paths) != 1:
+        print("usage: repro bench-history <history.jsonl>", file=sys.stderr)
+        return 2
+    import pathlib
+
+    from .obs.history import analyze_history, read_history, render_history
+
+    path = pathlib.Path(paths[0])
+    try:
+        records = read_history(path)
+    except FileNotFoundError:
+        print(f"repro bench-history: no such file: {path}", file=sys.stderr)
+        return 2
+    trends, code = analyze_history(records, window=window, threshold=threshold)
+    if not trends:
+        print(
+            f"repro bench-history: no benchmark records in {path}",
+            file=sys.stderr,
+        )
+        return code
+    print(render_history(trends, window=window, threshold=threshold))
+    return code
+
+
 def _run_faultcheck(out: Optional[str]) -> int:
     """Run the fault-injection detection matrix (see docs/FAULTS.md).
 
@@ -374,21 +439,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(EXPERIMENTS)
-        + ["list", "all", "inspect", "audit", "bench-diff", "faultcheck",
-           "profile", "report"],
+        + ["list", "all", "inspect", "audit", "bench-diff", "bench-history",
+           "faultcheck", "profile", "report", "tail"],
         help="experiment to run ('list' to enumerate, 'all' for "
         "everything; 'inspect' summarizes a persisted run or session, "
         "'audit' checks reduction proof ledgers, 'bench-diff' compares "
-        "two benchmark output directories, 'faultcheck' runs the "
-        "fault-injection detection matrix, 'profile' rolls up a "
-        "session's spans, 'report' writes a session as one HTML page)",
+        "two benchmark output directories, 'bench-history' analyzes the "
+        "benchmark history store for windowed trends, 'faultcheck' runs "
+        "the fault-injection detection matrix, 'profile' rolls up a "
+        "session's spans, 'report' writes a session as one HTML page, "
+        "'tail' follows a live streaming session's events)",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=[],
         help="run file / session dir for 'inspect'/'audit'/'profile'/"
-        "'report'; old-dir new-dir for 'bench-diff'",
+        "'report'/'tail'; old-dir new-dir for 'bench-diff'; history file "
+        "for 'bench-history'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink parameter grids for a fast run"
@@ -442,8 +510,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=None,
         metavar="FRAC",
-        help="bench-diff: relative wall-time slow-down treated as a "
-        "regression (default 0.25)",
+        help="bench-diff/bench-history: relative wall-time slow-down "
+        "treated as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bench-history: compare the latest record against the median "
+        "of the previous K (default 5)",
     )
     parser.add_argument(
         "--tolerance",
@@ -464,7 +540,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--baseline",
         metavar="DIR",
         default=None,
-        help="report: a baseline session directory to render deltas against",
+        help="report: a baseline session directory to render deltas "
+        "against, or a benchmark history .jsonl for a sparkline trend "
+        "table",
     )
     parser.add_argument(
         "--top",
@@ -487,6 +565,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_false",
         help="disable progress streaming even on a TTY",
     )
+    parser.add_argument(
+        "--stream",
+        dest="stream",
+        action="store_true",
+        default=None,
+        help="append every run/cell/fault/progress occurrence to the "
+        "session's events.jsonl as it happens (crash-safe telemetry; "
+        "requires --trace-out); default: the REPRO_STREAM environment "
+        "variable",
+    )
+    parser.add_argument(
+        "--no-stream",
+        dest="stream",
+        action="store_false",
+        help="disable event streaming even when REPRO_STREAM is set",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="tail: interval between reads of events.jsonl (default 0.2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="tail: give up after this long without the session appearing "
+        "or closing (default 10)",
+    )
+    parser.add_argument(
+        "--no-follow",
+        dest="follow",
+        action="store_false",
+        default=True,
+        help="tail: dump the events recorded so far and exit instead of "
+        "following",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="tail: also show span closes and resource heartbeats",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "inspect":
@@ -503,10 +625,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tolerance_specs=args.tolerance,
             fail_on_regression=args.fail_on_regression,
         )
+    if args.command == "bench-history":
+        from .obs.benchdiff import DEFAULT_THRESHOLD
+        from .obs.history import DEFAULT_WINDOW
+
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        window = args.window if args.window is not None else DEFAULT_WINDOW
+        return _run_bench_history(args.paths, window, threshold)
     if args.command == "profile":
         return _run_profile(args.paths, args.top)
     if args.command == "report":
         return _run_report(args.paths, args.out, args.baseline, args.top)
+    if args.command == "tail":
+        return _run_tail(
+            args.paths, args.poll, args.timeout, args.follow, args.verbose
+        )
     if args.command == "faultcheck":
         if args.paths:
             parser.error("'faultcheck' takes no positional paths (use --out FILE)")
@@ -516,14 +649,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.paths:
         parser.error(
             f"positional paths only apply to 'inspect'/'audit'/'bench-diff'/"
-            f"'profile'/'report', not {args.command!r}"
+            f"'bench-history'/'profile'/'report'/'tail', not {args.command!r}"
         )
     if args.threshold is not None:
-        parser.error("--threshold only applies to 'bench-diff'")
+        parser.error("--threshold only applies to 'bench-diff' and 'bench-history'")
+    if args.window is not None:
+        parser.error("--window only applies to 'bench-history'")
     if args.tolerance is not None or args.fail_on_regression:
         parser.error("--tolerance/--fail-on-regression only apply to 'bench-diff'")
     if args.baseline is not None:
         parser.error("--baseline only applies to 'report'")
+    if args.stream and args.trace_out is None:
+        parser.error("--stream requires --trace-out (streaming needs a session dir)")
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -553,7 +690,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.trace_out is not None:
                 # one subdirectory per experiment when running several
                 trace_dir = args.trace_out if len(names) == 1 else f"{args.trace_out}/{name}"
-            with observe(trace_dir=trace_dir, label=name) as session:
+            with observe(trace_dir=trace_dir, label=name, stream=args.stream) as session:
                 result = _run(name, runner, run_config)
             result.attach_session(session)
             print(result.render())

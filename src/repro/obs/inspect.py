@@ -177,14 +177,27 @@ def inspect_run(path: pathlib.Path) -> RunReport:
 
 
 class SessionReport:
-    """One table summarizing every run of an observation session."""
+    """One table summarizing every run of an observation session.
+
+    Partial sessions — a crashed or still-running streamer with no
+    ``manifest.json`` yet (see :mod:`repro.obs.stream`) — load too: the
+    manifest is synthesized from the event stream/checkpoint/run files,
+    the report is marked PARTIAL, and run files the kill tore mid-write
+    are skipped with a note instead of failing the whole report.
+    """
 
     def __init__(self, directory: pathlib.Path):
         self.directory = pathlib.Path(directory)
+        from .stream import load_session_manifest
+
         manifest_path = self.directory / MANIFEST_FILENAME
-        self.manifest: Optional[SessionManifest] = (
-            SessionManifest.load(manifest_path) if manifest_path.is_file() else None
-        )
+        try:
+            self.manifest: Optional[SessionManifest] = load_session_manifest(
+                self.directory
+            )
+        except FileNotFoundError:
+            self.manifest = None
+        self.partial = self.manifest is not None and self.manifest.partial
         from .audit import resolve_run_files
 
         self.files = resolve_run_files(self.directory)
@@ -194,20 +207,31 @@ class SessionReport:
                 f"{MANIFEST_FILENAME} — not an observation session directory"
             )
         self.runs: List[Tuple[pathlib.Path, PersistedRun]] = []
+        #: run files named but unreadable (torn by a kill, or deleted)
+        self.skipped: List[str] = []
         for path in self.files:
             try:
                 self.runs.append((path, read_trace_jsonl(path)))
             except FileNotFoundError:
+                if self.partial:
+                    self.skipped.append(f"{path.name}: missing")
+                    continue
                 raise ValueError(
                     f"{path.name} is listed in {MANIFEST_FILENAME} but "
                     f"missing from {self.directory} — partial or truncated "
                     f"session"
                 ) from None
+            except ValueError as exc:
+                if self.partial:
+                    self.skipped.append(f"{path.name}: unreadable ({exc})")
+                    continue
+                raise
 
     def render(self) -> str:
         header = f"session: {self.directory}"
         if self.manifest is not None:
             bits = [f"label={self.manifest.label}" if self.manifest.label else None,
+                    "PARTIAL (no clean close)" if self.partial else None,
                     f"runs={len(self.manifest.runs)}",
                     f"wall={self.manifest.wall_seconds:.3f}s"
                     if self.manifest.wall_seconds is not None else None]
@@ -240,7 +264,20 @@ class SessionReport:
              "terminated", "bits", "wall"],
             rows,
         )
-        return "\n".join([header, "", table])
+        lines = [header]
+        prov = self.manifest.provenance if self.manifest is not None else {}
+        if prov:
+            sha = prov.get("git_sha")
+            bits = [f"git={str(sha)[:12]}" if sha else None,
+                    f"host={prov['hostname']}" if prov.get("hostname") else None,
+                    f"cpus={prov['cpu_count']}" if prov.get("cpu_count") else None,
+                    f"python={prov['python_version']}"
+                    if prov.get("python_version") else None]
+            lines.append("provenance: " + "  ".join(b for b in bits if b))
+        lines.extend(["", table])
+        for note in self.skipped:
+            lines.append(f"skipped {note}")
+        return "\n".join(lines)
 
 
 def inspect_session(path: pathlib.Path) -> SessionReport:

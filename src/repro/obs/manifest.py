@@ -11,6 +11,7 @@ manifests of everything recorded under one observation session.
 
 from __future__ import annotations
 
+import functools
 import json
 import pathlib
 from dataclasses import asdict, dataclass, field
@@ -21,14 +22,57 @@ __all__ = [
     "SessionManifest",
     "MANIFEST_FILENAME",
     "SESSION_FORMAT_VERSION",
+    "collect_provenance",
 ]
 
 MANIFEST_FILENAME = "manifest.json"
 
-#: Version 3 added the ``spans.jsonl`` sidecar (``spans_file``).  A
-#: version-2 manifest (no ``format_version`` key, no spans) loads
-#: unchanged — every consumer treats spans as optional.
-SESSION_FORMAT_VERSION = 3
+#: Version 3 added the ``spans.jsonl`` sidecar (``spans_file``).
+#: Version 4 added provenance (git SHA, hostname, cpu_count, python
+#: version) and the streaming sidecars (``events_file``,
+#: ``resource_file``).  Older manifests load unchanged — every consumer
+#: treats the new fields as optional with defaults.
+SESSION_FORMAT_VERSION = 4
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> Optional[str]:
+    """HEAD of the repository containing the working directory, if any.
+
+    Cached per process: sessions are cheap to open and a subprocess per
+    ``observe()`` would not be.  ``None`` outside a git checkout (an
+    installed package still records host provenance).
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def collect_provenance() -> Dict[str, Any]:
+    """Where/what produced a session or benchmark record.
+
+    The same stamp serves the session manifest (this module) and the
+    benchmark history store (:mod:`repro.obs.history`): enough to tell
+    two measurements apart by code version and host shape.
+    """
+    import os
+    import platform
+    import socket
+
+    return {
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+    }
 
 
 def _package_version() -> str:
@@ -95,7 +139,18 @@ class SessionManifest:
     #: spans sidecar filename relative to the session directory, once
     #: persisted (``None``: no spans were recorded, or a pre-v3 session)
     spans_file: Optional[str] = None
+    #: provenance stamp (git SHA, hostname, cpu_count, python version);
+    #: {} on pre-v4 manifests — consumers show what is there
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    #: streaming sidecars (``events.jsonl`` / ``resource.jsonl``), when
+    #: the session streamed (``None`` otherwise or pre-v4)
+    events_file: Optional[str] = None
+    resource_file: Optional[str] = None
     format_version: int = SESSION_FORMAT_VERSION
+    #: loader-side marker: True when this manifest was *synthesized* for
+    #: a crashed/in-progress session (see :mod:`repro.obs.stream`);
+    #: never persisted — a written manifest implies a clean close
+    partial: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -105,6 +160,9 @@ class SessionManifest:
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
             "spans_file": self.spans_file,
+            "provenance": dict(self.provenance),
+            "events_file": self.events_file,
+            "resource_file": self.resource_file,
             "runs": [r.as_dict() for r in self.runs],
             "metrics": self.metrics,
         }
@@ -125,5 +183,8 @@ class SessionManifest:
             metrics=data.get("metrics", {}),
             workers=data.get("workers", 0),
             spans_file=data.get("spans_file"),
+            provenance=data.get("provenance", {}) or {},
+            events_file=data.get("events_file"),
+            resource_file=data.get("resource_file"),
             format_version=data.get("format_version", 2),
         )

@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import render_table
-from .manifest import MANIFEST_FILENAME, SessionManifest
 from .spans import Span, session_spans
 
 __all__ = ["SessionProfile", "profile_session", "render_profile"]
@@ -67,6 +66,12 @@ class SessionProfile:
     #: wall total of the root spans (the attributable time)
     attributed_seconds: float = 0.0
     events: Dict[str, int] = field(default_factory=dict)
+    #: True for a crashed/in-progress session: spans were reconstructed
+    #: from the event stream (completed prefix), not ``spans.jsonl``
+    partial: bool = False
+    #: rollup of ``resource.jsonl`` (see
+    #: :func:`repro.obs.resource.summarize_resources`); None without one
+    resources: Optional[Dict[str, Any]] = None
 
     @property
     def coverage(self) -> Optional[float]:
@@ -92,10 +97,39 @@ def profile_session(directory: pathlib.Path, top_k: int = 10) -> SessionProfile:
 
     A v2 session (no spans file) profiles to an empty span list — the
     caller decides whether that is an error (the CLI says so) or just
-    an absent section (the HTML report omits it).
+    an absent section (the HTML report omits it).  A *partial* session
+    (crashed or still running: no manifest yet) profiles the completed
+    prefix instead: spans reconstructed from the event stream, wall from
+    the synthesized manifest, marked ``partial``.
     """
+    from .resource import (
+        RESOURCE_FILENAME,
+        read_resource_jsonl,
+        summarize_resources,
+    )
+    from .stream import (
+        EVENTS_FILENAME,
+        load_session_manifest,
+        read_events_jsonl,
+        spans_from_events,
+    )
+
     directory = pathlib.Path(directory)
     spans = session_spans(directory)
+    partial = False
+    manifest = None
+    try:
+        manifest = load_session_manifest(directory)
+    except FileNotFoundError:
+        manifest = None
+    if manifest is not None and manifest.partial:
+        partial = True
+        if not spans and (directory / EVENTS_FILENAME).is_file():
+            spans = spans_from_events(read_events_jsonl(directory / EVENTS_FILENAME))
+    resources = None
+    resource_path = directory / RESOURCE_FILENAME
+    if resource_path.is_file():
+        resources = summarize_resources(read_resource_jsonl(resource_path))
     self_sec = _self_seconds(spans)
     by_kind: Dict[str, _Rollup] = {}
     by_protocol: Dict[str, _Rollup] = {}
@@ -127,10 +161,7 @@ def profile_session(directory: pathlib.Path, top_k: int = 10) -> SessionProfile:
         key=lambda sp: sp.wall_seconds,
         reverse=True,
     )[:top_k]
-    wall = None
-    manifest_path = directory / MANIFEST_FILENAME
-    if manifest_path.is_file():
-        wall = SessionManifest.load(manifest_path).wall_seconds
+    wall = manifest.wall_seconds if manifest is not None else None
     return SessionProfile(
         spans=spans,
         self_seconds=self_sec,
@@ -142,6 +173,8 @@ def profile_session(directory: pathlib.Path, top_k: int = 10) -> SessionProfile:
         session_wall_seconds=wall,
         attributed_seconds=attributed,
         events=events,
+        partial=partial,
+        resources=resources,
     )
 
 
@@ -189,12 +222,29 @@ def render_profile(profile: SessionProfile, top_k: int = 10) -> str:
             "events: "
             + ", ".join(f"{k}x{v}" for k, v in sorted(profile.events.items()))
         )
+    if profile.resources:
+        res = profile.resources
+        bits = [f"{res['samples']} samples over {res['duration_seconds']:.1f}s"]
+        if res.get("rss_peak_bytes") is not None:
+            bits.append(f"rss peak {res['rss_peak_bytes'] / 1048576:.1f} MiB")
+        if res.get("cpu_percent_mean") is not None:
+            bits.append(
+                f"cpu mean {res['cpu_percent_mean']:.0f}% "
+                f"max {res['cpu_percent_max']:.0f}%"
+            )
+        bits.append(f"gc collections {res.get('gc_collections', 0)}")
+        parts.append("resources: " + "  ".join(bits))
     coverage = profile.coverage
     if coverage is not None:
         parts.append(
             f"coverage: {profile.attributed_seconds:.4f}s of "
             f"{profile.session_wall_seconds:.4f}s session wall attributed "
             f"to spans ({coverage:.1%})"
+        )
+    if profile.partial:
+        parts.append(
+            "PARTIAL session (no clean close): profile covers the "
+            "completed prefix reconstructed from the event stream"
         )
     if not profile.spans:
         parts.append("no spans recorded (pre-v3 session, or nothing ran)")

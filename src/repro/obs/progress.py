@@ -38,6 +38,9 @@ __all__ = [
     "current_reporter",
     "progress_scope",
     "report_event",
+    "report_begin",
+    "report_advance",
+    "report_finish",
 ]
 
 
@@ -182,3 +185,63 @@ def report_event(kind: str, detail: str) -> None:
     reporter = current_reporter()
     if reporter is not None:
         reporter.event(kind, detail)
+
+
+# ----------------------------------------------------------------------
+# combined reporter + event-stream notification
+#
+# The execution layer calls these instead of poking the reporter
+# directly, so one call site feeds both live consumers: the installed
+# ProgressReporter (stderr ticker today, daemon tomorrow) and the
+# active session's event stream (repro.obs.stream), which is what
+# ``repro tail`` follows after the process is no longer ours to watch.
+# Depth is tracked here (outermost scope = 1) because the event stream,
+# unlike StderrTicker, records *every* scope and lets the consumer
+# choose a depth to render.
+
+_DEPTH = 0
+
+
+def _streaming_session():
+    from .runtime import current_session
+
+    session = current_session()
+    return session if session is not None and session.stream is not None else None
+
+
+def report_begin(total: int, unit: str = "tasks", label: Optional[str] = None) -> int:
+    """Open a progress scope everywhere; returns the scope's depth."""
+    global _DEPTH
+    _DEPTH += 1
+    reporter = current_reporter()
+    if reporter is not None:
+        reporter.begin(total, unit=unit, label=label)
+    session = _streaming_session()
+    if session is not None:
+        session.record_progress(
+            "begin", label or "", _DEPTH, total=int(total), unit=unit
+        )
+    return _DEPTH
+
+
+def report_advance(label: Optional[str] = None, status: str = "ok") -> None:
+    """One work item of the innermost open scope finished."""
+    reporter = current_reporter()
+    if reporter is not None:
+        reporter.advance(label=label, status=status)
+    session = _streaming_session()
+    if session is not None:
+        session.record_progress("advance", label or "", _DEPTH, status=status)
+
+
+def report_finish() -> None:
+    """Close the innermost open progress scope everywhere."""
+    global _DEPTH
+    reporter = current_reporter()
+    if reporter is not None:
+        reporter.finish()
+    session = _streaming_session()
+    if session is not None:
+        session.record_progress("finish", "", _DEPTH)
+    if _DEPTH > 0:
+        _DEPTH -= 1

@@ -11,8 +11,16 @@ artifact next to ``EXP-*.json`` and opened years later.  Sections:
 * hottest cells — the EXP-SUB optimization targets;
 * metrics snapshot — the session's counters/gauges/histograms;
 * runs — the per-run manifest table, backend included;
-* deltas — when a ``--baseline`` session is given, bench-diff-style
-  relative changes of shared counters and of the session wall.
+* resources — RSS/CPU/GC rollup when the session sampled
+  (:mod:`repro.obs.resource`);
+* deltas — when ``--baseline`` names a *session directory*,
+  bench-diff-style relative changes of shared counters and of the
+  session wall; when it names a *history file*
+  (``benchmarks/history.jsonl``), a sparkline trend table per
+  experiment metric instead (:mod:`repro.obs.history`).
+
+Partial sessions (crashed or still running — no ``manifest.json``)
+render too, marked PARTIAL, from the synthesized manifest.
 
 Everything user-controlled (labels, tag values, metric names) is
 HTML-escaped; the page renders identically from ``file://``.
@@ -155,18 +163,57 @@ def _delta_rows(
     return rows
 
 
+def _history_section(path: pathlib.Path) -> str:
+    """A sparkline trend table per experiment metric from a history file."""
+    from .history import analyze_history, read_history, sparkline
+
+    records = read_history(path)
+    trends, _ = analyze_history(records)
+    out = [f"<h2>Benchmark history: {_esc(path)}</h2>"]
+    if not trends:
+        out.append('<p class="muted">history file holds no records yet</p>')
+        return "".join(out)
+    rows = []
+    for t in trends:
+        rows.append([
+            t.exp_id,
+            t.metric,
+            len(t.values),
+            "-" if t.window_median is None else f"{t.window_median:.3f}",
+            "-" if t.latest is None else f"{t.latest:.3f}",
+            "-" if t.change is None else f"{t.change:+.0%}",
+            sparkline(t.values),
+            t.status,
+        ])
+    out.append(_table(
+        ["experiment", "metric", "n", "median", "latest", "delta",
+         "trend", "status"],
+        rows,
+        numeric_from=2,
+    ))
+    return "".join(out)
+
+
 def render_report(
     directory: pathlib.Path,
     baseline: Optional[pathlib.Path] = None,
     top_k: int = 10,
 ) -> str:
     """The full HTML page for one session directory."""
+    from .stream import load_session_manifest
+
     directory = pathlib.Path(directory)
-    manifest = SessionManifest.load(directory / MANIFEST_FILENAME)
+    manifest = load_session_manifest(directory)
     profile: SessionProfile = profile_session(directory, top_k=top_k)
 
     title = manifest.label or directory.name
     body: List[str] = [f"<h1>Session report: {_esc(title)}</h1>"]
+    if manifest.partial:
+        body.append(
+            '<p><strong>PARTIAL session</strong> — no clean close; this '
+            "report covers the completed prefix recovered from the event "
+            "stream and checkpoint.</p>"
+        )
 
     # provenance
     coverage = profile.coverage
@@ -181,6 +228,15 @@ def render_report(
         ("spans", len(profile.spans)),
         ("span coverage", "-" if coverage is None else f"{coverage:.1%}"),
     ]
+    stamp = manifest.provenance or {}
+    if stamp.get("git_sha"):
+        prov.append(("git", str(stamp["git_sha"])[:12]))
+    if stamp.get("hostname"):
+        prov.append(("host", stamp["hostname"]))
+    if stamp.get("cpu_count"):
+        prov.append(("cpus", stamp["cpu_count"]))
+    if stamp.get("python_version"):
+        prov.append(("python", stamp["python_version"]))
     body.append("<h2>Provenance</h2><dl class=\"kv\">")
     body.extend(f"<dt>{_esc(k)}:</dt><dd>{_esc(v)}</dd>" for k, v in prov)
     body.append("</dl>")
@@ -214,6 +270,27 @@ def render_report(
         body.append('<p class="muted">No spans recorded '
                     "(pre-v3 session, or nothing ran).</p>")
 
+    # resource timeline rollup
+    if profile.resources:
+        res = profile.resources
+        body.append("<h2>Resources</h2>")
+        body.append(_table(
+            ["", "value"],
+            [
+                ["samples", res["samples"]],
+                ["sampled over", f"{res['duration_seconds']:.1f}s"],
+                ["rss peak", "-" if res.get("rss_peak_bytes") is None
+                 else f"{res['rss_peak_bytes'] / 1048576:.1f} MiB"],
+                ["rss last", "-" if res.get("rss_last_bytes") is None
+                 else f"{res['rss_last_bytes'] / 1048576:.1f} MiB"],
+                ["cpu mean", "-" if res.get("cpu_percent_mean") is None
+                 else f"{res['cpu_percent_mean']:.0f}%"],
+                ["cpu max", "-" if res.get("cpu_percent_max") is None
+                 else f"{res['cpu_percent_max']:.0f}%"],
+                ["gc collections", res.get("gc_collections", 0)],
+            ],
+        ))
+
     # metrics snapshot
     if manifest.metrics:
         body.append("<h2>Metrics snapshot</h2>")
@@ -236,19 +313,24 @@ def render_report(
             numeric_from=4,
         ))
 
-    # baseline deltas
+    # baseline deltas: a session directory compares manifests; a history
+    # file renders the benchmark trend table instead
     if baseline is not None:
-        base_manifest = SessionManifest.load(
-            pathlib.Path(baseline) / MANIFEST_FILENAME
-        )
-        rows = _delta_rows(manifest, base_manifest)
-        body.append(
-            f"<h2>Deltas vs baseline: {_esc(base_manifest.label or baseline)}</h2>"
-        )
-        if rows:
-            body.append(_table(["metric", "baseline", "current", "delta"], rows))
+        baseline = pathlib.Path(baseline)
+        if baseline.is_file() and baseline.name != MANIFEST_FILENAME:
+            body.append(_history_section(baseline))
         else:
-            body.append('<p class="muted">no shared metrics to compare</p>')
+            base_manifest = SessionManifest.load(
+                pathlib.Path(baseline) / MANIFEST_FILENAME
+            )
+            rows = _delta_rows(manifest, base_manifest)
+            body.append(
+                f"<h2>Deltas vs baseline: {_esc(base_manifest.label or baseline)}</h2>"
+            )
+            if rows:
+                body.append(_table(["metric", "baseline", "current", "delta"], rows))
+            else:
+                body.append('<p class="muted">no shared metrics to compare</p>')
 
     return (
         "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"

@@ -27,6 +27,8 @@ execution model.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 import time
 from contextlib import contextmanager
@@ -36,9 +38,11 @@ from typing import Any, List, Optional
 from .export import write_ledger_jsonl, write_trace_jsonl
 from .instrumentation import Instrumentation
 from .ledger import ProofLedger
-from .manifest import RunManifest, SessionManifest
+from .manifest import RunManifest, SessionManifest, collect_provenance
 from .metrics import MetricsRegistry, NULL_REGISTRY
-from .spans import SPANS_FILENAME, SpanRecorder, write_spans_jsonl
+from .resource import RESOURCE_FILENAME, ResourceSampler, resolve_interval
+from .spans import SPANS_FILENAME, Span, SpanRecorder, write_spans_jsonl
+from .stream import EVENTS_FILENAME, EventStream, resolve_stream, write_checkpoint
 
 __all__ = [
     "ObservationSession",
@@ -99,6 +103,17 @@ class ObservationSession:
         into the shared registry (it is the null sink).
     label:
         Free-form tag (e.g. the experiment name) stored in the manifest.
+    stream:
+        Crash-safe streaming (see :mod:`repro.obs.stream`): append one
+        fsync'd event line per occurrence to ``events.jsonl``, plus
+        periodic atomic checkpoints, so a ``kill -9`` leaves a loadable
+        partial session.  ``None`` defers to ``REPRO_STREAM``; only
+        persisting, non-collect sessions ever stream (workers ship their
+        observations back instead — single writer per session dir).
+    resource_interval:
+        Seconds between background resource samples when streaming
+        (``None``: ``REPRO_RESOURCE_INTERVAL`` or 1.0; ``<= 0``
+        disables the sampler).
     """
 
     def __init__(
@@ -107,6 +122,8 @@ class ObservationSession:
         metrics: bool = True,
         label: Optional[str] = None,
         collect: bool = False,
+        stream: Optional[bool] = None,
+        resource_interval: Optional[float] = None,
     ):
         self.registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_REGISTRY
         self.trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
@@ -125,6 +142,101 @@ class ObservationSession:
         self._started_at = time.perf_counter()
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+        if not collect and self.trace_dir is not None:
+            self.manifest.provenance = collect_provenance()
+        #: the live event stream (None: not streaming); see module doc
+        self.stream: Optional[EventStream] = None
+        self._sampler: Optional[ResourceSampler] = None
+        self._faults_fh: Optional[Any] = None
+        #: min seconds between checkpoints (events still stream per line)
+        self.checkpoint_interval = 1.0
+        self._last_checkpoint = 0.0
+        self.streaming = (
+            not collect and self.trace_dir is not None and resolve_stream(stream)
+        )
+        if self.streaming:
+            self.stream = EventStream(
+                self.trace_dir / EVENTS_FILENAME,
+                label=label,
+                header_extra={"provenance": self.manifest.provenance},
+            )
+            self.spans.on_record = self._span_recorded
+            interval = resolve_interval(resource_interval)
+            if interval > 0:
+                self._sampler = ResourceSampler(
+                    self.trace_dir,
+                    registry=self.registry,
+                    interval=interval,
+                    emit=lambda **payload: self._emit("heartbeat", **payload),
+                    on_tick=self._maybe_checkpoint,
+                )
+                self._sampler.start()
+
+    # -- streaming ------------------------------------------------------
+    def _emit(self, type_: str, **payload: Any) -> None:
+        """One event line, when streaming; a no-op otherwise."""
+        if self.stream is not None:
+            self.stream.emit(type_, **payload)
+
+    def _span_recorded(self, sp: Span) -> None:
+        """``SpanRecorder.on_record`` hook: stream each finished span.
+
+        Synthesized ``run``/``phase`` spans are *not* re-emitted — each
+        run already streams one ``run-complete`` event carrying its
+        phase seconds, and :func:`repro.obs.stream.spans_from_events`
+        rebuilds the subtree from that (six extra fsync'd lines per run
+        would double the stream for zero information).
+        """
+        if sp.kind in ("run", "phase"):
+            return
+        if sp.kind == "cell":
+            type_ = "cell-complete"
+        elif sp.kind == "event" and sp.name in ("degraded-retry", "batch-fallback"):
+            type_ = sp.name
+        else:
+            type_ = "span-close"
+        self._emit(type_, span=sp.as_dict())
+
+    def _open_spans(self) -> List[Span]:
+        by_id = {sp.span_id: sp for sp in self.spans.spans}
+        return [by_id[sid] for sid in self.spans._stack if sid in by_id]
+
+    def checkpoint(self) -> None:
+        """Atomically snapshot aggregate state to ``checkpoint.json``.
+
+        The event stream is the per-occurrence record; the checkpoint is
+        what makes a crashed session's *aggregates* — metrics registry,
+        open-span stack, run count — recoverable to the last write
+        instead of to zero.
+        """
+        if self.stream is None or self.trace_dir is None:
+            return
+        write_checkpoint(
+            self.trace_dir,
+            {
+                "label": self.manifest.label,
+                "provenance": dict(self.manifest.provenance),
+                "workers": self.manifest.workers,
+                "wall_seconds": time.perf_counter() - self._started_at,
+                "runs": self._run_index,
+                "events_seq": self.stream.seq,
+                "metrics": self.registry.snapshot(),
+                "open_spans": [sp.as_dict() for sp in self._open_spans()],
+            },
+        )
+        self._last_checkpoint = time.perf_counter()
+
+    def _maybe_checkpoint(self) -> None:
+        """Checkpoint, rate-limited to :attr:`checkpoint_interval`."""
+        if self.stream is None:
+            return
+        if time.perf_counter() - self._last_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def record_progress(self, phase: str, label: str, depth: int, **extra: Any) -> None:
+        """Stream one progress event (begin/advance/finish); see
+        :func:`repro.obs.progress.report_begin` and friends."""
+        self._emit("progress", phase=phase, label=label, depth=depth, **extra)
 
     # -- engine integration --------------------------------------------
     def instrument(self, engine: Any = None) -> Instrumentation:
@@ -176,6 +288,13 @@ class ObservationSession:
             )
             run_manifest.trace_file = name
         self.manifest.runs.append(run_manifest)
+        self._emit(
+            "run-complete",
+            run=run_manifest.as_dict(),
+            phase_seconds=dict(getattr(instr, "phase_seconds", {}) or {}),
+            protocol=self._engine_protocol(engine),
+        )
+        self._maybe_checkpoint()
 
     # -- reduction (proof-ledger) integration --------------------------
     def reduction_ledger(self) -> ProofLedger:
@@ -229,17 +348,34 @@ class ObservationSession:
             )
             run_manifest.trace_file = name
         self.manifest.runs.append(run_manifest)
+        self._emit("run-complete", run=run_manifest.as_dict(), phase_seconds={})
+        self._maybe_checkpoint()
 
     # -- fault-injection integration ------------------------------------
     def record_fault(self, event: dict) -> None:
         """Record one applied fault injection (see :mod:`repro.faults`).
 
         Events are JSON-ready dicts from
-        :class:`~repro.faults.injectors.FaultRecorder`; at :meth:`close`
-        they persist as ``faults.jsonl`` alongside the run manifest, so
-        an audited session names exactly what was injected into it.
+        :class:`~repro.faults.injectors.FaultRecorder`.  Persisting
+        sessions append each event to ``faults.jsonl`` *immediately*
+        (and, when streaming, fsync it and mirror it into the event
+        stream) — a crash caused by an injected fault must itself be
+        observable post-mortem, so buffering to :meth:`close` is wrong.
         """
-        self.faults.append(dict(event))
+        event = dict(event)
+        self.faults.append(event)
+        if self.trace_dir is not None and not self.collect:
+            if self._faults_fh is None:
+                # "w": a reused directory starts a fresh fault log, the
+                # same truncate-then-append contract close() used to have
+                self._faults_fh = (self.trace_dir / "faults.jsonl").open(
+                    "w", encoding="utf-8"
+                )
+            self._faults_fh.write(json.dumps(event, sort_keys=True) + "\n")
+            self._faults_fh.flush()
+            if self.streaming:
+                os.fsync(self._faults_fh.fileno())
+        self._emit("fault", fault=event)
 
     # -- parallel-worker integration ------------------------------------
     def export_worker_observations(self) -> WorkerObservations:
@@ -269,7 +405,10 @@ class ObservationSession:
         run would have left them.
         """
         self.registry.merge(observations.registry)
-        self.faults.extend(getattr(observations, "faults", ()) or ())
+        for fault in getattr(observations, "faults", ()) or ():
+            # routed through record_fault: grafted faults stream/persist
+            # exactly like locally recorded ones
+            self.record_fault(fault)
         self.spans.ingest(getattr(observations, "spans", ()) or [])
         if workers > self.manifest.workers:
             self.manifest.workers = workers
@@ -295,6 +434,15 @@ class ObservationSession:
                     )
                 run_manifest.trace_file = name
             self.manifest.runs.append(run_manifest)
+            self._emit(
+                "run-complete",
+                run=run_manifest.as_dict(),
+                phase_seconds=dict(
+                    (captured.run_metrics or {}).get("phase_seconds", {}) or {}
+                ),
+            )
+        if observations.runs:
+            self._maybe_checkpoint()
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -302,13 +450,26 @@ class ObservationSession:
         return self._run_index
 
     def close(self) -> Optional[pathlib.Path]:
-        """Finalize: snapshot metrics, write ``manifest.json`` if persisting."""
+        """Finalize: snapshot metrics, write ``manifest.json`` if persisting.
+
+        Streaming order matters: the sampler stops (its last gauges land
+        in the snapshot), the stream's ``session-close`` marker is the
+        final event, and ``manifest.json`` is written last — its
+        existence is the clean-close signal partial-session loading
+        keys on.
+        """
+        if self._sampler is not None:
+            self._sampler.stop()
         self.manifest.wall_seconds = time.perf_counter() - self._started_at
         self.manifest.metrics = self.registry.snapshot()
+        if self._faults_fh is not None:
+            self._faults_fh.close()
+            self._faults_fh = None
         if self.trace_dir is not None:
-            if self.faults:
-                import json
-
+            if self.faults and not (self.trace_dir / "faults.jsonl").is_file():
+                # collect-less sessions write incrementally above; this
+                # covers faults ingested before trace_dir semantics ever
+                # opened the file (defensive — record_fault handles both)
                 with (self.trace_dir / "faults.jsonl").open("w") as fh:
                     for event in self.faults:
                         fh.write(json.dumps(event, sort_keys=True) + "\n")
@@ -319,6 +480,14 @@ class ObservationSession:
                     label=self.manifest.label,
                 )
                 self.manifest.spans_file = SPANS_FILENAME
+            if self.stream is not None:
+                self.manifest.events_file = EVENTS_FILENAME
+                if self._sampler is not None:
+                    self.manifest.resource_file = RESOURCE_FILENAME
+                self.stream.close(
+                    runs=self._run_index,
+                    wall_seconds=self.manifest.wall_seconds,
+                )
             return self.manifest.write(self.trace_dir)
         return None
 
@@ -339,9 +508,17 @@ def observe(
     trace_dir: Optional[pathlib.Path] = None,
     metrics: bool = True,
     label: Optional[str] = None,
+    stream: Optional[bool] = None,
+    resource_interval: Optional[float] = None,
 ):
     """Activate an :class:`ObservationSession` for the ``with`` scope."""
-    session = ObservationSession(trace_dir=trace_dir, metrics=metrics, label=label)
+    session = ObservationSession(
+        trace_dir=trace_dir,
+        metrics=metrics,
+        label=label,
+        stream=stream,
+        resource_interval=resource_interval,
+    )
     _SESSIONS.append(session)
     try:
         yield session

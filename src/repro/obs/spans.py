@@ -128,6 +128,11 @@ class SpanRecorder:
         self.spans: List[Span] = []
         self._stack: List[int] = []
         self._next_id = 1
+        #: called with each span the moment it is *finished* — on
+        #: :meth:`end`, :meth:`add`, and per grafted span in
+        #: :meth:`ingest`.  The streaming session (:mod:`repro.obs.stream`)
+        #: hooks this to append span-close events; None costs one check.
+        self.on_record: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -157,6 +162,8 @@ class SpanRecorder:
         sp.cpu_seconds = cpu_seconds
         if self._stack and self._stack[-1] == sp.span_id:
             self._stack.pop()
+        if self.on_record is not None:
+            self.on_record(sp)
 
     def add(
         self,
@@ -181,6 +188,8 @@ class SpanRecorder:
         )
         self._next_id += 1
         self.spans.append(sp)
+        if self.on_record is not None:
+            self.on_record(sp)
         return sp
 
     def record_run(self, manifest: Any, instr: Any, protocol: Optional[str] = None) -> Span:
@@ -246,6 +255,8 @@ class SpanRecorder:
             else:
                 sp.parent_id = remap.get(sp.parent_id, graft_parent)
             self.spans.append(sp)
+            if self.on_record is not None:
+                self.on_record(sp)
 
 
 # ----------------------------------------------------------------------

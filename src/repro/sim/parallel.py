@@ -147,6 +147,7 @@ def _worker_init() -> None:
     # Likewise inherited progress reporters: the parent is the single
     # writer of progress output; workers stay silent.
     progress._REPORTERS.clear()
+    progress._DEPTH = 0
 
 
 def _guarded_call(
@@ -263,7 +264,7 @@ class ParallelExecutor:
         or off; by default it is on exactly when an ambient observation
         session is active in the parent.
         """
-        from ..obs.progress import current_reporter
+        from ..obs.progress import report_advance
 
         tasks = [tuple(t) for t in tasks]
         if labels is None:
@@ -271,12 +272,10 @@ class ParallelExecutor:
         if len(labels) != len(tasks):
             raise ConfigurationError("labels must match tasks one to one")
         if self.workers == 0:
-            reporter = current_reporter()
             results_inline: List[Any] = []
             for args, label in zip(tasks, labels):
                 results_inline.append(fn(*args))
-                if reporter is not None:
-                    reporter.advance(label=label)
+                report_advance(label=label)
             return results_inline
 
         from concurrent.futures import ProcessPoolExecutor
@@ -284,7 +283,6 @@ class ParallelExecutor:
         from ..obs.runtime import current_session
 
         session = current_session()
-        reporter = current_reporter()
         if capture is None:
             capture = session is not None
         if self.retries == 0 and self.task_timeout is None:
@@ -316,8 +314,7 @@ class ParallelExecutor:
                             observations, workers=self.workers
                         )
                     results.append(payload)
-                    if reporter is not None:
-                        reporter.advance(label=label)
+                    report_advance(label=label)
             return results
         return self._map_degraded(fn, tasks, labels, capture, session)
 
@@ -394,9 +391,8 @@ class ParallelExecutor:
             pending = sorted(requeue)
         if first_error is not None:
             first_error.reraise()
-        from ..obs.progress import current_reporter
+        from ..obs.progress import report_advance
 
-        reporter = current_reporter()
         for i in range(n):
             if capture and session is not None:
                 observations = observations_by_index.get(i)
@@ -404,8 +400,7 @@ class ParallelExecutor:
                     session.ingest_worker_observations(
                         observations, workers=self.workers
                     )
-            if reporter is not None:
-                reporter.advance(label=labels[i])
+            report_advance(label=labels[i])
         return results
 
     def _degrade(self, kind: str, index: int, label: str, attempts: List[int],

@@ -378,16 +378,14 @@ def _replicate_impl(
     n_workers: int,
 ) -> ReplicationSummary:
     """The execution paths of :func:`replicate`, under its span/progress."""
-    from ..obs.progress import current_reporter
+    from ..obs.progress import report_advance, report_begin, report_finish
     from .parallel import ParallelExecutor
 
     max_rounds = cfg.max_rounds
     registry = cfg.registry
-    reporter = current_reporter()
     if n_workers > 0 and backend == "batch":
         chunks = _chunk_seeds(seeds, n_workers)
-        if reporter is not None:
-            reporter.begin(len(chunks), unit="chunks", label="replicate")
+        report_begin(len(chunks), unit="chunks", label="replicate")
         try:
             results = ParallelExecutor(n_workers).map(
                 _replicate_batch_task,
@@ -406,8 +404,7 @@ def _replicate_impl(
                 labels=[f"seeds={chunk[0]}..{chunk[-1]}" for chunk in chunks],
             )
         finally:
-            if reporter is not None:
-                reporter.finish()
+            report_finish()
         runs: List[ProtocolRun] = []
         for chunk_runs, worker_registry in results:
             if registry is not None and worker_registry is not None:
@@ -415,8 +412,7 @@ def _replicate_impl(
             runs.extend(chunk_runs)
         return ReplicationSummary(runs=runs)
     if n_workers > 0:
-        if reporter is not None:
-            reporter.begin(len(seeds), unit="runs", label="replicate")
+        report_begin(len(seeds), unit="runs", label="replicate")
         try:
             results = ParallelExecutor(n_workers).map(
                 _replicate_task,
@@ -435,8 +431,7 @@ def _replicate_impl(
                 labels=[f"seed={seed}" for seed in seeds],
             )
         finally:
-            if reporter is not None:
-                reporter.finish()
+            report_finish()
         runs = []
         for run, worker_registry in results:
             if registry is not None and worker_registry is not None:
@@ -461,8 +456,7 @@ def _replicate_impl(
                 registry=registry,
             )
         )
-    if reporter is not None:
-        reporter.begin(len(seeds), unit="runs", label="replicate")
+    report_begin(len(seeds), unit="runs", label="replicate")
     try:
         runs = []
         for seed in seeds:
@@ -481,9 +475,7 @@ def _replicate_impl(
                     ),
                 )
             )
-            if reporter is not None:
-                reporter.advance(label=f"seed={seed}")
+            report_advance(label=f"seed={seed}")
     finally:
-        if reporter is not None:
-            reporter.finish()
+        report_finish()
     return ReplicationSummary(runs=runs)

@@ -35,7 +35,10 @@ class TestObserveSession:
         assert eng.instrumentation is None
 
     def test_session_captures_every_engine_run(self, tmp_path):
-        with observe(trace_dir=tmp_path, label="cell") as session:
+        # stream=False: the exact-listing assertion below documents the
+        # baseline session layout (streaming adds sidecars, tested in
+        # test_stream.py)
+        with observe(trace_dir=tmp_path, label="cell", stream=False) as session:
             assert current_session() is session
             run_gossip(rounds=10, seed=1)
             run_gossip(rounds=10, seed=2)

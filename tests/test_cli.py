@@ -221,3 +221,121 @@ class TestCliEdgeCases:
         assert main(["bench-diff", str(old), str(new)]) == 1
         out = capsys.readouterr().out
         assert "only-old" in out and "only-new" in out
+
+
+class TestCliStreaming:
+    """PR 7 surface: --stream, tail, and bench-history."""
+
+    def test_stream_requires_trace_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["thm6", "--quick", "--stream"])
+        assert "--stream requires --trace-out" in capsys.readouterr().err
+
+    def test_stream_writes_events_and_links_manifest(self, tmp_path, capsys):
+        out_dir = tmp_path / "sess"
+        assert main(["thm6", "--quick", "--trace-out", str(out_dir),
+                     "--stream", "--no-progress"]) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in (out_dir / "events.jsonl").read_text().splitlines()
+        ]
+        types = [e["type"] for e in events]
+        assert types[0] == "stream-start" and types[-1] == "session-close"
+        assert "run-complete" in types
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["events_file"] == "events.jsonl"
+        assert manifest["provenance"]["hostname"]
+
+    def test_no_stream_overrides_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM", "1")
+        out_dir = tmp_path / "sess"
+        assert main(["fig1", "--trace-out", str(out_dir), "--no-stream"]) == 0
+        capsys.readouterr()
+        assert not (out_dir / "events.jsonl").exists()
+
+    def test_inspect_shows_provenance(self, tmp_path, capsys):
+        out_dir = tmp_path / "sess"
+        assert main(["thm6", "--quick", "--trace-out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "provenance:" in out and "host=" in out
+
+    def test_tail_closed_session(self, tmp_path, capsys):
+        out_dir = tmp_path / "sess"
+        assert main(["thm6", "--quick", "--trace-out", str(out_dir),
+                     "--stream", "--no-progress"]) == 0
+        capsys.readouterr()
+        assert main(["tail", str(out_dir), "--no-follow"]) == 0
+        out = capsys.readouterr().out
+        assert "closed cleanly" in out
+
+    def test_tail_unstreamed_directory_exits_two(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path), "--no-follow"]) == 2
+        assert "REPRO_STREAM" in capsys.readouterr().err
+
+    def test_tail_without_path_errors(self, capsys):
+        assert main(["tail"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_window_rejected_off_bench_history(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["thm6", "--window", "3"])
+        assert "--window" in capsys.readouterr().err
+
+
+def _history_line(wall, t):
+    return json.dumps({
+        "exp_id": "EXP-X", "unix_time": t, "provenance": {},
+        "backend": "reference", "timings": {"wall_seconds": wall},
+        "summary": {"n": 4},
+    })
+
+
+class TestCliBenchHistory:
+    def test_steady_history_exits_zero(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        hist.write_text("\n".join(_history_line(1.0, t) for t in range(5)) + "\n")
+        assert main(["bench-history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-X" in out and "ok" in out
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        lines = [_history_line(1.0, t) for t in range(3)]
+        lines.append(_history_line(2.0, 3))  # synthetic 2x slow-down
+        hist.write_text("\n".join(lines) + "\n")
+        assert main(["bench-history", str(hist)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+
+    def test_threshold_tolerates_regression(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        lines = [_history_line(1.0, t) for t in range(3)]
+        lines.append(_history_line(2.0, 3))
+        hist.write_text("\n".join(lines) + "\n")
+        assert main(["bench-history", str(hist), "--threshold", "1.5"]) == 0
+
+    def test_empty_history_exits_two(self, tmp_path, capsys):
+        hist = tmp_path / "history.jsonl"
+        hist.write_text("")
+        assert main(["bench-history", str(hist)]) == 2
+        assert "no benchmark records" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["bench-history", str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+
+    def test_report_baseline_accepts_history_file(self, tmp_path, capsys):
+        out_dir = tmp_path / "sess"
+        assert main(["thm6", "--quick", "--trace-out", str(out_dir)]) == 0
+        capsys.readouterr()
+        hist = tmp_path / "history.jsonl"
+        hist.write_text("\n".join(_history_line(1.0, t) for t in range(5)) + "\n")
+        html = tmp_path / "report.html"
+        assert main(["report", str(out_dir), "--out", str(html),
+                     "--baseline", str(hist)]) == 0
+        capsys.readouterr()
+        text = html.read_text()
+        assert "EXP-X" in text and "trend" in text.lower()
