@@ -32,4 +32,4 @@ def test_fault_injection_matrix(benchmark, exp_output, tmp_path):
     assert result.summary["detection_rate"] == 1.0
     assert result.summary["one_to_one"] is True
     assert result.summary["applicability_covered"] is True
-    assert result.summary["cells"] == result.summary["detected"] == 13
+    assert result.summary["cells"] == result.summary["detected"] == 14

@@ -6,19 +6,21 @@ vectorized causality pass) are caught.  The numbers also calibrate how
 large an N the experiment suite can afford.
 
 EXP-SUB compares the reference engine against the vectorized batch
-backend on a spread of (protocol × oblivious adversary) cells.  Per
-cell it runs the identical seed set on both backends, asserts the runs
-are bit-identical (trace fingerprints), and records wall times and the
-speedup into ``benchmarks/out/EXP-SUB.json`` — the baseline ``repro
-bench-diff`` tracks.  Correctness (identical fingerprints) is asserted;
-the speedup magnitudes are recorded, since they are a property of the
-host as much as of the code.
+backend on a spread of (protocol × adversary) cells — oblivious
+families on the replay tape and adaptive families on the incremental
+tape.  Per cell it runs the identical seed set on both backends,
+asserts the runs are bit-identical (trace fingerprints), and records
+wall times and the speedup into ``benchmarks/out/EXP-SUB.json`` — the
+baseline ``repro bench-diff`` tracks.  Correctness (identical
+fingerprints) is asserted; the speedup magnitudes are recorded, since
+they are a property of the host as much as of the code.
 """
 
 import time
 
 from repro.analysis.experiments.base import ExperimentResult
 from repro.faults.check import trace_fingerprint
+from repro.network.adaptive import AdaptiveBlockingAdversary
 from repro.network.adversaries import (
     RandomConnectedAdversary,
     RotatingStarAdversary,
@@ -84,13 +86,40 @@ _SUB_SEEDS = tuple(range(1, 11))
 _SUB_REPS = 2  # best-of, to damp scheduler noise
 
 
+def _informed_probe(node):
+    return bool(getattr(node, "informed", False))
+
+
+def _best_is_255(node):
+    return getattr(node, "best", None) == 255
+
+
+class FreshBlocking:
+    """Zero-arg factory: a *fresh* blocking adversary per call.
+
+    Adaptive adversaries are stateful (``transfer_rounds``), so each
+    replica must get its own instance — ``Constant`` would share one.
+    Module-level (picklable) so the cells survive a process pool.
+    """
+
+    def __init__(self, ids, probe):
+        self.ids = list(ids)
+        self.probe = probe
+
+    def __call__(self):
+        return AdaptiveBlockingAdversary(self.ids, probe=self.probe)
+
+
 def _sub_cells():
     """(label, make_nodes, make_adversary, max_rounds) comparison cells.
 
-    The spread covers cheap and expensive adversaries and terminating
-    and budget-bound protocols; the T-interval flood cells are where the
-    tape pays most (the reference engine re-runs an RNG-backed edge
-    generator every round, the tape once per epoch).
+    The spread covers cheap and expensive adversaries, terminating and
+    budget-bound protocols, and both tape modes: the T-interval flood
+    cells are where the replay tape pays most (the reference engine
+    re-runs an RNG-backed edge generator every round, the tape once per
+    epoch), and the adaptive-blocking cells exercise the incremental
+    tape (the adversary's decision is interposed between vectorized
+    stages, so coins/delivery/bit accounting still batch).
     """
     def flood(ids):
         return NodeSet(ids, BoundNode(TokenFloodNode, source=ids[0]))
@@ -112,6 +141,10 @@ def _sub_cells():
          Constant(TIntervalAdversary(n256, seed=9, interval=32)), 200),
         ("gossip/t-interval N=128 T=16 R=150", gossip(n128),
          Constant(TIntervalAdversary(n128, seed=9, interval=16)), 150),
+        ("gossip/adaptive-blocking N=256 R=150", gossip(n256),
+         FreshBlocking(n256, _best_is_255), 150),
+        ("flood/adaptive-blocking N=128 R=200", flood(n128),
+         FreshBlocking(n128, _informed_probe), 200),
     ]
 
 

@@ -485,17 +485,23 @@ def run_reference_execution(
     Uses the same coin source construction as the party simulators, so
     per-(node, round) coins match bit for bit.  ``network`` overrides the
     composed network (used by the ablation studies to plug in a
-    deliberately broken construction).
+    deliberately broken construction).  Construction goes through
+    ``build_engine``, so ``REPRO_BACKEND=batch`` exercises the adaptive
+    reference adversary on the batch backend (bit-identical either way).
     """
+    from ..sim.batch import build_engine
+    from ..sim.config import resolve_backend
+
     if network is not None:
         net = network
     else:
         net = theorem6_network(instance) if mapping == "T6" else theorem7_network(instance)
     spies = {uid: NodeSpy(oracle_factory(uid)) for uid in net.node_ids}
-    engine = SynchronousEngine(
+    engine = build_engine(
         dict(spies),
         net.reference_adversary(),
         CoinSource(seed),
+        backend=resolve_backend(None),
     )
     T = rounds if rounds is not None else net.horizon
     engine.run(T, stop_on_termination=stop_on_termination)

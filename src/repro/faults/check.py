@@ -52,8 +52,9 @@ from ..errors import (
     ReproError,
     SimulationDiverged,
 )
-from ..network.adversaries import RandomConnectedAdversary
-from ..protocols.flooding import GossipMaxNode
+from ..network.adversaries import Adversary, RandomConnectedAdversary
+from ..network.generators import line_edges
+from ..protocols.flooding import GossipMaxNode, TokenFloodNode
 from ..sim.actions import Receive, Send
 from ..sim.coins import CoinSource
 from ..sim.engine import SynchronousEngine
@@ -349,6 +350,76 @@ def _cell_adversary_perturb(work_dir: pathlib.Path) -> DetectionRecord:
     return DetectionRecord("adversary-perturb", "reduction", expect, 0, False, last_detail)
 
 
+class _AdaptiveRotatingAdversary(Adversary):
+    """Adaptive *and* round-dependent, so a schedule shift is visible.
+
+    Each round is a line over a rotation of the node ids; the rotation
+    offset mixes the round number with the current informed count (read
+    from the view, hence adaptive — the batch engine must take the
+    incremental-tape path).  Because the offset depends on the round, a
+    one-round schedule shift changes the edge set immediately.
+    """
+
+    def edges(self, round_: int, view: Any) -> List[Tuple[int, int]]:
+        ids = self.node_ids
+        n = len(ids)
+        informed = sum(1 for u in ids if view.nodes[u].output() is not None)
+        shift = (round_ + informed) % n
+        return line_edges([ids[(i + shift) % n] for i in range(n)])
+
+
+def _run_adaptive_batch(
+    plan: Optional[FaultPlan],
+    recorder: FaultRecorder,
+    rounds: int = _ENGINE_ROUNDS,
+) -> Tuple[ExecutionTrace, str]:
+    """One seeded adaptive flood run on the batch backend; (trace, backend)."""
+    from ..sim.batch import build_engine
+
+    nodes: dict = {u: TokenFloodNode(u, source=0) for u in range(_ENGINE_N)}
+    adversary: Any = _AdaptiveRotatingAdversary(range(_ENGINE_N))
+    coins = CoinSource(_ENGINE_SEED)
+    nodes, adversary, coins = wire_engine_faults(nodes, adversary, coins, plan, recorder)
+    engine = build_engine(nodes, adversary, coins, backend="batch")
+    return engine.run(rounds), engine.backend
+
+
+def _cell_adversary_perturb_batch() -> DetectionRecord:
+    """Schedule perturbation on the adaptive *batch* path.
+
+    The same trace-fingerprint comparator that guards the reference
+    engine must also catch a shifted adaptive schedule when the run
+    executes on the batch backend's incremental tape.
+    """
+    expect = APPLICABILITY["adversary-perturb"]["adversary"]
+    clean, clean_backend = _run_adaptive_batch(None, FaultRecorder())
+    if clean_backend != "batch":
+        return DetectionRecord(
+            "adversary-perturb", "adversary", expect, 0, False,
+            f"adaptive cell did not dispatch to the batch backend "
+            f"(got {clean_backend!r})",
+        )
+    last_detail = "schedule shift never diverged the batch trace"
+    for start in range(2, _ENGINE_ROUNDS - 5):
+        spec = FaultSpec("adversary-perturb", "adversary", round=start)
+        recorder = FaultRecorder()
+        faulted, faulted_backend = _run_adaptive_batch(
+            FaultPlan.single(_ENGINE_SEED, spec), recorder
+        )
+        if not recorder.events:
+            continue
+        div = first_trace_divergence(clean, faulted)
+        if div is not None:
+            return DetectionRecord(
+                "adversary-perturb", "adversary", expect, len(recorder.events), True,
+                f"shift from round {start} on backend={faulted_backend}; "
+                f"traces diverge at round {div} "
+                f"({trace_fingerprint(clean)[:12]} vs {trace_fingerprint(faulted)[:12]})",
+            )
+        last_detail = f"shift from round {start} applied but traces stayed identical"
+    return DetectionRecord("adversary-perturb", "adversary", expect, 0, False, last_detail)
+
+
 def _cell_reference_divergence(fault: str) -> DetectionRecord:
     """Frame/coin faults on one party vs the Lemma-5 comparator."""
     inst = random_instance(3, 9, seed=2)
@@ -485,6 +556,8 @@ def run_detection_matrix(work_dir: Optional[pathlib.Path] = None) -> List[Detect
         "coin-tamper",
         lambda uid, r: FaultSpec("coin-tamper", "engine", round=r, target=uid),
     ))
+    # adversary: trace divergence on the adaptive batch path
+    records.append(_cell_adversary_perturb_batch())
     # reduction
     records.append(_cell_adversary_perturb(work_dir))
     records.append(_cell_reference_divergence("message-drop"))

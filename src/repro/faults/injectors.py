@@ -172,18 +172,47 @@ class FaultyAdversary:
       isolating it (the engine's connectivity validation must fire).
     * ``foreign-edge`` — add an edge to a ghost node outside the node
       set (the engine's edge-membership validation must fire).
+    * ``adversary-perturb`` — from the planned round on, play the
+      *previous* round's schedule (the chooser's decisions lag one round
+      behind); the trace-fingerprint comparison against the clean run
+      must detect the divergence.
     """
 
     def __init__(self, inner: Any, specs: Iterable[FaultSpec], recorder: FaultRecorder):
         self.inner = inner
         self.specs = list(specs)
         self.recorder = recorder
+        self._perturb_recorded: set = set()
 
     def __getattr__(self, name: str) -> Any:
         # Delegate node_ids / num_nodes / schedule etc. to the real one.
         return getattr(self.inner, name)
 
+    def schedule_key(self, round_: int) -> Any:
+        # A shifted schedule breaks the inner family's "equal keys imply
+        # equal topologies" promise, so never advertise keys when an
+        # adversary-perturb spec is planned (content interning on the
+        # batch tape stays correct either way).
+        if any(spec.fault == "adversary-perturb" for spec in self.specs):
+            return None
+        return self.inner.schedule_key(round_)
+
     def edges(self, round_: int, view: Any) -> List[Tuple[int, int]]:
+        for spec in self.specs:
+            if spec.fault == "adversary-perturb" and round_ >= spec.round:
+                # Held-back schedule: replay the previous round's
+                # decision (round 1 perturbs to itself — perturbation
+                # plans start at round >= 2 to guarantee divergence).
+                edges = list(self.inner.edges(max(1, round_ - 1), view))
+                if id(spec) not in self._perturb_recorded:
+                    self._perturb_recorded.add(id(spec))
+                    self.recorder.record(
+                        spec, "adversary",
+                        f"shifted the schedule one round back from round "
+                        f"{spec.round} on (round {round_} plays round "
+                        f"{max(1, round_ - 1)}'s topology)",
+                    )
+                return edges
         edges = list(self.inner.edges(round_, view))
         for spec in self.specs:
             if spec.round != round_:

@@ -27,6 +27,7 @@ over-budget       engine      BandwidthExceeded
 invalid-action    engine      InvalidAction
 disconnect        adversary   DisconnectedTopology
 foreign-edge      adversary   ModelViolation
+adversary-perturb adversary   trace-divergence
 adversary-perturb reduction   SimulationDiverged (+ audit finding)
 coin-tamper       engine      trace-divergence
 coin-tamper       reduction   reference-divergence
@@ -96,7 +97,10 @@ APPLICABILITY: Dict[str, Dict[str, str]] = {
     "invalid-action": {"engine": "InvalidAction"},
     "disconnect": {"adversary": "DisconnectedTopology"},
     "foreign-edge": {"adversary": "ModelViolation"},
-    "adversary-perturb": {"reduction": "SimulationDiverged"},
+    "adversary-perturb": {
+        "adversary": "trace-divergence",
+        "reduction": "SimulationDiverged",
+    },
     "coin-tamper": {"engine": "trace-divergence", "reduction": "reference-divergence"},
     "worker-crash": {"worker": "degraded-retry"},
     "worker-hang": {"worker": "degraded-retry"},

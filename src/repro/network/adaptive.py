@@ -23,6 +23,11 @@ makes executable:
 This is why the known-D CFLOOD protocol pushes deterministically, and
 why randomized-gossip round bounds (O(D log N) w.h.p.) are stated
 against oblivious schedules.
+
+Adaptive families run on the batch backend like any other adversary:
+the engine commits each round's decision to an incremental
+:class:`~repro.sim.batch.ScheduleTape` between its vectorized stages
+(see ``docs/PERFORMANCE.md``), bit-identical to the reference engine.
 """
 
 from __future__ import annotations

@@ -94,8 +94,19 @@ class Adversary(ABC):
     #: True iff :meth:`edges` never reads the view — the schedule is a
     #: pure function of the round number, so it can be materialized into
     #: a :class:`~repro.sim.batch.ScheduleTape` and replayed by the batch
-    #: backend.  Conservative default: adaptive unless a family opts in.
+    #: backend.  Adaptive families (the default) still run on the batch
+    #: backend, via an incremental tape that grows as each round's
+    #: topology is committed.  Conservative default: adaptive unless a
+    #: family opts in.
     oblivious: bool = False
+
+    #: True iff the adversary adds or removes nodes mid-run.  The batch
+    #: backend binds one fixed node set per tape (uid index, coin folds,
+    #: adjacency matrices), so dynamic-node families are the one case
+    #: that still falls back to the reference engine
+    #: (:func:`~repro.sim.batch.batch_fallback_reason`).  No current
+    #: family sets this; it is the opt-out hook for churn adversaries.
+    dynamic_nodes: bool = False
 
     def __init__(self, node_ids: Iterable[int]):
         self.node_ids: Tuple[int, ...] = tuple(sorted(set(node_ids)))
@@ -128,12 +139,14 @@ class Adversary(ABC):
         return DynamicSchedule(tops)
 
     def export_tape(self):
-        """Export this adversary's schedule as a lazy ScheduleTape.
+        """Export this adversary's schedule as a lazy replay ScheduleTape.
 
         Only meaningful for oblivious families (the tape replays
-        ``edges(r, None)``); adaptive adversaries raise so callers fall
-        back to the reference engine instead of silently replaying a
-        schedule that would have depended on the view.
+        ``edges(r, None)``); adaptive adversaries raise rather than
+        silently replaying a schedule that would have depended on the
+        view — the batch engine runs them on an *incremental* tape
+        (``ScheduleTape(adv, incremental=True)``) instead, committing
+        each round's topology as the adversary decides it.
         """
         from ..sim.batch import ScheduleTape
 

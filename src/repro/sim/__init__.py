@@ -20,14 +20,22 @@ algebra, the :class:`~repro.sim.config.RunConfig` facade, and the
 :mod:`~repro.sim.runner` convenience helpers.  Two interchangeable
 execution backends implement the model: the reference engine and the
 vectorized :class:`~repro.sim.batch.BatchEngine` (bit-identical on
-oblivious adversaries; see ``docs/PERFORMANCE.md``).
+oblivious *and* adaptive adversaries; see ``docs/PERFORMANCE.md``).
+Both engines execute each round as the same staged protocol
+(``ROUND_STAGES``), steppable stage-by-stage via ``step_stages()``.
 """
 
 from .actions import Action, Receive, Send
-from .batch import BatchEngine, ScheduleTape, batch_fallback_reason, build_engine
+from .batch import (
+    BatchEngine,
+    ScheduleTape,
+    batch_fallback_reason,
+    build_engine,
+    fallback_log_scope,
+)
 from .coins import Coins, CoinSource
 from .config import BACKEND_ENV, BACKENDS, RunConfig, resolve_backend
-from .engine import SynchronousEngine
+from .engine import ROUND_STAGES, StageEvent, SynchronousEngine
 from .factories import BoundNode, Constant, NodeSet
 from .messages import congest_budget
 from .node import ProtocolNode
@@ -42,10 +50,13 @@ __all__ = [
     "Coins",
     "CoinSource",
     "SynchronousEngine",
+    "ROUND_STAGES",
+    "StageEvent",
     "BatchEngine",
     "ScheduleTape",
     "batch_fallback_reason",
     "build_engine",
+    "fallback_log_scope",
     "RunConfig",
     "BACKENDS",
     "BACKEND_ENV",

@@ -17,36 +17,54 @@ This module removes the redundancy without touching semantics:
   once.  Families advertise repetition through
   :meth:`~repro.network.adversaries.Adversary.schedule_key` (rotating
   stars have period N, static families period 1, T-interval one key per
-  epoch); rounds without a key are interned by edge-set content.
-* :class:`BatchEngine` replays a tape round by round, deriving all N
-  coin states per round with one vectorized FNV fold instead of N tuple
-  hashes, charging CONGEST bits from the process-global
-  :func:`~repro.sim.encoding.interned_encoding` cache, and resolving
-  delivery with one boolean sub-matrix per round instead of per-receiver
-  list scans.
-* :func:`run_batch_replicas` runs K same-cell replicas against one
-  shared tape (and one adversary instance) in lockstep, so
+  epoch); rounds without a key are interned by edge-set content.  For
+  *adaptive* adversaries the tape runs in **incremental mode**: it
+  cannot pre-materialize anything (the next topology may depend on the
+  round's committed actions), so the engine commits each round's edge
+  set as the adversary chooses it and the tape interns by content —
+  normalization, connectivity, and the adjacency matrix are still paid
+  once per *unique* topology, not once per round.
+* :class:`BatchEngine` runs the same five-stage round protocol as the
+  reference engine (:data:`~repro.sim.engine.ROUND_STAGES`) with the
+  within-stage work vectorized: all N coin states per round come from
+  one vectorized FNV fold instead of N tuple hashes, CONGEST bits are
+  charged from the process-global
+  :func:`~repro.sim.encoding.interned_encoding` cache, and delivery
+  resolves with one boolean sub-matrix per round instead of
+  per-receiver list scans.  An adaptive adversary's decision is a
+  per-round scalar stage *between* those vectorized stages — it sees
+  the identical :class:`~repro.sim.engine.AdversaryView` the reference
+  engine would build.
+* :func:`run_batch_replicas` runs K same-cell replicas in lockstep.
+  Oblivious replicas share one tape (and one adversary instance), so
   :func:`~repro.sim.runner.replicate` amortizes schedule materialization
-  across seeds within a worker.
+  across seeds within a worker; adaptive replicas each get a fresh
+  adversary and incremental tape (adaptive adversaries are stateful —
+  sharing one would entangle the replicas), matching the reference
+  path's per-seed factories.
 
 Equality with the reference engine is **bit-identical**, not
 approximate: the same :class:`~repro.sim.trace.RoundRecord` objects, the
 same delivery order (payloads sorted by canonical encoding with the
 sender id as tie-break), the same error types with the same messages,
-the same termination bookkeeping.  A Hypothesis property
-(``tests/sim/test_batch_equivalence.py``) pins the trace fingerprint,
-bit totals, and outputs of both backends to each other.
+the same termination bookkeeping.  Hypothesis properties pin the trace
+fingerprint, bit totals, and outputs of both backends to each other —
+``tests/sim/test_batch_equivalence.py`` for oblivious families,
+``tests/sim/test_adaptive_batch_equivalence.py`` for adaptive ones.
 
-Adaptive adversaries cannot be taped — their next topology may depend on
-the round's committed actions — so callers consult
-:func:`batch_fallback_reason` and drop to the reference engine, logging
-the reason on this module's logger (``repro.sim.batch``).
+The remaining fallback to the reference engine is genuinely unsupported
+structure — adversaries declaring ``dynamic_nodes=True`` (mid-run node
+churn; the tape binds one fixed node set) — reported by
+:func:`batch_fallback_reason` and logged on this module's logger
+(``repro.sim.batch``), deduplicated per replicate/sweep cell via
+:func:`fallback_log_scope`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import logging
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -60,7 +78,14 @@ from ..errors import (
 from .actions import Receive, Send
 from .coins import Coins, CoinSource
 from .encoding import interned_encoding
-from .engine import _is_connected, _normalize_edges
+from .engine import (
+    ROUND_STAGES,
+    AdversaryView,
+    StageEvent,
+    _is_connected,
+    _normalize_edges,
+    _RoundState,
+)
 from .messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
 from .node import ProtocolNode
 from .trace import ExecutionTrace, RoundRecord
@@ -71,6 +96,7 @@ __all__ = [
     "run_batch_replicas",
     "build_engine",
     "batch_fallback_reason",
+    "fallback_log_scope",
     "DENSE_NODE_LIMIT",
 ]
 
@@ -124,18 +150,68 @@ def _immutable_payload(payload: Any) -> bool:
 def batch_fallback_reason(adversary: Any) -> Optional[str]:
     """Why this adversary cannot run on the batch backend (None = it can).
 
-    The single disqualifier is adaptivity: an adversary whose
-    ``oblivious`` flag is false may read the round view, and a
-    pre-materialized schedule tape would silently replay a different
-    schedule than the one the adversary would have chosen.
+    Both oblivious and adaptive adversaries batch: oblivious schedules
+    replay from a pre-materialized :class:`ScheduleTape`, adaptive ones
+    commit each round's decision to an incremental tape between the
+    vectorized stages.  The remaining disqualifier is structural —
+    ``dynamic_nodes=True`` declares mid-run node churn (nodes joining or
+    leaving; ROADMAP item 4a), and the batch backend binds one fixed
+    node set per tape: the uid index, the coin-fold vector, and every
+    adjacency matrix are shaped by it.
     """
-    if not getattr(adversary, "oblivious", False):
+    if getattr(adversary, "dynamic_nodes", False):
         return (
-            f"{type(adversary).__name__} is adaptive (oblivious=False): its "
-            f"topology may depend on the round view, which a pre-materialized "
-            f"schedule tape cannot replay"
+            f"{type(adversary).__name__} declares dynamic_nodes=True: the "
+            f"batch backend binds one fixed node set per tape (uid index, "
+            f"coin folds, adjacency matrices) and cannot re-shape mid-run "
+            f"node churn"
         )
     return None
+
+
+# -- fallback logging, deduplicated per cell --------------------------------
+
+#: When a scope is active, the set of fallback reasons already logged in
+#: it; ``None`` means unscoped (every fallback logs — the single-run
+#: entry points).  Scopes nest by saving/restoring the previous value.
+_fallback_seen: Optional[Set[str]] = None
+
+
+@contextlib.contextmanager
+def fallback_log_scope() -> Iterator[None]:
+    """Deduplicate batch-fallback logging within one replicate/sweep cell.
+
+    A cell runs the same (protocol, adversary) pair once per seed; when
+    the cell cannot batch, every one of those runs would log the
+    identical fallback reason.  Entering this scope around the cell's
+    runs makes each distinct reason log (and emit its span/progress
+    event) exactly once; :func:`~repro.sim.runner.replicate`,
+    :func:`~repro.analysis.sweep.cartesian_sweep` cells, and the
+    experiment drivers' per-cell seed loops all enter it.  Scopes nest:
+    an inner scope dedups independently and restores the outer one.
+    """
+    global _fallback_seen
+    previous = _fallback_seen
+    _fallback_seen = set()
+    try:
+        yield
+    finally:
+        _fallback_seen = previous
+
+
+def _log_fallback(reason: str) -> None:
+    """Log one fallback (once per :func:`fallback_log_scope`, if active)."""
+    seen = _fallback_seen
+    if seen is not None:
+        if reason in seen:
+            return
+        seen.add(reason)
+    logger.info("batch backend falling back to reference: %s", reason)
+    from ..obs.progress import report_event
+    from ..obs.spans import span_event
+
+    span_event("batch-fallback", reason=reason)
+    report_event("batch-fallback", reason)
 
 
 class _Topology:
@@ -157,11 +233,14 @@ class _Topology:
 
 
 class ScheduleTape:
-    """An oblivious adversary's schedule, interned topology by topology.
+    """A schedule, interned topology by topology.
 
-    Lazy by design: experiments run for up to ~10^5 rounds, so the tape
-    materializes rounds on demand and only ever *stores* unique
-    topologies.  Two interning levels:
+    Two modes, one interning machinery:
+
+    **Replay mode** (default) serves an *oblivious* adversary's schedule
+    lazily: experiments run for up to ~10^5 rounds, so the tape
+    materializes rounds on demand via :meth:`topology` and only ever
+    *stores* unique topologies.  Two interning levels:
 
     1. :meth:`~repro.network.adversaries.Adversary.schedule_key` — the
        family's own statement that a round repeats an earlier one; a key
@@ -171,27 +250,59 @@ class ScheduleTape:
        adjacency matrix) with any earlier round that produced the same
        edge set.
 
-    One tape may back many engines (that is the point — see
+    **Incremental mode** (``incremental=True``) serves an *adaptive*
+    adversary: nothing can be pre-materialized (the next topology may
+    depend on the round view), so the engine :meth:`commit`\\ s each
+    round's chosen edge set as the round runs.  Commits intern by
+    content — an adaptive adversary that holds a topology across rounds
+    pays normalization, connectivity, and matrix construction once per
+    *unique* topology, exactly like replay mode — and the tape remembers
+    the per-round assignment, so after a mid-run abort the committed
+    prefix replays through :meth:`topology`.  Committing is strictly
+    in-order (round ``committed + 1`` next); ``stats["committed"]``
+    tracks the frontier.
+
+    A replay tape may back many engines (that is the point — see
     :func:`run_batch_replicas`), as long as they share one node set; the
     tape binds to the first engine's node ids and rejects mismatches.
+    An incremental tape records one specific execution and belongs to
+    one engine.
     """
 
-    def __init__(self, adversary: Any, dense_node_limit: int = DENSE_NODE_LIMIT):
+    def __init__(
+        self,
+        adversary: Any,
+        dense_node_limit: int = DENSE_NODE_LIMIT,
+        incremental: bool = False,
+    ):
         reason = batch_fallback_reason(adversary)
         if reason is not None:
             raise ConfigurationError(f"cannot tape this adversary: {reason}")
+        if not incremental and not getattr(adversary, "oblivious", False):
+            raise ConfigurationError(
+                f"cannot tape this adversary for replay: "
+                f"{type(adversary).__name__} is adaptive (oblivious=False), so "
+                f"its topology may depend on the round view, which a "
+                f"pre-materialized schedule tape cannot replay; the batch "
+                f"engine runs adaptive adversaries on an incremental tape "
+                f"(ScheduleTape(..., incremental=True)) instead"
+            )
         self.adversary = adversary
         self.dense_node_limit = dense_node_limit
+        self.incremental = incremental
         self._node_ids: Optional[FrozenSet[int]] = None
         self._uid_index: Dict[int, int] = {}
         self._by_key: Dict[Any, _Topology] = {}
         self._by_content: Dict[FrozenSet[Edge], _Topology] = {}
+        #: incremental mode: round -> interned topology, as committed
+        self._by_round: Dict[int, _Topology] = {}
         #: materialization counters (tests + docs/PERFORMANCE.md)
         self.stats: Dict[str, int] = {
             "rounds": 0,
             "key_hits": 0,
             "content_hits": 0,
             "unique_topologies": 0,
+            "committed": 0,
         }
 
     def bind(self, node_ids: FrozenSet[int]) -> None:
@@ -212,9 +323,22 @@ class ScheduleTape:
         return self._uid_index
 
     def topology(self, round_: int) -> _Topology:
-        """The (interned) topology of the given 1-based round."""
+        """The (interned) topology of the given 1-based round.
+
+        Replay mode materializes on demand; incremental mode serves the
+        committed prefix (this is the partial-tape replay after a
+        mid-run abort) and refuses rounds the adversary never chose.
+        """
         if self._node_ids is None:
             raise ConfigurationError("bind() the tape to a node set first")
+        if self.incremental:
+            topo = self._by_round.get(round_)
+            if topo is None:
+                raise ConfigurationError(
+                    f"incremental tape has no round {round_}: only rounds "
+                    f"1..{self.stats['committed']} were committed"
+                )
+            return topo
         self.stats["rounds"] += 1
         key = self.adversary.schedule_key(round_)
         if key is not None:
@@ -232,6 +356,41 @@ class ScheduleTape:
             self.stats["unique_topologies"] += 1
         if key is not None:
             self._by_key[key] = topo
+        return topo
+
+    def commit(self, round_: int, edges: Any) -> _Topology:
+        """Intern and record one round's adversary-chosen edge set.
+
+        The engine calls this from the adversary stage with whatever
+        ``adversary.edges(round_, view)`` returned; normalization errors
+        (:class:`~repro.errors.ModelViolation`) surface here, exactly
+        where the reference engine raises them.  Strictly in-order:
+        round ``committed + 1`` or a :class:`ConfigurationError`.
+        """
+        if not self.incremental:
+            raise ConfigurationError(
+                "commit() requires an incremental tape; replay tapes "
+                "materialize through topology()"
+            )
+        if self._node_ids is None:
+            raise ConfigurationError("bind() the tape to a node set first")
+        committed = self.stats["committed"]
+        if round_ != committed + 1:
+            raise ConfigurationError(
+                f"incremental tape commits rounds strictly in order: "
+                f"expected round {committed + 1}, got {round_}"
+            )
+        self.stats["rounds"] += 1
+        normalized = _normalize_edges(edges, self._node_ids)
+        topo = self._by_content.get(normalized)
+        if topo is not None:
+            self.stats["content_hits"] += 1
+        else:
+            topo = self._materialize(normalized)
+            self._by_content[normalized] = topo
+            self.stats["unique_topologies"] += 1
+        self._by_round[round_] = topo
+        self.stats["committed"] = round_
         return topo
 
     def _materialize(self, edges: FrozenSet[Edge]) -> _Topology:
@@ -255,18 +414,26 @@ class ScheduleTape:
 
 
 class BatchEngine:
-    """Drop-in vectorized engine for oblivious adversaries.
+    """Drop-in vectorized engine — oblivious *and* adaptive adversaries.
 
-    Same constructor shape, ``step()``/``run()`` surface, trace,
-    error types, and instrumentation hooks as
+    Same constructor shape, ``step()``/``step_stages()``/``run()``
+    surface, trace, error types, and instrumentation hooks as
     :class:`~repro.sim.engine.SynchronousEngine`; see that class for the
     model semantics.  Extra parameter: ``tape``, a shared
-    :class:`ScheduleTape` (one is built from the adversary when absent).
+    :class:`ScheduleTape` (one is built from the adversary when absent:
+    a replay tape for oblivious adversaries, an incremental one for
+    adaptive adversaries).
+
+    Adaptive mode runs the identical five-stage round: the actions stage
+    additionally materializes the committed-actions mapping, the
+    adversary stage hands the adversary the same
+    :class:`~repro.sim.engine.AdversaryView` the reference engine would
+    build and commits the chosen edge set to the incremental tape; coin
+    folds, bit accounting, and delivery stay vectorized around it.
 
     Selection is via ``RunConfig(backend="batch")`` on the runner layer;
-    constructing one directly with an adaptive adversary raises
-    :class:`~repro.errors.ConfigurationError` (the runner logs a
-    fallback instead).
+    the only construction the fast path refuses is an adversary with
+    ``dynamic_nodes=True`` (see :func:`batch_fallback_reason`).
     """
 
     backend = "batch"
@@ -291,8 +458,14 @@ class BatchEngine:
         self.trace = ExecutionTrace(num_nodes=len(self.nodes))
         self.round = 0
         if tape is None:
-            tape = ScheduleTape(adversary)
+            tape = ScheduleTape(
+                adversary,
+                incremental=not getattr(adversary, "oblivious", False),
+            )
         self.tape = tape
+        #: adaptive mode: the engine writes the tape round by round and
+        #: must build the committed-actions view the adversary reads
+        self._incremental = tape.incremental
         tape.bind(self.node_ids)
         self._uids = sorted(self.nodes)
         self._node_list = [self.nodes[uid] for uid in self._uids]
@@ -323,6 +496,11 @@ class BatchEngine:
 
             instrumentation = instrument_engine(self)
         self.instrumentation = instrumentation
+        #: (stage name, bound stage method) in ROUND_STAGES order — the
+        #: same staged round protocol as the reference engine
+        self._stages = tuple(
+            (name, getattr(self, f"_stage_{name}")) for name in ROUND_STAGES
+        )
 
     # ------------------------------------------------------------------
     def _coin_states(self, round_: int) -> List[int]:
@@ -336,20 +514,17 @@ class BatchEngine:
             for uid in self._uids
         ]
 
-    def step(self) -> RoundRecord:
-        """Execute one round and return its record (reference semantics)."""
-        self.round += 1
-        r = self.round
-        instr = self.instrumentation
-        if instr is not None:
-            instr.run_started()
-            clock = instr.clock
-            t_phase = clock()
+    # -- the staged round protocol (vectorized within stages) ----------
 
-        # (1)+(2): coins and committed actions, in deterministic id
-        # order.  Classification (send vs receive) is fused in — the
-        # tape never reads the committed-action view, so the reference
-        # engine's intermediate actions dict buys nothing here.
+    def _stage_actions(self, state: _RoundState) -> None:
+        """(1)+(2): vectorized coins, committed actions in id order.
+
+        Classification (send vs receive) is fused in — a replay tape
+        never reads the committed-action view, so the reference engine's
+        intermediate actions dict buys nothing there.  Adaptive mode
+        builds it alongside: the adversary stage needs the exact view.
+        """
+        r = state.round
         states = self._coin_states(r)
         send_uids: List[int] = []
         send_payloads: List[Any] = []
@@ -357,8 +532,9 @@ class BatchEngine:
         append_send_uid = send_uids.append
         append_payload = send_payloads.append
         append_receiver = receiver_list.append
-        for uid, state, node in zip(self._uids, states, self._node_list):
-            action = node.action(r, Coins(uid, r, state))
+        actions: Optional[Dict[int, Any]] = {} if self._incremental else None
+        for uid, coin_state, node in zip(self._uids, states, self._node_list):
+            action = node.action(r, Coins(uid, r, coin_state))
             cls = action.__class__
             if cls is Send:
                 append_send_uid(uid)
@@ -374,30 +550,52 @@ class BatchEngine:
                 raise InvalidAction(
                     f"node {uid} returned {action!r} from action() in round {r}"
                 )
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("actions", now - t_phase)
-            t_phase = now
+            if actions is not None:
+                actions[uid] = action
+        state.send_uids = send_uids
+        state.send_payloads = send_payloads
+        state.receiver_list = receiver_list
+        state.actions = actions
 
-        # (3): the tape supplies (or lazily materializes) the topology.
-        topo = self.tape.topology(r)
-        edges = topo.edges
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("adversary", now - t_phase)
-            t_phase = now
+    def _stage_adversary(self, state: _RoundState) -> None:
+        """(3): replay the tape, or let the adaptive adversary commit.
 
-        # Validation: the verdict was computed once per unique topology.
-        if self.check_connected and not topo.connected:
-            raise DisconnectedTopology(f"round {r}: adversary topology is disconnected")
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("validation", now - t_phase)
-            t_phase = now
+        Adaptive mode hands the adversary the identical
+        :class:`~repro.sim.engine.AdversaryView` the reference engine
+        builds — committed actions, live nodes, the trace so far — and
+        commits its choice to the incremental tape, which interns by
+        content so repeated topologies still skip normalization,
+        connectivity, and matrix construction.
+        """
+        r = state.round
+        if self._incremental:
+            view = AdversaryView(
+                round=r, actions=state.actions, nodes=self.nodes, trace=self.trace
+            )
+            state.view = view
+            topo = self.tape.commit(r, self.adversary.edges(r, view))
+        else:
+            topo = self.tape.topology(r)
+        state.topo = topo
+        state.edges = topo.edges
 
-        # (4): delivery.  Encodings and CONGEST bits come from the
-        # per-engine identity memo (payload objects repeat across
-        # rounds), falling back to the process-global interned cache.
+    def _stage_validation(self, state: _RoundState) -> None:
+        """Validation: the verdict was computed once per unique topology."""
+        if self.check_connected and not state.topo.connected:
+            raise DisconnectedTopology(
+                f"round {state.round}: adversary topology is disconnected"
+            )
+
+    def _stage_delivery(self, state: _RoundState) -> None:
+        """(4): delivery.  Encodings and CONGEST bits come from the
+        per-engine identity memo (payload objects repeat across
+        rounds), falling back to the process-global interned cache."""
+        r = state.round
+        topo = state.topo
+        edges = state.edges
+        send_uids = state.send_uids
+        send_payloads = state.send_payloads
+        receiver_list = state.receiver_list
         memo = self._id_memo
         encodings: List[bytes] = []
         bits_list: List[int] = []
@@ -484,13 +682,11 @@ class BatchEngine:
             delivered=delivered,
         )
         self.trace.append(record)
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("delivery", now - t_phase)
-            t_phase = now
+        state.record = record
 
-        # (5): termination bookkeeping (same polling as the reference:
-        # every node's output() is read every round).
+    def _stage_termination(self, state: _RoundState) -> None:
+        """(5): termination bookkeeping (same polling as the reference:
+        every node's output() is read every round)."""
         if self.trace.termination_round is None:
             outs = [node.output() for node in self._node_list]
             complete = True
@@ -499,12 +695,61 @@ class BatchEngine:
                     complete = False
                     break
             if complete:
-                self.trace.termination_round = r
+                self.trace.termination_round = state.round
                 self.trace.outputs = dict(zip(self._uids, outs))
+
+    # -- drivers (same shape as the reference engine's) ----------------
+
+    def step(self) -> RoundRecord:
+        """Execute one round and return its record (reference semantics)."""
+        self.round += 1
+        state = _RoundState(self.round)
+        instr = self.instrumentation
+        if instr is None:
+            for _name, method in self._stages:
+                method(state)
+            return state.record
+        instr.run_started()
+        clock = instr.clock
+        t_phase = clock()
+        for name, method in self._stages:
+            method(state)
+            now = clock()
+            instr.observe_phase(name, now - t_phase)
+            t_phase = now
+        instr.round_finished(state.record)
+        return state.record
+
+    def step_stages(self) -> Iterator[StageEvent]:
+        """One round stage by stage, yielding after each stage.
+
+        Mirrors :meth:`~repro.sim.engine.SynchronousEngine.step_stages`
+        exactly; the ``actions`` field of the yielded events is ``None``
+        on the fused oblivious path (the mapping is never materialized)
+        and populated in adaptive mode.
+        """
+        self.round += 1
+        state = _RoundState(self.round)
+        instr = self.instrumentation
         if instr is not None:
-            instr.observe_phase("termination", clock() - t_phase)
-            instr.round_finished(record)
-        return record
+            instr.run_started()
+            clock = instr.clock
+        for name, method in self._stages:
+            if instr is not None:
+                t0 = clock()
+                method(state)
+                instr.observe_phase(name, clock() - t0)
+            else:
+                method(state)
+            yield StageEvent(
+                stage=name,
+                round=state.round,
+                actions=state.actions,
+                edges=state.edges,
+                record=state.record,
+            )
+        if instr is not None:
+            instr.round_finished(state.record)
 
     # ------------------------------------------------------------------
     def run(
@@ -538,10 +783,13 @@ def build_engine(
 ):
     """Construct the engine a resolved backend name asks for.
 
-    ``backend="batch"`` with an adaptive adversary falls back to the
-    reference engine and logs the reason — the run is always correct,
-    the fast path is best-effort.  This is the single dispatch point the
-    runner, the analysis drivers, and the tests share.
+    ``backend="batch"`` serves oblivious adversaries from a replay tape
+    and adaptive ones from an incremental tape; only adversaries that
+    declare ``dynamic_nodes=True`` fall back to the reference engine,
+    with the reason logged once per :func:`fallback_log_scope` — the run
+    is always correct, the fast path is best-effort.  This is the single
+    dispatch point the runner, the analysis drivers, and the tests
+    share.
     """
     from .engine import SynchronousEngine
 
@@ -557,12 +805,7 @@ def build_engine(
                 instrumentation=instrumentation,
                 tape=tape,
             )
-        logger.info("batch backend falling back to reference: %s", reason)
-        from ..obs.progress import report_event
-        from ..obs.spans import span_event
-
-        span_event("batch-fallback", reason=reason)
-        report_event("batch-fallback", reason)
+        _log_fallback(reason)
     elif backend != "reference":
         raise ConfigurationError(f"unknown backend {backend!r}")
     return SynchronousEngine(
@@ -586,13 +829,18 @@ def run_batch_replicas(
     instrument: bool = False,
     registry: Optional[Any] = None,
 ) -> List[Any]:
-    """Run one cell's replicas on a shared tape; list of ``ProtocolRun``.
+    """Run one cell's replicas on the batch engine; list of ``ProtocolRun``.
 
-    One adversary instance and one :class:`ScheduleTape` serve every
-    seed (oblivious adversaries are stateless functions of the round, so
-    sharing is sound and amortizes materialization).  Uninstrumented
+    Oblivious cells share one adversary instance and one replay
+    :class:`ScheduleTape` across every seed (oblivious adversaries are
+    stateless functions of the round, so sharing is sound and amortizes
+    materialization).  Adaptive cells instead give every seed its own
+    fresh adversary (``make_adversary()``) and its own incremental tape,
+    because an adaptive adversary may carry per-run state and its
+    per-round decisions depend on that run's view — exactly matching the
+    reference ``replicate`` semantics.  In both modes uninstrumented
     replicas advance in lockstep — round 1 of every replica, then round
-    2 — so the tape materializes each round at most once even when
+    2 — so a shared tape materializes each round at most once even when
     replicas terminate at different times; traces are finalized in seed
     order afterwards.  Instrumented replicas (explicit or via an ambient
     observation session) run sequentially instead, keeping each run's
@@ -605,7 +853,8 @@ def run_batch_replicas(
     reason = batch_fallback_reason(adversary)
     if reason is not None:
         raise ConfigurationError(f"cannot run batch replicas: {reason}")
-    tape = ScheduleTape(adversary)
+    oblivious = bool(getattr(adversary, "oblivious", False))
+    shared_tape = ScheduleTape(adversary) if oblivious else None
     engines: List[BatchEngine] = []
     for seed in seeds:
         instrumentation = None
@@ -613,10 +862,17 @@ def run_batch_replicas(
             from ..obs.instrumentation import Instrumentation
 
             instrumentation = Instrumentation(registry=registry)
+        if oblivious:
+            adv, tape = adversary, shared_tape
+        else:
+            # A fresh adversary per seed: adaptive families may be
+            # stateful, and each run's view drives its own tape.
+            adv = adversary if not engines else make_adversary()
+            tape = ScheduleTape(adv, incremental=True)
         engines.append(
             BatchEngine(
                 make_nodes(),
-                adversary,
+                adv,
                 CoinSource(seed),
                 bandwidth_factor=bandwidth_factor,
                 check_connected=check_connected,
@@ -651,9 +907,17 @@ def run_batch_replicas(
             engine.trace.outputs = {
                 uid: node.output() for uid, node in engine.nodes.items()
             }
-    # How well the shared tape amortized: one event span per chunk, so
-    # `repro profile` can report interning effectiveness per cell.
-    span_event("tape-stats", replicas=len(engines), **tape.stats)
+    # How well the tape(s) amortized: one event span per chunk, so
+    # `repro profile` can report interning effectiveness per cell.  For
+    # adaptive cells the per-engine incremental tapes are aggregated.
+    if shared_tape is not None:
+        span_event("tape-stats", replicas=len(engines), **shared_tape.stats)
+    else:
+        agg: Dict[str, int] = {}
+        for engine in engines:
+            for key, value in engine.tape.stats.items():
+                agg[key] = agg.get(key, 0) + value
+        span_event("tape-stats", replicas=len(engines), **agg)
     runs: List[Any] = []
     for engine in engines:
         trace = engine.trace

@@ -84,8 +84,9 @@ class RunConfig:
     backend:
         ``"reference"`` or ``"batch"`` (``None`` defers to
         ``$REPRO_BACKEND``, then ``reference``).  The batch backend is
-        bit-identical on oblivious adversaries and falls back to the
-        reference engine, with a logged reason, on adaptive ones.
+        bit-identical on oblivious and adaptive adversaries alike, and
+        falls back to the reference engine, with a logged reason, only
+        for adversaries that declare ``dynamic_nodes=True``.
     """
 
     seed: Optional[int] = None

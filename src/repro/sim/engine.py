@@ -15,12 +15,23 @@ One round (paper, Section 2):
 The engine validates the model invariants (connected topology, CONGEST
 budget, edges within the node set) and records a full
 :class:`~repro.sim.trace.ExecutionTrace`.
+
+Rounds execute as the fixed stage sequence :data:`ROUND_STAGES`
+(actions → adversary → validation → delivery → termination), each stage
+a method over a shared per-round state.  :meth:`SynchronousEngine.step`
+drives all five inline; :meth:`SynchronousEngine.step_stages` exposes
+the same methods as a generator yielding a :class:`StageEvent` after
+each stage, so a caller can interpose between the committed actions and
+the adversary's decision.  The batch backend
+(:mod:`repro.sim.batch`) runs the identical stage sequence with the
+within-stage work vectorized — which is how adaptive adversaries batch:
+their per-round decision sits between vectorized stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
 
 from .._util import bit_size, canonical_encoding
 from ..errors import (
@@ -36,9 +47,70 @@ from .messages import DEFAULT_BANDWIDTH_FACTOR, congest_budget
 from .node import ProtocolNode
 from .trace import ExecutionTrace, RoundRecord
 
-__all__ = ["AdversaryView", "SynchronousEngine"]
+__all__ = [
+    "ROUND_STAGES",
+    "StageEvent",
+    "AdversaryView",
+    "SynchronousEngine",
+]
 
 Edge = Tuple[int, int]
+
+#: The five stages of one synchronous round, in execution order.  They
+#: match the numbered steps of the module docstring (coins+actions are
+#: one stage: a node's action is a deterministic function of its state
+#: and coins, so there is no observable point between them) and the
+#: instrumentation phases (:data:`repro.obs.instrumentation.PHASES`)
+#: one-to-one.  Both engines — reference and batch — run exactly this
+#: sequence; the batch backend vectorizes *within* stages, which is what
+#: lets an adaptive adversary's per-round decision sit between
+#: vectorized coin folds and vectorized delivery.
+ROUND_STAGES = ("actions", "adversary", "validation", "delivery", "termination")
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """What one completed stage exposes to a :meth:`step_stages` consumer.
+
+    Fields fill in as the round progresses: ``actions`` after the
+    ``actions`` stage (the committed :class:`~repro.sim.actions.Action`
+    per node — exactly the adversary's view; the batch engine's fused
+    oblivious path never materializes this mapping and leaves it
+    ``None``), ``edges`` after the ``adversary`` stage, ``record`` after
+    ``delivery``.
+    """
+
+    stage: str
+    round: int
+    actions: Optional[Mapping[int, Action]] = None
+    edges: Optional[FrozenSet[Edge]] = None
+    record: Optional[RoundRecord] = None
+
+
+class _RoundState:
+    """Mutable scratch threaded through one round's stage methods.
+
+    Shared by both engines; each stage reads what earlier stages wrote.
+    The batch engine's fused classification fills the ``send_uids`` /
+    ``send_payloads`` / ``receiver_list`` triple instead of (or, when an
+    adaptive adversary needs the view, in addition to) ``actions``.
+    """
+
+    __slots__ = (
+        "round", "actions", "view", "edges", "record",
+        "send_uids", "send_payloads", "receiver_list", "topo",
+    )
+
+    def __init__(self, round_: int):
+        self.round = round_
+        self.actions: Optional[Dict[int, Action]] = None
+        self.view: Optional[AdversaryView] = None
+        self.edges: Optional[FrozenSet[Edge]] = None
+        self.record: Optional[RoundRecord] = None
+        self.send_uids: Optional[list] = None
+        self.send_payloads: Optional[list] = None
+        self.receiver_list: Optional[list] = None
+        self.topo: Any = None
 
 
 @dataclass(frozen=True)
@@ -162,19 +234,23 @@ class SynchronousEngine:
 
             instrumentation = instrument_engine(self)
         self.instrumentation = instrumentation
+        #: (stage name, bound stage method) in ROUND_STAGES order —
+        #: resolved once so the per-round driver loop is attribute-free
+        self._stages = self._stage_methods()
 
-    # ------------------------------------------------------------------
-    def step(self) -> RoundRecord:
-        """Execute one round and return its record."""
-        self.round += 1
-        r = self.round
-        instr = self.instrumentation
-        if instr is not None:
-            instr.run_started()
-            clock = instr.clock
-            t_phase = clock()
+    # -- the staged round protocol -------------------------------------
+    #
+    # One round is the fixed stage sequence ROUND_STAGES; each stage is
+    # a method over the round's _RoundState.  step() drives all five
+    # inline (the hot path); step_stages() exposes the same methods as a
+    # generator so a caller — a test harness, a recording stub, a future
+    # churn controller — can interpose between stages.  Both engines
+    # share this driver shape, which is what guarantees an adaptive
+    # adversary sees the identical per-round view on either backend.
 
-        # (1)+(2): coins and committed actions, in deterministic id order.
+    def _stage_actions(self, state: _RoundState) -> None:
+        """(1)+(2): coins and committed actions, in deterministic id order."""
+        r = state.round
         actions: Dict[int, Action] = {}
         for uid in sorted(self.nodes):
             action = self.nodes[uid].action(r, self.coin_source.coins(uid, r))
@@ -183,32 +259,32 @@ class SynchronousEngine:
                     f"node {uid} returned {action!r} from action() in round {r}"
                 )
             actions[uid] = action
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("actions", now - t_phase)
-            t_phase = now
+        state.actions = actions
 
-        # (3): adversary fixes the topology...
-        view = AdversaryView(round=r, actions=actions, nodes=self.nodes, trace=self.trace)
-        edges = _normalize_edges(self.adversary.edges(r, view), self.node_ids)
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("adversary", now - t_phase)
-            t_phase = now
+    def _stage_adversary(self, state: _RoundState) -> None:
+        """(3): the adversary fixes the topology, seeing the committed view."""
+        r = state.round
+        view = AdversaryView(
+            round=r, actions=state.actions, nodes=self.nodes, trace=self.trace
+        )
+        state.view = view
+        state.edges = _normalize_edges(self.adversary.edges(r, view), self.node_ids)
 
-        # ...which the model validates.
-        if self.check_connected and not _is_connected(self.node_ids, edges):
-            raise DisconnectedTopology(f"round {r}: adversary topology is disconnected")
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("validation", now - t_phase)
-            t_phase = now
+    def _stage_validation(self, state: _RoundState) -> None:
+        """The model validates the chosen topology."""
+        if self.check_connected and not _is_connected(self.node_ids, state.edges):
+            raise DisconnectedTopology(
+                f"round {state.round}: adversary topology is disconnected"
+            )
 
-        # (4): delivery.
+    def _stage_delivery(self, state: _RoundState) -> None:
+        """(4): delivery — CONGEST accounting, canonical order, callbacks."""
+        r = state.round
+        edges = state.edges
         sends: Dict[int, Any] = {}
         bits: Dict[int, int] = {}
         receivers = set()
-        for uid, action in actions.items():
+        for uid, action in state.actions.items():
             if isinstance(action, Send):
                 nbits = bit_size(action.payload)
                 if nbits > self.budget:
@@ -265,21 +341,75 @@ class SynchronousEngine:
             delivered=delivered,
         )
         self.trace.append(record)
-        if instr is not None:
-            now = clock()
-            instr.observe_phase("delivery", now - t_phase)
-            t_phase = now
+        state.record = record
 
-        # (5): termination bookkeeping.
+    def _stage_termination(self, state: _RoundState) -> None:
+        """(5): termination bookkeeping."""
         if self.trace.termination_round is None:
             outputs = {uid: node.output() for uid, node in self.nodes.items()}
             if all(out is not None for out in outputs.values()):
-                self.trace.termination_round = r
+                self.trace.termination_round = state.round
                 self.trace.outputs = outputs
+
+    def _stage_methods(self):
+        return tuple((name, getattr(self, f"_stage_{name}")) for name in ROUND_STAGES)
+
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute one round and return its record."""
+        self.round += 1
+        state = _RoundState(self.round)
+        instr = self.instrumentation
+        if instr is None:
+            for _name, method in self._stages:
+                method(state)
+            return state.record
+        instr.run_started()
+        clock = instr.clock
+        t_phase = clock()
+        for name, method in self._stages:
+            method(state)
+            now = clock()
+            instr.observe_phase(name, now - t_phase)
+            t_phase = now
+        instr.round_finished(state.record)
+        return state.record
+
+    def step_stages(self) -> Iterator[StageEvent]:
+        """Execute one round stage by stage, yielding after each stage.
+
+        The callback/generator face of the round protocol: the same five
+        stage methods :meth:`step` drives, but control returns to the
+        caller after every stage with a :class:`StageEvent` describing
+        what just completed.  Instrumentation times only the engine's
+        work — the consumer's time between ``next()`` calls is not
+        charged to any phase — and the round counter advances when the
+        generator starts, so a partially consumed round leaves the
+        engine mid-round: drive each round's generator to exhaustion
+        before calling :meth:`step` or starting another.
+        """
+        self.round += 1
+        state = _RoundState(self.round)
+        instr = self.instrumentation
         if instr is not None:
-            instr.observe_phase("termination", clock() - t_phase)
-            instr.round_finished(record)
-        return record
+            instr.run_started()
+            clock = instr.clock
+        for name, method in self._stages:
+            if instr is not None:
+                t0 = clock()
+                method(state)
+                instr.observe_phase(name, clock() - t0)
+            else:
+                method(state)
+            yield StageEvent(
+                stage=name,
+                round=state.round,
+                actions=state.actions,
+                edges=state.edges,
+                record=state.record,
+            )
+        if instr is not None:
+            instr.round_finished(state.record)
 
     # ------------------------------------------------------------------
     def run(

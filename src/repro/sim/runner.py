@@ -14,10 +14,11 @@ Execution is shaped by a :class:`~repro.sim.config.RunConfig`::
 The config selects the execution backend: ``"reference"`` is the
 readable one-loop-per-round :class:`~repro.sim.engine.SynchronousEngine`;
 ``"batch"`` is the vectorized :class:`~repro.sim.batch.BatchEngine`,
-bit-identical on oblivious adversaries and automatically falling back to
-the reference engine (with a logged reason) on adaptive ones.  Legacy
-call styles — the individual seed/max_rounds/... arguments — keep
-working through a deprecation shim.
+bit-identical on oblivious *and* adaptive adversaries (the latter via an
+incremental schedule tape); only adversaries that declare
+``dynamic_nodes=True`` fall back to the reference engine, with a logged
+reason.  Legacy call styles — the individual seed/max_rounds/...
+arguments — keep working through a deprecation shim.
 
 Both drivers thread observability through: ``RunConfig(instrument=True)``
 (or an ambient :func:`repro.obs.runtime.observe` session) gives every
@@ -102,13 +103,9 @@ def _resolve_batch(make_adversary: AdversaryFactory, backend: str) -> str:
     reason = batch_fallback_reason(make_adversary())
     if reason is None:
         return "batch"
-    from ..obs.progress import report_event
-    from ..obs.spans import span_event
-    from .batch import logger
+    from .batch import _log_fallback
 
-    logger.info("batch backend falling back to reference: %s", reason)
-    span_event("batch-fallback", reason=reason)
-    report_event("batch-fallback", reason)
+    _log_fallback(reason)
     return "reference"
 
 
@@ -130,7 +127,7 @@ def run_protocol(
     :class:`~repro.obs.instrumentation.Instrumentation` (feeding
     ``config.registry`` if given) and stores its summary on the returned
     run.  ``RunConfig(backend="batch")`` runs the vectorized backend
-    when the adversary is oblivious (reference otherwise — the returned
+    (reference only for ``dynamic_nodes`` adversaries — the returned
     run's ``backend`` field records which engine actually ran).
     """
     cfg = coerce_config(
@@ -333,40 +330,43 @@ def replicate(
     (closures over local state) fall back to inline execution with a
     :class:`UserWarning`.
 
-    ``backend="batch"`` replays every seed against one shared schedule
-    tape per worker (see :func:`repro.sim.batch.run_batch_replicas`);
-    adaptive adversaries fall back to the reference engine with a logged
-    reason, identical results either way.
+    ``backend="batch"`` replays every oblivious seed against one shared
+    schedule tape per worker, and gives each adaptive seed its own fresh
+    adversary and incremental tape (see
+    :func:`repro.sim.batch.run_batch_replicas`); ``dynamic_nodes``
+    adversaries fall back to the reference engine with a reason logged
+    once per cell, identical results either way.
     """
     from ..obs.spans import span
+    from .batch import fallback_log_scope
     from .parallel import ensure_picklable, resolve_workers
 
     cfg = coerce_config(
         "replicate", _REPLICATE_LEGACY, config, legacy_args, legacy_kwargs
     )
     require(cfg.max_rounds is not None, "replicate requires RunConfig(max_rounds=...)")
-    backend = _resolve_batch(make_adversary, cfg.resolved_backend())
-
-    n_workers = resolve_workers(cfg.workers)
-    if n_workers > 0:
-        unpicklable = ensure_picklable(
-            make_nodes=make_nodes, make_adversary=make_adversary
-        )
-        if unpicklable is not None:
-            warnings.warn(
-                f"replicate: {unpicklable} cannot be pickled for process-pool "
-                f"execution (closure or lambda?); running seeds inline. "
-                f"Use module-level factories (see repro.sim.factories) to "
-                f"parallelize.",
-                stacklevel=2,
+    with fallback_log_scope():
+        backend = _resolve_batch(make_adversary, cfg.resolved_backend())
+        n_workers = resolve_workers(cfg.workers)
+        if n_workers > 0:
+            unpicklable = ensure_picklable(
+                make_nodes=make_nodes, make_adversary=make_adversary
             )
-            n_workers = 0
-    with span(
-        "replicate", "replicate",
-        seeds=len(seeds), backend=backend, workers=n_workers,
-    ):
-        return _replicate_impl(make_nodes, make_adversary, seeds, cfg,
-                               backend, n_workers)
+            if unpicklable is not None:
+                warnings.warn(
+                    f"replicate: {unpicklable} cannot be pickled for "
+                    f"process-pool execution (closure or lambda?); running "
+                    f"seeds inline. Use module-level factories (see "
+                    f"repro.sim.factories) to parallelize.",
+                    stacklevel=2,
+                )
+                n_workers = 0
+        with span(
+            "replicate", "replicate",
+            seeds=len(seeds), backend=backend, workers=n_workers,
+        ):
+            return _replicate_impl(make_nodes, make_adversary, seeds, cfg,
+                                   backend, n_workers)
 
 
 def _replicate_impl(

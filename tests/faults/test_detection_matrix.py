@@ -55,16 +55,28 @@ class TestDetectionMatrix:
                 assert record.detail.startswith(record.expect + ":"), record.detail
 
     def test_perturb_cell_requires_the_audit_finding_too(self, matrix):
-        (cell,) = [r for r in matrix if r.fault == "adversary-perturb"]
+        (cell,) = [
+            r for r in matrix
+            if r.fault == "adversary-perturb" and r.layer == "reduction"
+        ]
         assert "SimulationDiverged" in cell.detail
         assert "audit" in cell.detail
+
+    def test_perturb_cell_covers_the_adaptive_batch_path(self, matrix):
+        (cell,) = [
+            r for r in matrix
+            if r.fault == "adversary-perturb" and r.layer == "adversary"
+        ]
+        assert cell.expect == "trace-divergence"
+        assert "backend=batch" in cell.detail
+        assert cell.one_to_one
 
     def test_summary_is_the_ci_contract(self, matrix):
         summary = matrix_result(matrix).summary
         assert summary["detection_rate"] == 1.0
         assert summary["one_to_one"] is True
         assert summary["applicability_covered"] is True
-        assert summary["cells"] == len(matrix) == 13
+        assert summary["cells"] == len(matrix) == 14
 
 
 class TestFaultcheckCli:
@@ -80,7 +92,7 @@ class TestFaultcheckCli:
         data = json.loads(out.read_text())
         assert data["summary"]["detection_rate"] == 1.0
         assert data["summary"]["one_to_one"] is True
-        assert len(data["rows"]) == 13
+        assert len(data["rows"]) == 14
 
     def test_out_flag_rejected_elsewhere(self):
         from repro.cli import main

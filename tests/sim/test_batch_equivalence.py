@@ -200,17 +200,66 @@ def _adaptive_edges(round_, view):
     return line_edges(list(ids))
 
 
-def test_adaptive_adversary_falls_back_with_logged_reason(caplog):
+def test_adaptive_adversary_runs_on_batch_backend():
     ids = (0, 1, 2, 3)
     make_nodes = _make_node_factory("token-flood", ids)
     make_adv = Constant(FunctionAdversary(list(ids), _adaptive_edges))
+    run = run_protocol(
+        make_nodes, make_adv, RunConfig(seed=1, max_rounds=20, backend="batch")
+    )
+    assert run.backend == "batch"
+    assert run.terminated
+
+
+class _DynamicNodesAdversary(FunctionAdversary):
+    dynamic_nodes = True
+
+
+def test_dynamic_nodes_adversary_falls_back_with_logged_reason(caplog):
+    ids = (0, 1, 2, 3)
+    make_nodes = _make_node_factory("token-flood", ids)
+    make_adv = Constant(_DynamicNodesAdversary(list(ids), _adaptive_edges))
     with caplog.at_level(logging.INFO, logger="repro.sim.batch"):
         run = run_protocol(
             make_nodes, make_adv, RunConfig(seed=1, max_rounds=20, backend="batch")
         )
     assert run.backend == "reference"
-    assert any("FunctionAdversary" in rec.message for rec in caplog.records)
+    assert any("dynamic_nodes" in rec.message for rec in caplog.records)
     assert run.terminated
+
+
+def test_fallback_logs_once_per_replicate_cell(caplog):
+    ids = (0, 1, 2, 3)
+    make_nodes = _make_node_factory("token-flood", ids)
+    make_adv = Constant(_DynamicNodesAdversary(list(ids), _adaptive_edges))
+    with caplog.at_level(logging.INFO, logger="repro.sim.batch"):
+        summary = replicate(
+            make_nodes, make_adv, seeds=range(5),
+            config=RunConfig(max_rounds=20, backend="batch", workers=0),
+        )
+    assert all(run.backend == "reference" for run in summary.runs)
+    fallback_records = [
+        rec for rec in caplog.records if "falling back to reference" in rec.message
+    ]
+    assert len(fallback_records) == 1  # one cell, one log line — not one per seed
+
+
+def test_fallback_log_scope_dedups_and_restores(caplog):
+    from repro.sim import fallback_log_scope
+    from repro.sim.batch import _log_fallback
+
+    with caplog.at_level(logging.INFO, logger="repro.sim.batch"):
+        with fallback_log_scope():
+            _log_fallback("reason A")
+            _log_fallback("reason A")  # deduped inside the scope
+            _log_fallback("reason B")  # distinct reasons still log
+            with fallback_log_scope():  # nested scope starts fresh
+                _log_fallback("reason A")
+        _log_fallback("reason A")  # unscoped: logs every time
+        _log_fallback("reason A")
+    messages = [rec.message for rec in caplog.records]
+    assert sum("reason A" in m for m in messages) == 4
+    assert sum("reason B" in m for m in messages) == 1
 
 
 def test_oblivious_function_adversary_opts_in():
