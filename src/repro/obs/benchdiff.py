@@ -95,8 +95,36 @@ def _load_dir(directory: pathlib.Path) -> Dict[str, dict]:
     return out
 
 
-def _cell_changes(old_rows: List[list], new_rows: List[list]) -> List[str]:
-    """Human-readable row/cell deltas, capped to keep reports short."""
+def _volatile_metric(name: str) -> bool:
+    """Is this column/summary name a timing, not a measured result?
+
+    Wall clocks and speedups re-measure differently on every host; when
+    an experiment stores them in its *rows* or *summary* (EXP-SUB's
+    backend-comparison table does), exact comparison would report drift
+    on every run.  Those cells are excluded from the drift check —
+    speedups still regress through :func:`_timing_regressions`.
+    """
+    lowered = name.lower()
+    return (
+        lowered.endswith(" s")
+        or lowered.endswith("(s)")
+        or "seconds" in lowered
+        or "speedup" in lowered
+        or "wall" in lowered
+    )
+
+
+def _cell_changes(
+    old_rows: List[list],
+    new_rows: List[list],
+    headers: Optional[List[str]] = None,
+) -> List[str]:
+    """Human-readable row/cell deltas, capped to keep reports short.
+
+    Columns whose header names a timing (:func:`_volatile_metric`) are
+    skipped — they are compared with tolerances, not exactly.
+    """
+    headers = headers or []
     changes: List[str] = []
     if len(old_rows) != len(new_rows):
         changes.append(f"row count {len(old_rows)} -> {len(new_rows)}")
@@ -104,7 +132,7 @@ def _cell_changes(old_rows: List[list], new_rows: List[list]) -> List[str]:
         if old_row == new_row:
             continue
         for j, (a, b) in enumerate(zip(old_row, new_row)):
-            if a != b:
+            if a != b and not (j < len(headers) and _volatile_metric(headers[j])):
                 changes.append(f"row {i} col {j}: {a!r} -> {b!r}")
         if len(old_row) != len(new_row):
             changes.append(f"row {i} width {len(old_row)} -> {len(new_row)}")
@@ -117,6 +145,8 @@ def _cell_changes(old_rows: List[list], new_rows: List[list]) -> List[str]:
 def _summary_changes(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
     changes = []
     for key in sorted(set(old) | set(new)):
+        if _volatile_metric(key):  # timings regress via tolerances instead
+            continue
         a, b = old.get(key), new.get(key)
         if a != b:
             changes.append(f"summary[{key}]: {a!r} -> {b!r}")
@@ -129,12 +159,17 @@ def _timing_regressions(
     threshold: float,
     tolerances: Optional[Dict[str, float]] = None,
     exp_id: str = "",
+    old_summary: Optional[Dict[str, Any]] = None,
+    new_summary: Optional[Dict[str, Any]] = None,
 ) -> Tuple[List[str], List[str]]:
     """``(regressions, notes)`` for one experiment's timing sidecars.
 
-    Notes record comparisons that were deliberately *skipped* (today:
-    the ``speedup`` metric when ``cpu_count`` differs between sides) so
-    a passing gate still says what it chose not to check.
+    Speedup-named *summary* scalars (``max_speedup`` etc., excluded from
+    the exact drift check as volatile) regress here too: lower is worse,
+    same tolerance lookup as the sidecar ``speedup``.  Notes record
+    comparisons that were deliberately *skipped* (today: speedups when
+    ``cpu_count`` differs between sides) so a passing gate still says
+    what it chose not to check.
     """
 
     def tol(name: str) -> float:
@@ -158,21 +193,34 @@ def _timing_regressions(
         if b > a * (1.0 + tol(name)):
             regressions.append(f"{name}: {a:.3f}s -> {b:.3f}s (+{(b / a - 1) * 100:.0f}%)")
 
-    # speedup: higher is better, and only comparable on equal hardware
+    # speedups: higher is better, and only comparable on equal hardware
     # parallelism — a 1-CPU runner cannot reproduce a 4-CPU speedup.
-    a_speed, b_speed = old.get("speedup"), new.get("speedup")
-    if a_speed is not None and b_speed is not None:
-        a_cpu, b_cpu = old.get("cpu_count"), new.get("cpu_count")
+    speed_pairs: List[Tuple[str, Any, Any]] = [
+        ("speedup", old.get("speedup"), new.get("speedup"))
+    ]
+    old_summary = old_summary or {}
+    new_summary = new_summary or {}
+    for key in sorted(set(old_summary) | set(new_summary)):
+        if "speedup" in key.lower():
+            speed_pairs.append(
+                (f"summary[{key}]", old_summary.get(key), new_summary.get(key))
+            )
+    a_cpu, b_cpu = old.get("cpu_count"), new.get("cpu_count")
+    for name, a_speed, b_speed in speed_pairs:
+        if not isinstance(a_speed, (int, float)) or not isinstance(
+            b_speed, (int, float)
+        ):
+            continue
         if a_cpu != b_cpu:
             reason = (
-                f"speedup comparison skipped: cpu_count {a_cpu} -> {b_cpu} "
+                f"{name} comparison skipped: cpu_count {a_cpu} -> {b_cpu} "
                 f"(baseline measured under different hardware parallelism)"
             )
             logger.info("%s: %s", exp_id or "bench-diff", reason)
             notes.append(reason)
         elif b_speed < a_speed * (1.0 - tol("speedup")):
             regressions.append(
-                f"speedup: {a_speed:.2f}x -> {b_speed:.2f}x "
+                f"{name}: {a_speed:.2f}x -> {b_speed:.2f}x "
                 f"({(b_speed / a_speed - 1) * 100:.0f}%)"
             )
     return regressions, notes
@@ -217,11 +265,13 @@ def diff_dirs(
             diffs.append(BenchDiff(exp_id, "only-new", ["no baseline to compare against"]))
             continue
         o, n = old[exp_id], new[exp_id]
-        drift = _cell_changes(o.get("rows", []), n.get("rows", []))
+        headers = o.get("headers") or n.get("headers") or []
+        drift = _cell_changes(o.get("rows", []), n.get("rows", []), headers)
         drift += _summary_changes(o.get("summary", {}), n.get("summary", {}))
         slow, notes = _timing_regressions(
             o.get("timings", {}), n.get("timings", {}), threshold,
             tolerances=tolerances, exp_id=exp_id,
+            old_summary=o.get("summary", {}), new_summary=n.get("summary", {}),
         )
         status = "regression" if slow else ("drift" if drift else "ok")
         diffs.append(

@@ -71,6 +71,9 @@ class Instrumentation:
 
         # Per-run state.
         self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        #: engine-reported run annotations (e.g. the batch backend's
+        #: adjacency representation), merged into :meth:`run_metrics`
+        self.extra: Dict[str, Any] = {}
         self.rounds = 0
         self.bits_sent = 0
         self.messages_delivered = 0
@@ -129,7 +132,7 @@ class Instrumentation:
 
     def run_metrics(self) -> dict:
         """JSON-ready per-run summary (the shape persisted to JSONL)."""
-        return {
+        metrics = {
             "rounds": self.rounds,
             "bits_sent": self.bits_sent,
             "messages_delivered": self.messages_delivered,
@@ -137,6 +140,8 @@ class Instrumentation:
             "wall_seconds": self.wall_seconds,
             "phase_seconds": dict(self.phase_seconds),
         }
+        metrics.update(self.extra)
+        return metrics
 
     def render_phases(self) -> str:
         """Human-readable phase-timing breakdown (one line per phase)."""

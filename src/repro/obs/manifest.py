@@ -100,18 +100,33 @@ class RunManifest:
     #: which execution backend produced the run ("reference" or "batch");
     #: the backends are bit-identical, so this is provenance, not meaning
     backend: str = "reference"
+    #: batch backend only: the adjacency representation the schedule tape
+    #: used ("dense"/"bitset"/"csr"/"scan") and the dense cutoff it ran
+    #: under — provenance for the perf model, None on reference runs
+    representation: Optional[str] = None
+    dense_node_limit: Optional[int] = None
+    #: whether the run's coin folds rode a lockstep replica coin block
+    vectorized_replicas: bool = False
 
     @classmethod
     def from_engine(cls, engine: Any) -> "RunManifest":
         """Capture an engine's identifying parameters."""
         coin_source = getattr(engine, "coin_source", None)
+        backend = getattr(engine, "backend", "reference")
         return cls(
             seed=getattr(coin_source, "seed", None),
             num_nodes=len(engine.nodes),
             adversary=type(engine.adversary).__name__,
             bandwidth_factor=getattr(engine, "bandwidth_factor", None),
             check_connected=getattr(engine, "check_connected", True),
-            backend=getattr(engine, "backend", "reference"),
+            backend=backend,
+            representation=getattr(engine, "representation", None),
+            dense_node_limit=(
+                getattr(engine, "dense_node_limit", None)
+                if backend == "batch"
+                else None
+            ),
+            vectorized_replicas=getattr(engine, "vectorized_replicas", False),
         )
 
     def as_dict(self) -> dict:

@@ -209,6 +209,11 @@ class SpanRecorder:
         }
         if protocol:
             tags["protocol"] = protocol
+        representation = getattr(manifest, "representation", None)
+        if representation is not None:  # batch runs: attribute the kernel
+            tags["representation"] = representation
+        if getattr(manifest, "vectorized_replicas", False):
+            tags["vector_replicas"] = True
         wall = 0.0
         phase_seconds: Dict[str, float] = {}
         if instr is not None:

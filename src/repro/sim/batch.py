@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import contextlib
 import logging
+import sys
 from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
@@ -77,7 +78,7 @@ from ..errors import (
 )
 from .actions import Receive, Send
 from .coins import Coins, CoinSource
-from .encoding import interned_encoding
+from .encoding import EncodingMemo, immutable_payload as _immutable_payload
 from .engine import (
     ROUND_STAGES,
     AdversaryView,
@@ -93,11 +94,13 @@ from .trace import ExecutionTrace, RoundRecord
 __all__ = [
     "ScheduleTape",
     "BatchEngine",
+    "ReplicaCoinBlock",
     "run_batch_replicas",
     "build_engine",
     "batch_fallback_reason",
     "fallback_log_scope",
     "DENSE_NODE_LIMIT",
+    "SPARSE_REPRESENTATIONS",
 ]
 
 logger = logging.getLogger("repro.sim.batch")
@@ -105,10 +108,22 @@ logger = logging.getLogger("repro.sim.batch")
 Edge = Tuple[int, int]
 
 #: Above this many nodes the tape stops building dense adjacency
-#: matrices (N x N booleans per unique topology) and keeps neighbor
-#: lists instead; delivery falls back to per-receiver scans with the
-#: interned encodings still applied.
+#: matrices (N x N booleans per unique topology) and switches to sparse
+#: rows — packed ``np.uint64`` bitsets for dense edge sets, CSR index
+#: arrays for sparse ones — so delivery stays a vectorized submatrix
+#: gather at N in the thousands.  ``RunConfig(dense_node_limit=...)``
+#: overrides per run; ``0`` forces the sparse path everywhere.
 DENSE_NODE_LIMIT = 512
+
+#: sparse-representation requests accepted by :class:`ScheduleTape`:
+#: ``auto`` picks per topology by edge density, the rest force one kind
+#: ("scan" is the legacy per-receiver neighbor-list path, kept as a
+#: differential-testing oracle and benchmark baseline).
+SPARSE_REPRESENTATIONS: Tuple[str, ...] = ("auto", "bitset", "csr", "scan")
+
+#: packed-bitset rows decode via little-endian ``np.unpackbits``; on a
+#: big-endian host the auto selector simply never picks them
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -125,26 +140,6 @@ def _fnv_fold(h: int, part: int) -> int:
         if value == 0:
             break
     return h
-
-
-#: leaf types whose values can never change under a live reference
-_SCALAR_TYPES = frozenset((int, float, bool, str, bytes, type(None)))
-
-
-def _immutable_payload(payload: Any) -> bool:
-    """True iff this exact object's encoding can be memoized by identity.
-
-    Flat tuples of scalars (and bare scalars) are immutable all the way
-    down, so the same object always encodes the same way.  Anything
-    nested or mutable falls back to the value-keyed interned cache.
-    """
-    cls = payload.__class__
-    if cls is tuple:
-        for item in payload:
-            if item.__class__ not in _SCALAR_TYPES:
-                return False
-        return True
-    return cls in _SCALAR_TYPES
 
 
 def batch_fallback_reason(adversary: Any) -> Optional[str]:
@@ -214,22 +209,76 @@ def _log_fallback(reason: str) -> None:
     report_event("batch-fallback", reason)
 
 
+def _log_representation(kind: str, n: int, dense_node_limit: int) -> None:
+    """Log one tape's chosen adjacency representation (satellite of the
+    fallback log: once per cell via the same scope dedup).  Dense is the
+    overwhelmingly common small-N case and logs at DEBUG; the sparse
+    kinds log at INFO because they change the delivery cost model."""
+    message = (
+        f"batch adjacency representation: {kind} "
+        f"(n={n}, dense_node_limit={dense_node_limit})"
+    )
+    seen = _fallback_seen
+    if seen is not None:
+        if message in seen:
+            return
+        seen.add(message)
+    logger.log(logging.DEBUG if kind == "dense" else logging.INFO, "%s", message)
+    from ..obs.spans import span_event
+
+    span_event(
+        "batch-representation",
+        representation=kind,
+        n=n,
+        dense_node_limit=dense_node_limit,
+    )
+
+
 class _Topology:
-    """One unique materialized topology: edges + derived delivery forms."""
+    """One unique materialized topology: edges + its derived delivery form.
 
-    __slots__ = ("edges", "connected", "adj", "neighbors")
+    Exactly one representation is populated, named by ``kind``:
 
-    def __init__(
-        self,
-        edges: FrozenSet[Edge],
-        connected: bool,
-        adj: Optional[np.ndarray],
-        neighbors: Optional[Dict[int, Tuple[int, ...]]],
-    ):
+    ``dense``
+        ``adj`` — an N x N boolean matrix; delivery is one
+        ``np.ix_`` submatrix.  Default at or below the dense limit.
+    ``bitset``
+        ``words`` — packed adjacency rows, ``(N, ceil(N/64))`` of
+        ``np.uint64``; delivery unpacks only the receiver rows
+        (``np.unpackbits``) and reuses the dense tail.  Chosen above
+        the limit when the edge set is dense enough that packed rows
+        cost no more memory than CSR.
+    ``csr``
+        ``indptr``/``indices`` — sorted neighbor index arrays;
+        delivery is one vectorized gather + lexsort over the receiver
+        adjacency lists.  Chosen above the limit for sparse edge sets
+        (the constant-degree lower-bound instances).
+    ``scan``
+        ``neighbors`` — uid -> neighbor-uid tuples; the legacy
+        per-receiver python scan, kept as a forced-mode oracle and
+        benchmark baseline (never auto-selected).
+    """
+
+    __slots__ = (
+        "edges",
+        "connected",
+        "kind",
+        "adj",
+        "words",
+        "indptr",
+        "indices",
+        "neighbors",
+    )
+
+    def __init__(self, edges: FrozenSet[Edge], connected: bool, kind: str):
         self.edges = edges
         self.connected = connected
-        self.adj = adj
-        self.neighbors = neighbors
+        self.kind = kind
+        self.adj: Optional[np.ndarray] = None
+        self.words: Optional[np.ndarray] = None
+        self.indptr: Optional[np.ndarray] = None
+        self.indices: Optional[np.ndarray] = None
+        self.neighbors: Optional[Dict[int, Tuple[int, ...]]] = None
 
 
 class ScheduleTape:
@@ -272,12 +321,24 @@ class ScheduleTape:
     def __init__(
         self,
         adversary: Any,
-        dense_node_limit: int = DENSE_NODE_LIMIT,
+        dense_node_limit: Optional[int] = None,
         incremental: bool = False,
+        sparse: str = "auto",
     ):
         reason = batch_fallback_reason(adversary)
         if reason is not None:
             raise ConfigurationError(f"cannot tape this adversary: {reason}")
+        if sparse not in SPARSE_REPRESENTATIONS:
+            raise ConfigurationError(
+                f"unknown sparse representation {sparse!r}; expected one of "
+                f"{', '.join(SPARSE_REPRESENTATIONS)}"
+            )
+        if dense_node_limit is None:
+            dense_node_limit = DENSE_NODE_LIMIT
+        elif dense_node_limit < 0:
+            raise ConfigurationError(
+                f"dense_node_limit must be >= 0, got {dense_node_limit}"
+            )
         if not incremental and not getattr(adversary, "oblivious", False):
             raise ConfigurationError(
                 f"cannot tape this adversary for replay: "
@@ -290,12 +351,16 @@ class ScheduleTape:
         self.adversary = adversary
         self.dense_node_limit = dense_node_limit
         self.incremental = incremental
+        self.sparse = sparse
         self._node_ids: Optional[FrozenSet[int]] = None
         self._uid_index: Dict[int, int] = {}
         self._by_key: Dict[Any, _Topology] = {}
         self._by_content: Dict[FrozenSet[Edge], _Topology] = {}
         #: incremental mode: round -> interned topology, as committed
         self._by_round: Dict[int, _Topology] = {}
+        #: representation kind -> number of unique topologies built as it
+        self.representations: Dict[str, int] = {}
+        self._logged_representation = False
         #: materialization counters (tests + docs/PERFORMANCE.md)
         self.stats: Dict[str, int] = {
             "rounds": 0,
@@ -393,24 +458,176 @@ class ScheduleTape:
         self.stats["committed"] = round_
         return topo
 
+    @property
+    def representation(self) -> Optional[str]:
+        """The kind most unique topologies used (None before the first)."""
+        reps = self.representations
+        if not reps:
+            return None
+        return max(sorted(reps), key=reps.__getitem__)
+
+    def _representation_for(self, n: int, num_edges: int) -> str:
+        """Pick the delivery form for one topology (forced or by density).
+
+        Above the dense limit the choice is memory-proportional: packed
+        bitset rows cost ~N^2/8 bytes per unique topology, CSR costs
+        ~16E bytes, so bitsets win once E >= N^2/128 — the random/
+        T-interval families with extra edges — while constant-degree
+        instances (E = O(N)) stay CSR.
+        """
+        if self.sparse != "auto":
+            return self.sparse
+        if n <= self.dense_node_limit:
+            return "dense"
+        if _LITTLE_ENDIAN and num_edges * 128 >= n * n:
+            return "bitset"
+        return "csr"
+
     def _materialize(self, edges: FrozenSet[Edge]) -> _Topology:
         connected = _is_connected(self._node_ids, edges)
         n = len(self._node_ids)
         idx = self._uid_index
-        if n <= self.dense_node_limit:
-            adj = np.zeros((n, n), dtype=bool)
+        kind = self._representation_for(n, len(edges))
+        topo = _Topology(edges, connected, kind)
+        self.representations[kind] = self.representations.get(kind, 0) + 1
+        if not self._logged_representation:
+            self._logged_representation = True
+            _log_representation(kind, n, self.dense_node_limit)
+        if kind == "scan":
+            neighbors: Dict[int, List[int]] = {uid: [] for uid in self._node_ids}
             for u, v in edges:
-                i, j = idx[u], idx[v]
-                adj[i, j] = True
-                adj[j, i] = True
-            return _Topology(edges, connected, adj, None)
-        neighbors: Dict[int, List[int]] = {uid: [] for uid in self._node_ids}
-        for u, v in edges:
-            neighbors[u].append(v)
-            neighbors[v].append(u)
-        return _Topology(
-            edges, connected, None, {u: tuple(vs) for u, vs in neighbors.items()}
+                neighbors[u].append(v)
+                neighbors[v].append(u)
+            topo.neighbors = {u: tuple(vs) for u, vs in neighbors.items()}
+            return topo
+        # Symmetrized endpoint index arrays, built once per unique
+        # topology: row i is adjacent to col j for every directed copy
+        # of every undirected edge.
+        if edges:
+            flat = np.fromiter(
+                (idx[u] for uv in edges for u in uv),
+                dtype=np.intp,
+                count=2 * len(edges),
+            )
+            rows = np.concatenate([flat[0::2], flat[1::2]])
+            cols = np.concatenate([flat[1::2], flat[0::2]])
+        else:
+            rows = cols = np.empty(0, dtype=np.intp)
+        if kind == "dense":
+            adj = np.zeros((n, n), dtype=bool)
+            adj[rows, cols] = True
+            topo.adj = adj
+        elif kind == "bitset":
+            words = np.zeros((n, (n + 63) // 64), dtype=np.uint64)
+            np.bitwise_or.at(
+                words,
+                (rows, cols >> 6),
+                np.left_shift(np.uint64(1), (cols & 63).astype(np.uint64)),
+            )
+            topo.words = words
+        else:  # csr
+            order = np.lexsort((cols, rows))
+            counts = np.bincount(rows, minlength=n)
+            topo.indptr = np.concatenate(
+                (np.zeros(1, dtype=np.intp), np.cumsum(counts, dtype=np.intp))
+            )
+            topo.indices = cols[order]
+        return topo
+
+
+def _csr_delivery(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    recv_idx: np.ndarray,
+    send_idx: np.ndarray,
+    n: int,
+) -> Tuple[List[int], List[int]]:
+    """Per-receiver sender ranks via one flat gather over CSR rows.
+
+    Returns exactly what the dense incidence path derives: per-receiver
+    delivery counts (receiver order) and the concatenated sender ranks
+    grouped by receiver, each group ascending — i.e. the row-major
+    ``np.nonzero`` of the incidence submatrix, without building it.
+    """
+    rank = np.full(n, -1, dtype=np.intp)
+    rank[send_idx] = np.arange(len(send_idx), dtype=np.intp)
+    starts = indptr[recv_idx]
+    lens = indptr[recv_idx + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return [0] * len(recv_idx), []
+    # flat[k] walks receiver recv_idx[g]'s CSR slice for each group g:
+    # a global arange minus each group's exclusive prefix, plus its
+    # CSR start offset.
+    prefix = np.cumsum(lens) - lens
+    flat = np.arange(total, dtype=np.intp) + np.repeat(starts - prefix, lens)
+    rk = rank[indices[flat]]
+    grp = np.repeat(np.arange(len(recv_idx), dtype=np.intp), lens)
+    valid = rk >= 0  # neighbors that sent this round
+    rkv = rk[valid]
+    grpv = grp[valid]
+    order = np.lexsort((rkv, grpv))  # by receiver, then sender rank
+    counts = np.bincount(grpv, minlength=len(recv_idx)).tolist()
+    return counts, rkv[order].tolist()
+
+
+class ReplicaCoinBlock:
+    """The replica-axis coin kernel: one ``(K seeds x N nodes)`` fold state.
+
+    ``stable_hash64((seed, uid, round))`` folds left to right, so
+    ``h(seed) ^ uid`` is a per-(replica, node) constant computable up
+    front as a 2-D uint64 array; each round then finishes *every*
+    replica's fold in one vectorized expression instead of K separate
+    1-D expressions.  Element-wise the arithmetic is identical to
+    :meth:`BatchEngine._coin_states` — same offsets, same prime, same
+    wraparound — so per-replica results stay bit-identical; the win is
+    one numpy dispatch per round for the whole lockstep cohort (plus
+    the cache locality of touching one contiguous block).
+
+    Rows are cached per round: lockstep execution asks for round ``r``
+    of every replica before any asks for ``r + 1``, so the K x N round
+    matrix is computed once and served K times.  Replicas that
+    terminate early simply stop asking; stragglers keep advancing the
+    cache.  Seeds and uids of any sign/magnitude are folded exactly
+    (the scalar prologue handles multi-chunk values); only uids or
+    rounds outside ``[0, 2^64)`` are refused — those cells take the
+    engine's scalar path instead.
+    """
+
+    __slots__ = ("_h", "_round", "_rows", "stats")
+
+    def __init__(self, seeds, uids):
+        uids = list(uids)
+        if not all(0 <= uid < 2 ** 64 for uid in uids):
+            raise ConfigurationError(
+                "replica coin block requires uids in [0, 2**64); use the "
+                "per-engine coin path for exotic uid ranges"
+            )
+        h_seeds = np.array(
+            [_fnv_fold(_FNV_OFFSET, seed) for seed in seeds], dtype=np.uint64
         )
+        uid_arr = np.array(uids, dtype=np.uint64)
+        self._h = (h_seeds[:, np.newaxis] ^ uid_arr[np.newaxis, :]) * np.uint64(
+            _FNV_PRIME
+        )
+        self._round = 0
+        self._rows: Optional[np.ndarray] = None
+        #: kernel counters (tests + `repro profile` span events)
+        self.stats: Dict[str, int] = {"rounds": 0, "rows_served": 0}
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(replicas, nodes)."""
+        return tuple(self._h.shape)
+
+    def row(self, slot: int, round_: int) -> List[int]:
+        """Replica ``slot``'s splitmix seeds for ``round_``, in uid order."""
+        if round_ != self._round:
+            self._rows = (self._h ^ np.uint64(round_)) * np.uint64(_FNV_PRIME)
+            self._round = round_
+            self.stats["rounds"] += 1
+        self.stats["rows_served"] += 1
+        return self._rows[slot].tolist()
 
 
 class BatchEngine:
@@ -419,10 +636,17 @@ class BatchEngine:
     Same constructor shape, ``step()``/``step_stages()``/``run()``
     surface, trace, error types, and instrumentation hooks as
     :class:`~repro.sim.engine.SynchronousEngine`; see that class for the
-    model semantics.  Extra parameter: ``tape``, a shared
+    model semantics.  Extra parameters: ``tape``, a shared
     :class:`ScheduleTape` (one is built from the adversary when absent:
     a replay tape for oblivious adversaries, an incremental one for
-    adaptive adversaries).
+    adaptive adversaries); ``dense_node_limit``/``sparse``, forwarded to
+    that implicit tape (ignored when ``tape`` is given — a shared tape
+    already fixed its representation policy); ``encoding_memo``, a
+    shareable :class:`~repro.sim.encoding.EncodingMemo` (fresh when
+    absent); and ``coin_block``/``coin_slot``, attaching this engine to
+    row ``coin_slot`` of a :class:`ReplicaCoinBlock` built over the
+    lockstep cohort's seeds (absent: the engine folds its own 1-D coin
+    vector, same values).
 
     Adaptive mode runs the identical five-stage round: the actions stage
     additionally materializes the committed-actions mapping, the
@@ -447,6 +671,11 @@ class BatchEngine:
         check_connected: bool = True,
         instrumentation: Optional[Any] = None,
         tape: Optional[ScheduleTape] = None,
+        dense_node_limit: Optional[int] = None,
+        sparse: str = "auto",
+        encoding_memo: Optional[EncodingMemo] = None,
+        coin_block: Optional[ReplicaCoinBlock] = None,
+        coin_slot: int = 0,
     ):
         self.nodes = dict(nodes)
         self.node_ids = frozenset(self.nodes)
@@ -460,7 +689,9 @@ class BatchEngine:
         if tape is None:
             tape = ScheduleTape(
                 adversary,
+                dense_node_limit=dense_node_limit,
                 incremental=not getattr(adversary, "oblivious", False),
+                sparse=sparse,
             )
         self.tape = tape
         #: adaptive mode: the engine writes the tape round by round and
@@ -473,11 +704,15 @@ class BatchEngine:
         #: the overwhelmingly common layout — letting delivery build its
         #: index arrays straight from uid lists.
         self._contiguous = self._uids == list(range(len(self._uids)))
-        # payload-object -> (payload, encoding, bits) memo keyed by id().
-        # Sound only for payloads that are immutable all the way down
-        # (checked once at insert); the stored reference keeps the id
-        # alive.  Mutable or nested payloads use interned_encoding.
-        self._id_memo: Dict[int, Tuple[Any, bytes, int]] = {}
+        # Identity-keyed payload->encoding memo; shareable across a
+        # lockstep cohort (see EncodingMemo for the soundness argument).
+        self._encoding_memo = encoding_memo if encoding_memo is not None else (
+            EncodingMemo()
+        )
+        # A cohort coin block trumps the per-engine vector: same folds,
+        # one 2-D expression per round for all replicas.
+        self._coin_block = coin_block
+        self._coin_slot = coin_slot
         # Vectorized coin-state derivation: stable_hash64((seed, uid, r))
         # folds left to right, so h(seed) is a run constant and
         # h(seed, uid) a per-node constant; per round one uint64 vector
@@ -503,11 +738,32 @@ class BatchEngine:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def representation(self) -> Optional[str]:
+        """Adjacency representation the tape used (None before round 1)."""
+        return self.tape.representation
+
+    @property
+    def dense_node_limit(self) -> int:
+        """The dense-adjacency cutoff this engine's tape runs under."""
+        return self.tape.dense_node_limit
+
+    @property
+    def vectorized_replicas(self) -> bool:
+        """True when this engine rides a lockstep replica coin block."""
+        return self._coin_block is not None
+
     def _coin_states(self, round_: int) -> List[int]:
         """splitmix64 seeds for every node this round, in uid order."""
-        if self._h_seed_uid is not None and 1 <= round_ < 2 ** 64:
-            states = (self._h_seed_uid ^ np.uint64(round_)) * np.uint64(_FNV_PRIME)
-            return states.tolist()
+        if 1 <= round_ < 2 ** 64:
+            block = self._coin_block
+            if block is not None:
+                return block.row(self._coin_slot, round_)
+            if self._h_seed_uid is not None:
+                states = (self._h_seed_uid ^ np.uint64(round_)) * np.uint64(
+                    _FNV_PRIME
+                )
+                return states.tolist()
         source = self.coin_source  # pragma: no cover - exotic uid ranges
         return [
             _fnv_fold(_fnv_fold(_fnv_fold(_FNV_OFFSET, source.seed), uid), round_)
@@ -586,32 +842,47 @@ class BatchEngine:
                 f"round {state.round}: adversary topology is disconnected"
             )
 
+    def _delivery_indices(
+        self, receiver_list: List[int], sorted_uids: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(receiver, sender) dense index arrays for the incidence gather."""
+        if self._contiguous:
+            return (
+                np.array(receiver_list, dtype=np.intp),
+                np.array(sorted_uids, dtype=np.intp),
+            )
+        idx = self.tape.uid_index
+        return (
+            np.fromiter(
+                (idx[u] for u in receiver_list),
+                dtype=np.intp,
+                count=len(receiver_list),
+            ),
+            np.fromiter(
+                (idx[u] for u in sorted_uids),
+                dtype=np.intp,
+                count=len(sorted_uids),
+            ),
+        )
+
     def _stage_delivery(self, state: _RoundState) -> None:
         """(4): delivery.  Encodings and CONGEST bits come from the
-        per-engine identity memo (payload objects repeat across
-        rounds), falling back to the process-global interned cache."""
+        identity memo (payload objects repeat across rounds — and
+        across lockstep replicas when the memo is shared), falling back
+        to the process-global interned cache."""
         r = state.round
         topo = state.topo
         edges = state.edges
         send_uids = state.send_uids
         send_payloads = state.send_payloads
         receiver_list = state.receiver_list
-        memo = self._id_memo
+        lookup = self._encoding_memo.lookup
         encodings: List[bytes] = []
         bits_list: List[int] = []
         append_enc = encodings.append
         append_bits = bits_list.append
         for payload in send_payloads:
-            entry = memo.get(id(payload))
-            if entry is not None and entry[0] is payload:
-                append_enc(entry[1])
-                append_bits(entry[2])
-                continue
-            enc, nbits = interned_encoding(payload)
-            if _immutable_payload(payload):
-                if len(memo) >= 4096:  # bound memory on payload churn
-                    memo.clear()
-                memo[id(payload)] = (payload, enc, nbits)
+            enc, nbits = lookup(payload)
             append_enc(enc)
             append_bits(nbits)
         budget = self.budget
@@ -636,33 +907,7 @@ class BatchEngine:
             for uid in receiver_list:
                 delivered[uid] = 0
                 nodes[uid].on_messages(r, ())
-        elif topo.adj is not None:
-            if self._contiguous:
-                recv_idx = np.array(receiver_list, dtype=np.intp)
-                send_idx = np.array(sorted_uids, dtype=np.intp)
-            else:
-                idx = self.tape.uid_index
-                recv_idx = np.fromiter(
-                    (idx[u] for u in receiver_list),
-                    dtype=np.intp,
-                    count=len(receiver_list),
-                )
-                send_idx = np.fromiter(
-                    (idx[u] for u in sorted_uids),
-                    dtype=np.intp,
-                    count=len(sorted_uids),
-                )
-            incidence = topo.adj[np.ix_(recv_idx, send_idx)]
-            counts = incidence.sum(axis=1).tolist()
-            cols = np.nonzero(incidence)[1].tolist()  # row-major: grouped
-            getter = sorted_payloads.__getitem__
-            pos = 0
-            for uid, count in zip(receiver_list, counts):
-                delivered[uid] = count
-                end = pos + count
-                nodes[uid].on_messages(r, tuple(map(getter, cols[pos:end])))
-                pos = end
-        else:
+        elif topo.neighbors is not None:  # legacy scan oracle
             rank = {uid: k for k, uid in enumerate(sorted_uids)}
             neighbors = topo.neighbors
             for uid in receiver_list:
@@ -670,6 +915,31 @@ class BatchEngine:
                 senders.sort(key=rank.__getitem__)
                 delivered[uid] = len(senders)
                 nodes[uid].on_messages(r, tuple(sends[v] for v in senders))
+        else:
+            recv_idx, send_idx = self._delivery_indices(receiver_list, sorted_uids)
+            if topo.indptr is not None:  # csr
+                counts, cols = _csr_delivery(
+                    topo.indptr, topo.indices, recv_idx, send_idx, len(self._uids)
+                )
+            else:
+                if topo.adj is not None:
+                    incidence = topo.adj[np.ix_(recv_idx, send_idx)]
+                else:  # bitset: unpack only the receiver rows
+                    incidence = np.unpackbits(
+                        topo.words[recv_idx].view(np.uint8),
+                        axis=1,
+                        bitorder="little",
+                        count=len(self._uids),
+                    )[:, send_idx]
+                counts = incidence.sum(axis=1, dtype=np.intp).tolist()
+                cols = np.nonzero(incidence)[1].tolist()  # row-major: grouped
+            getter = sorted_payloads.__getitem__
+            pos = 0
+            for uid, count in zip(receiver_list, counts):
+                delivered[uid] = count
+                end = pos + count
+                nodes[uid].on_messages(r, tuple(map(getter, cols[pos:end])))
+                pos = end
         for uid in send_uids:
             nodes[uid].on_sent(r)
 
@@ -767,6 +1037,10 @@ class BatchEngine:
                 break
         self.trace.outputs = {uid: node.output() for uid, node in self.nodes.items()}
         if self.instrumentation is not None:
+            extra = getattr(self.instrumentation, "extra", None)
+            if extra is not None:
+                extra["representation"] = self.representation
+                extra["vectorized_replicas"] = self.vectorized_replicas
             self.instrumentation.run_finished(self)
         return self.trace
 
@@ -780,6 +1054,8 @@ def build_engine(
     instrumentation: Optional[Any] = None,
     backend: str = "reference",
     tape: Optional[ScheduleTape] = None,
+    dense_node_limit: Optional[int] = None,
+    sparse: str = "auto",
 ):
     """Construct the engine a resolved backend name asks for.
 
@@ -789,7 +1065,9 @@ def build_engine(
     with the reason logged once per :func:`fallback_log_scope` — the run
     is always correct, the fast path is best-effort.  This is the single
     dispatch point the runner, the analysis drivers, and the tests
-    share.
+    share.  ``dense_node_limit``/``sparse`` shape the implicit tape's
+    adjacency representation (ignored with an explicit ``tape``, and by
+    the reference engine, which has no materialized adjacency at all).
     """
     from .engine import SynchronousEngine
 
@@ -804,6 +1082,8 @@ def build_engine(
                 check_connected=check_connected,
                 instrumentation=instrumentation,
                 tape=tape,
+                dense_node_limit=dense_node_limit,
+                sparse=sparse,
             )
         _log_fallback(reason)
     elif backend != "reference":
@@ -828,6 +1108,9 @@ def run_batch_replicas(
     check_connected: bool = True,
     instrument: bool = False,
     registry: Optional[Any] = None,
+    dense_node_limit: Optional[int] = None,
+    vector_replicas: bool = False,
+    sparse: str = "auto",
 ) -> List[Any]:
     """Run one cell's replicas on the batch engine; list of ``ProtocolRun``.
 
@@ -845,16 +1128,33 @@ def run_batch_replicas(
     order afterwards.  Instrumented replicas (explicit or via an ambient
     observation session) run sequentially instead, keeping each run's
     wall-clock span meaningful and the session's run numbering ordered.
+
+    ``vector_replicas=True`` additionally fuses the cohort onto one
+    :class:`ReplicaCoinBlock` — a ``(K seeds x N nodes)`` uint64 coin
+    state advanced in one numpy expression per lockstep round — and one
+    shared :class:`~repro.sim.encoding.EncodingMemo`, so coin folds and
+    payload encodings are paid once per cell instead of once per
+    replica.  Per-replica results stay bit-identical (the block computes
+    the same folds element-wise); the fusion silently stands down on
+    instrumented cells (they run sequentially, not in lockstep) and on
+    exotic uid ranges the block cannot fold.  ``dense_node_limit`` and
+    ``sparse`` shape every tape's adjacency representation.
     """
     from .runner import ProtocolRun
 
     require(max_rounds is not None and max_rounds >= 0, "max_rounds must be >= 0")
+    seeds = list(seeds)
     adversary = make_adversary()
     reason = batch_fallback_reason(adversary)
     if reason is not None:
         raise ConfigurationError(f"cannot run batch replicas: {reason}")
     oblivious = bool(getattr(adversary, "oblivious", False))
-    shared_tape = ScheduleTape(adversary) if oblivious else None
+    shared_tape = (
+        ScheduleTape(adversary, dense_node_limit=dense_node_limit, sparse=sparse)
+        if oblivious
+        else None
+    )
+    shared_memo = EncodingMemo() if vector_replicas and not instrument else None
     engines: List[BatchEngine] = []
     for seed in seeds:
         instrumentation = None
@@ -868,7 +1168,12 @@ def run_batch_replicas(
             # A fresh adversary per seed: adaptive families may be
             # stateful, and each run's view drives its own tape.
             adv = adversary if not engines else make_adversary()
-            tape = ScheduleTape(adv, incremental=True)
+            tape = ScheduleTape(
+                adv,
+                dense_node_limit=dense_node_limit,
+                incremental=True,
+                sparse=sparse,
+            )
         engines.append(
             BatchEngine(
                 make_nodes(),
@@ -878,8 +1183,24 @@ def run_batch_replicas(
                 check_connected=check_connected,
                 instrumentation=instrumentation,
                 tape=tape,
+                encoding_memo=shared_memo,
             )
         )
+    coin_block: Optional[ReplicaCoinBlock] = None
+    if (
+        vector_replicas
+        and engines
+        and all(engine.instrumentation is None for engine in engines)
+        and all(engine._uids == engines[0]._uids for engine in engines)
+    ):
+        try:
+            coin_block = ReplicaCoinBlock(seeds, engines[0]._uids)
+        except ConfigurationError:
+            coin_block = None  # exotic uids: per-engine coin paths
+        if coin_block is not None:
+            for slot, engine in enumerate(engines):
+                engine._coin_block = coin_block
+                engine._coin_slot = slot
     from ..obs.progress import current_reporter
     from ..obs.spans import span_event
 
@@ -910,14 +1231,39 @@ def run_batch_replicas(
     # How well the tape(s) amortized: one event span per chunk, so
     # `repro profile` can report interning effectiveness per cell.  For
     # adaptive cells the per-engine incremental tapes are aggregated.
+    # The replica-axis kernel, when engaged, reports its own counters
+    # (coin_rounds ~ unique rounds, coin_rows ~ replica-rounds served).
+    vector_fields: Dict[str, Any] = {"vector_replicas": coin_block is not None}
+    if coin_block is not None:
+        vector_fields["coin_rounds"] = coin_block.stats["rounds"]
+        vector_fields["coin_rows"] = coin_block.stats["rows_served"]
     if shared_tape is not None:
-        span_event("tape-stats", replicas=len(engines), **shared_tape.stats)
+        span_event(
+            "tape-stats",
+            replicas=len(engines),
+            representation=shared_tape.representation,
+            **vector_fields,
+            **shared_tape.stats,
+        )
     else:
         agg: Dict[str, int] = {}
+        reps: Dict[str, int] = {}
         for engine in engines:
             for key, value in engine.tape.stats.items():
                 agg[key] = agg.get(key, 0) + value
-        span_event("tape-stats", replicas=len(engines), **agg)
+            rep = engine.tape.representation
+            if rep is not None:
+                reps[rep] = reps.get(rep, 0) + 1
+        representation = (
+            max(sorted(reps), key=reps.__getitem__) if reps else None
+        )
+        span_event(
+            "tape-stats",
+            replicas=len(engines),
+            representation=representation,
+            **vector_fields,
+            **agg,
+        )
     runs: List[Any] = []
     for engine in engines:
         trace = engine.trace
@@ -935,6 +1281,7 @@ def run_batch_replicas(
                 outputs=trace.outputs,
                 metrics=metrics,
                 backend="batch",
+                representation=engine.representation,
             )
         )
     return runs

@@ -31,13 +31,27 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from .messages import DEFAULT_BANDWIDTH_FACTOR
 
-__all__ = ["RunConfig", "BACKENDS", "BACKEND_ENV", "coerce_config", "resolve_backend"]
+__all__ = [
+    "RunConfig",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "VECTOR_REPLICAS_ENV",
+    "coerce_config",
+    "resolve_backend",
+    "resolve_vector_replicas",
+]
 
 #: recognized execution backends, in documentation order
 BACKENDS: Tuple[str, ...] = ("reference", "batch")
 
 #: environment variable supplying the default backend (cf. REPRO_WORKERS)
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: environment variable supplying the replica-axis vectorization default
+VECTOR_REPLICAS_ENV = "REPRO_VECTOR_REPLICAS"
+
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+_FALSY = frozenset(("", "0", "false", "no", "off"))
 
 
 def resolve_backend(backend: Optional[str]) -> str:
@@ -54,6 +68,28 @@ def resolve_backend(backend: Optional[str]) -> str:
             f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
         )
     return backend
+
+
+def resolve_vector_replicas(vector_replicas: Optional[bool]) -> bool:
+    """Resolve a replica-axis vectorization request against the environment.
+
+    Same precedence ladder as :func:`resolve_backend`: an explicit
+    ``True``/``False`` wins, ``None`` defers to
+    ``$REPRO_VECTOR_REPLICAS`` (``1/true/yes/on`` enable,
+    ``0/false/no/off`` or unset disable; anything else is a
+    :class:`~repro.errors.ConfigurationError`).
+    """
+    if vector_replicas is not None:
+        return bool(vector_replicas)
+    raw = os.environ.get(VECTOR_REPLICAS_ENV, "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    if raw in _FALSY:
+        return False
+    raise ConfigurationError(
+        f"cannot parse {VECTOR_REPLICAS_ENV}={raw!r}: expected one of "
+        f"{', '.join(sorted(_TRUTHY))} / {', '.join(sorted(x for x in _FALSY if x))}"
+    )
 
 
 @dataclass(frozen=True)
@@ -87,6 +123,21 @@ class RunConfig:
         bit-identical on oblivious and adaptive adversaries alike, and
         falls back to the reference engine, with a logged reason, only
         for adversaries that declare ``dynamic_nodes=True``.
+    vector_replicas:
+        Replica-axis vectorization for ``replicate`` under the batch
+        backend: the K replicas of a cell advance their coin folds as
+        one ``(K seeds x N nodes)`` uint64 state and share one encoding
+        memo (``None`` defers to ``$REPRO_VECTOR_REPLICAS``, then off).
+        Per-replica results stay bit-identical; ignored on the
+        reference backend and on instrumented runs (which execute
+        sequentially, not in lockstep).
+    dense_node_limit:
+        Node-count cutoff above which the batch backend switches from
+        dense N x N adjacency matrices to sparse rows (packed bitsets
+        or CSR, chosen per topology by edge density).  ``None`` defers
+        to :data:`~repro.sim.batch.DENSE_NODE_LIMIT`; ``0`` forces the
+        sparse path everywhere.  Recorded by :meth:`as_dict` so cached
+        manifests capture which representation shaped a run.
     """
 
     seed: Optional[int] = None
@@ -97,6 +148,8 @@ class RunConfig:
     registry: Optional[Any] = None
     workers: Optional[int] = None
     backend: Optional[str] = None
+    vector_replicas: Optional[bool] = None
+    dense_node_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:
@@ -104,11 +157,27 @@ class RunConfig:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {', '.join(BACKENDS)}"
             )
+        if self.dense_node_limit is not None and self.dense_node_limit < 0:
+            raise ConfigurationError(
+                f"dense_node_limit must be >= 0, got {self.dense_node_limit}"
+            )
 
     # -- derived ---------------------------------------------------------
     def resolved_backend(self) -> str:
         """The backend this config actually selects (env-resolved)."""
         return resolve_backend(self.backend)
+
+    def resolved_vector_replicas(self) -> bool:
+        """Whether this config selects replica-axis vectorization."""
+        return resolve_vector_replicas(self.vector_replicas)
+
+    def resolved_dense_node_limit(self) -> int:
+        """The dense-adjacency cutoff this config actually selects."""
+        if self.dense_node_limit is not None:
+            return self.dense_node_limit
+        from .batch import DENSE_NODE_LIMIT  # local: avoid import cycle
+
+        return DENSE_NODE_LIMIT
 
     # -- ergonomics ------------------------------------------------------
     def evolve(self, **changes: Any) -> "RunConfig":

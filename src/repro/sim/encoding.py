@@ -28,7 +28,14 @@ from typing import Any, Dict, Tuple
 
 from .._util import bit_size, canonical_encoding
 
-__all__ = ["interned_encoding", "types_match", "cache_info", "clear_cache"]
+__all__ = [
+    "interned_encoding",
+    "types_match",
+    "cache_info",
+    "clear_cache",
+    "immutable_payload",
+    "EncodingMemo",
+]
 
 #: payload -> (payload-as-stored, canonical encoding, bit size).  The
 #: stored payload lets each hit verify structural types (see module
@@ -92,6 +99,69 @@ def interned_encoding(payload: Any) -> Tuple[bytes, int]:
             _CACHE.clear()
         _CACHE[payload] = (payload, enc, bits)
     return enc, bits
+
+
+#: leaf types whose values can never change under a live reference
+_SCALAR_TYPES = frozenset((int, float, bool, str, bytes, type(None)))
+
+
+def immutable_payload(payload: Any) -> bool:
+    """True iff this exact object's encoding can be memoized by identity.
+
+    Flat tuples of scalars (and bare scalars) are immutable all the way
+    down, so the same object always encodes the same way.  Anything
+    nested or mutable falls back to the value-keyed interned cache.
+    """
+    cls = payload.__class__
+    if cls is tuple:
+        for item in payload:
+            if item.__class__ not in _SCALAR_TYPES:
+                return False
+        return True
+    return cls in _SCALAR_TYPES
+
+
+class EncodingMemo:
+    """An identity-keyed ``payload -> (encoding, bits)`` memo.
+
+    Protocols re-send the *same object* round after round (a node holds
+    its best estimate and keeps forwarding it), so an ``id()`` lookup
+    beats even the interned table's hash-and-verify.  Admission is
+    restricted to payloads :func:`immutable_payload` vouches for —
+    identity then implies value — and every miss falls through to
+    :func:`interned_encoding`, so the memo can only save work, never
+    change a result.
+
+    Each :class:`~repro.sim.batch.BatchEngine` owns one by default;
+    :func:`~repro.sim.batch.run_batch_replicas` shares a single memo
+    across all K lockstep replicas of a cell when the replica-axis
+    vector path is on, so a payload object common to the replicas is
+    encoded once per cell instead of once per engine.  Bounded: the
+    memo clears itself at ``limit`` entries (payload churn would
+    otherwise pin every sent object alive via the stored reference).
+    """
+
+    __slots__ = ("_memo", "limit")
+
+    def __init__(self, limit: int = 4096):
+        self._memo: Dict[int, Tuple[Any, bytes, int]] = {}
+        self.limit = limit
+
+    def lookup(self, payload: Any) -> Tuple[bytes, int]:
+        """``(canonical_encoding, bit_size)`` via identity, then interning."""
+        memo = self._memo
+        entry = memo.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            return entry[1], entry[2]
+        enc, nbits = interned_encoding(payload)
+        if immutable_payload(payload):
+            if len(memo) >= self.limit:  # bound memory on payload churn
+                memo.clear()
+            memo[id(payload)] = (payload, enc, nbits)
+        return enc, nbits
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
 
 def cache_info() -> Dict[str, int]:

@@ -81,6 +81,9 @@ class ProtocolRun:
     #: which engine produced this run ("reference" or "batch"); batch
     #: requests that fell back to the reference engine record "reference"
     backend: str = "reference"
+    #: batch runs only: the adjacency representation the schedule tape
+    #: settled on ("dense"/"bitset"/"csr"/"scan"); None on reference runs
+    representation: Optional[str] = None
 
     @property
     def total_bits(self) -> int:
@@ -148,6 +151,7 @@ def run_protocol(
         check_connected=cfg.check_connected,
         instrumentation=instrumentation,
         backend=cfg.resolved_backend(),
+        dense_node_limit=cfg.dense_node_limit,
     )
     trace = engine.run(cfg.max_rounds)
     terminated = trace.termination_round is not None
@@ -163,6 +167,7 @@ def run_protocol(
         outputs=trace.outputs,
         metrics=metrics,
         backend=engine.backend,
+        representation=getattr(engine, "representation", None),
     )
 
 
@@ -264,12 +269,17 @@ def _replicate_batch_task(
     bandwidth_factor: int,
     check_connected: bool,
     instrument: bool,
+    dense_node_limit: Optional[int],
+    vector_replicas: bool,
 ) -> Tuple[List[ProtocolRun], Optional[Any]]:
     """One contiguous seed chunk on the batch backend, inside a worker.
 
     The chunk shares a single schedule tape (that is what the chunking
-    buys); the worker's registry rides back for in-order merging exactly
-    like :func:`_replicate_task`.
+    buys) — and, with ``vector_replicas``, one replica coin block and
+    encoding memo; the worker's registry rides back for in-order merging
+    exactly like :func:`_replicate_task`.  The parent pre-resolved
+    ``vector_replicas``/``dense_node_limit``, so workers never re-read
+    the environment.
     """
     registry = None
     if instrument:
@@ -285,6 +295,8 @@ def _replicate_batch_task(
         check_connected=check_connected,
         instrument=instrument,
         registry=registry,
+        dense_node_limit=dense_node_limit,
+        vector_replicas=vector_replicas,
     )
     return runs, registry
 
@@ -336,6 +348,10 @@ def replicate(
     :func:`repro.sim.batch.run_batch_replicas`); ``dynamic_nodes``
     adversaries fall back to the reference engine with a reason logged
     once per cell, identical results either way.
+    ``vector_replicas=True`` (or ``$REPRO_VECTOR_REPLICAS``)
+    additionally advances each lockstep cohort's coin folds as one
+    (seeds x nodes) uint64 block and shares one payload-encoding memo —
+    bit-identical per replica, batch backend only.
     """
     from ..obs.spans import span
     from .batch import fallback_log_scope
@@ -347,6 +363,7 @@ def replicate(
     require(cfg.max_rounds is not None, "replicate requires RunConfig(max_rounds=...)")
     with fallback_log_scope():
         backend = _resolve_batch(make_adversary, cfg.resolved_backend())
+        vector = backend == "batch" and cfg.resolved_vector_replicas()
         n_workers = resolve_workers(cfg.workers)
         if n_workers > 0:
             unpicklable = ensure_picklable(
@@ -364,9 +381,10 @@ def replicate(
         with span(
             "replicate", "replicate",
             seeds=len(seeds), backend=backend, workers=n_workers,
+            vector_replicas=vector,
         ):
             return _replicate_impl(make_nodes, make_adversary, seeds, cfg,
-                                   backend, n_workers)
+                                   backend, n_workers, vector)
 
 
 def _replicate_impl(
@@ -376,6 +394,7 @@ def _replicate_impl(
     cfg: RunConfig,
     backend: str,
     n_workers: int,
+    vector: bool,
 ) -> ReplicationSummary:
     """The execution paths of :func:`replicate`, under its span/progress."""
     from ..obs.progress import report_advance, report_begin, report_finish
@@ -398,6 +417,8 @@ def _replicate_impl(
                         cfg.bandwidth_factor,
                         cfg.check_connected,
                         cfg.instrument,
+                        cfg.dense_node_limit,
+                        vector,
                     )
                     for chunk in chunks
                 ],
@@ -454,6 +475,8 @@ def _replicate_impl(
                 check_connected=cfg.check_connected,
                 instrument=cfg.instrument,
                 registry=registry,
+                dense_node_limit=cfg.dense_node_limit,
+                vector_replicas=vector,
             )
         )
     report_begin(len(seeds), unit="runs", label="replicate")

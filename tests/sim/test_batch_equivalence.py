@@ -353,16 +353,34 @@ class TestScheduleTape:
         assert t1 is t2
         assert tape.stats["unique_topologies"] == 1
 
-    def test_dense_vs_neighbor_representation(self):
+    def test_dense_vs_sparse_representation(self):
+        # above dense_node_limit the tape picks a sparse row form by
+        # edge density: a 5-node line (4 edges < 25/128-ish) goes CSR
         ids = list(range(5))
         adv = StaticAdversary(ids, line_edges(ids))
         dense = ScheduleTape(adv)
         dense.bind(ids)
         sparse = ScheduleTape(adv, dense_node_limit=2)
         sparse.bind(ids)
+        assert dense.topology(1).kind == "dense"
         assert dense.topology(1).adj is not None
-        assert sparse.topology(1).adj is None
-        assert sparse.topology(1).neighbors is not None
+        assert dense.representation == "dense"
+        topo = sparse.topology(1)
+        assert topo.adj is None
+        assert topo.kind in ("bitset", "csr")
+        assert (topo.words is not None) == (topo.kind == "bitset")
+        assert (topo.indptr is not None) == (topo.kind == "csr")
+        assert sparse.representation == topo.kind
+
+    def test_forced_representations_cover_all_kinds(self):
+        ids = list(range(5))
+        adv = StaticAdversary(ids, line_edges(ids))
+        for kind in ("bitset", "csr", "scan"):
+            tape = ScheduleTape(adv, sparse=kind)
+            tape.bind(ids)
+            assert tape.topology(1).kind == kind
+        with pytest.raises(ConfigurationError, match="sparse representation"):
+            ScheduleTape(adv, sparse="nope")
 
     def test_bind_rejects_mismatched_node_set(self):
         ids = list(range(4))

@@ -1,0 +1,201 @@
+"""Sparse adjacency edge cases: boundaries, isolation, tiny rounds.
+
+The batch backend picks an adjacency representation per cell — dense
+incidence up to ``DENSE_NODE_LIMIT`` nodes, packed-bitset rows or CSR
+above it (density-dependent) — and the pick must never be observable:
+every representation yields bit-identical traces.  These tests pin the
+selection boundary exactly (N at the limit ±1), and drive the sparse
+delivery kernels through their degenerate shapes: a node isolated for
+several rounds then reconnected, rounds with a single live edge, and
+empty rounds, all under ``check_connected=False`` so the model layer
+does not mask the kernel behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.check import first_trace_divergence, trace_fingerprint
+from repro.network.adversaries import (
+    FunctionAdversary,
+    RandomConnectedAdversary,
+    StaticAdversary,
+)
+from repro.network.generators import line_edges
+from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
+from repro.sim.batch import DENSE_NODE_LIMIT, ScheduleTape, build_engine
+from repro.sim.coins import CoinSource
+from repro.sim.engine import SynchronousEngine
+
+
+def _run(make_nodes, make_adv, seed, rounds, *, reference=False, **kwargs):
+    nodes = make_nodes()
+    adversary = make_adv()
+    if reference:
+        engine = SynchronousEngine(
+            nodes, adversary, CoinSource(seed),
+            check_connected=kwargs.get("check_connected", True),
+        )
+    else:
+        engine = build_engine(
+            nodes, adversary, CoinSource(seed), backend="batch", **kwargs
+        )
+    engine.run(rounds)
+    return engine
+
+
+def _gossip(ids):
+    return lambda: {u: GossipMaxNode(u) for u in ids}
+
+
+def _flood(ids, src):
+    return lambda: {u: TokenFloodNode(u, source=src) for u in ids}
+
+
+# -- selection boundary ----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n,expected_dense",
+    [
+        (DENSE_NODE_LIMIT - 1, True),
+        (DENSE_NODE_LIMIT, True),
+        (DENSE_NODE_LIMIT + 1, False),
+    ],
+    ids=["limit-1", "limit", "limit+1"],
+)
+def test_dense_node_limit_boundary(n, expected_dense):
+    """N <= DENSE_NODE_LIMIT stays dense; one more node goes sparse."""
+    ids = list(range(n))
+    tape = ScheduleTape(StaticAdversary(ids, line_edges(ids)))
+    tape.bind(frozenset(ids))
+    tape.topology(1)
+    if expected_dense:
+        assert tape.representation == "dense"
+    else:
+        assert tape.representation in ("bitset", "csr")
+
+
+def test_boundary_bit_identity():
+    """Crossing the limit changes the kernel, never the trace."""
+    n = DENSE_NODE_LIMIT + 1
+    ids = list(range(n))
+    make_nodes = _flood(ids, src=n // 2)
+    make_adv = lambda: StaticAdversary(ids, line_edges(ids))
+    sparse = _run(make_nodes, make_adv, 7, 4)
+    dense = _run(make_nodes, make_adv, 7, 4, dense_node_limit=n)
+    assert sparse.representation in ("bitset", "csr")
+    assert dense.representation == "dense"
+    assert first_trace_divergence(dense.trace, sparse.trace) is None
+    assert trace_fingerprint(dense.trace) == trace_fingerprint(sparse.trace)
+
+
+def test_density_steers_bitset_vs_csr():
+    """Sparse cells pick by memory: dense graphs bitset, sparse CSR."""
+    ids = list(range(24))
+    clique = [(u, v) for u in ids for v in ids if u < v]
+    dense_tape = ScheduleTape(
+        StaticAdversary(ids, clique), dense_node_limit=0
+    )
+    dense_tape.bind(frozenset(ids))
+    dense_tape.topology(1)
+    assert dense_tape.representation == "bitset"
+
+    # CSR needs the bitset's n^2/8 bytes to lose to ~16E: a line only
+    # gets there past n = 128
+    big_ids = list(range(200))
+    line_tape = ScheduleTape(
+        StaticAdversary(big_ids, line_edges(big_ids)), dense_node_limit=0
+    )
+    line_tape.bind(frozenset(big_ids))
+    line_tape.topology(1)
+    assert line_tape.representation == "csr"
+
+
+# -- degenerate round shapes ----------------------------------------------
+
+
+def _fingerprints_across_representations(
+    make_nodes, make_adv, seed, rounds, check_connected=True
+):
+    """Trace fingerprint under every representation; must be one value."""
+    variants = {
+        "dense": dict(),
+        "auto-sparse": dict(dense_node_limit=0),
+        "bitset": dict(dense_node_limit=0, sparse="bitset"),
+        "csr": dict(dense_node_limit=0, sparse="csr"),
+        "scan": dict(dense_node_limit=0, sparse="scan"),
+    }
+    prints = {}
+    for name, kwargs in variants.items():
+        engine = _run(
+            make_nodes, make_adv, seed, rounds,
+            check_connected=check_connected, **kwargs,
+        )
+        prints[name] = trace_fingerprint(engine.trace)
+    reference = _run(
+        make_nodes, make_adv, seed, rounds,
+        reference=True, check_connected=check_connected,
+    )
+    prints["reference"] = trace_fingerprint(reference.trace)
+    return prints
+
+
+def test_isolated_then_reconnected_node():
+    """A node cut off for three rounds, then rejoined, on every kernel."""
+    ids = list(range(9))
+    connected = line_edges(ids)
+    partial = line_edges(ids[:-1])  # node 8 isolated
+
+    def edges(round_, view):
+        return partial if round_ <= 3 else connected
+
+    make_adv = lambda: FunctionAdversary(ids, edges, oblivious=True)
+    prints = _fingerprints_across_representations(
+        _gossip(ids), make_adv, seed=5, rounds=8, check_connected=False
+    )
+    assert len(set(prints.values())) == 1, prints
+
+
+def test_single_edge_rounds():
+    """Rounds whose whole topology is one live edge."""
+    ids = list(range(6))
+
+    def edges(round_, view):
+        return [(round_ % 6, (round_ + 1) % 6)]
+
+    make_adv = lambda: FunctionAdversary(ids, edges, oblivious=True)
+    prints = _fingerprints_across_representations(
+        _gossip(ids), make_adv, seed=11, rounds=10, check_connected=False
+    )
+    assert len(set(prints.values())) == 1, prints
+
+
+def test_empty_rounds():
+    """Edgeless rounds deliver nothing, identically, on every kernel."""
+    ids = list(range(5))
+    connected = line_edges(ids)
+
+    def edges(round_, view):
+        return [] if round_ % 2 == 0 else connected
+
+    make_adv = lambda: FunctionAdversary(ids, edges, oblivious=True)
+    prints = _fingerprints_across_representations(
+        _gossip(ids), make_adv, seed=3, rounds=8, check_connected=False
+    )
+    assert len(set(prints.values())) == 1, prints
+
+
+def test_force_sparse_matches_force_dense_randomized():
+    """dense_node_limit=0 (forced sparse) == forced dense, random graphs."""
+    ids = list(range(30))
+    make_nodes = _gossip(ids)
+    make_adv = lambda: RandomConnectedAdversary(ids, seed=9, extra_edge_prob=0.15)
+    forced_sparse = _run(make_nodes, make_adv, 13, 20, dense_node_limit=0)
+    forced_dense = _run(make_nodes, make_adv, 13, 20, dense_node_limit=10 ** 6)
+    assert forced_sparse.representation in ("bitset", "csr")
+    assert forced_dense.representation == "dense"
+    assert first_trace_divergence(forced_dense.trace, forced_sparse.trace) is None
+    assert trace_fingerprint(forced_dense.trace) == trace_fingerprint(
+        forced_sparse.trace
+    )

@@ -1,0 +1,192 @@
+"""Replica-axis vectorization: coin block, shared memo, config knob.
+
+``run_batch_replicas(..., vector_replicas=True)`` folds all K replicas'
+coin state into one ``(K, N)`` uint64 block advanced once per lockstep
+round, and shares one encoding memo across the cohort.  Both are pure
+execution-strategy changes — every per-replica observable (trace,
+fingerprint, bits, outputs) must equal the scalar path exactly, which
+is what these tests pin, alongside the unit behaviour of the kernel and
+the ``REPRO_VECTOR_REPLICAS`` / ``RunConfig(vector_replicas=...)``
+resolution order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.check import trace_fingerprint
+from repro.network.adaptive import AdaptiveBlockingAdversary
+from repro.network.adversaries import TIntervalAdversary
+from repro.protocols.flooding import GossipMaxNode, TokenFloodNode
+from repro.sim.batch import ReplicaCoinBlock, run_batch_replicas
+from repro.sim.coins import stable_hash64
+from repro.sim.config import RunConfig, VECTOR_REPLICAS_ENV
+from repro.sim.encoding import EncodingMemo, interned_encoding
+
+
+# -- ReplicaCoinBlock ------------------------------------------------------
+
+
+def test_coin_block_matches_scalar_hash():
+    """Every (slot, uid, round) cell equals the scalar FNV fold."""
+    seeds = [0, 1, 7, 2 ** 40 + 3]
+    uids = [0, 2, 5, 11, 2 ** 33]
+    block = ReplicaCoinBlock(seeds, uids)
+    assert block.shape == (4, 5)
+    for round_ in (1, 2, 17):
+        for slot, seed in enumerate(seeds):
+            want = [stable_hash64((seed, uid, round_)) for uid in uids]
+            assert block.row(slot, round_) == want
+
+
+def test_coin_block_round_cache():
+    """Lockstep access computes each round matrix once, serves it K times."""
+    block = ReplicaCoinBlock([1, 2, 3], [0, 1])
+    for round_ in (1, 2):
+        for slot in range(3):
+            block.row(slot, round_)
+    assert block.stats == {"rounds": 2, "rows_served": 6}
+
+
+def test_coin_block_straggler_rounds():
+    """Early-terminating replicas stop asking; stragglers advance alone."""
+    block = ReplicaCoinBlock([1, 2], [0, 1])
+    block.row(0, 1)
+    block.row(1, 1)
+    block.row(1, 2)  # replica 0 terminated; only replica 1 continues
+    assert block.stats["rounds"] == 2
+    assert block.row(1, 2) == [stable_hash64((2, u, 2)) for u in (0, 1)]
+
+
+def test_coin_block_negative_seed_exact():
+    """Negative seeds take the multi-chunk scalar prologue, exactly."""
+    block = ReplicaCoinBlock([-5], [0, 3])
+    assert block.row(0, 1) == [stable_hash64((-5, u, 1)) for u in (0, 3)]
+
+
+def test_coin_block_refuses_exotic_uids():
+    with pytest.raises(ConfigurationError, match="uids in"):
+        ReplicaCoinBlock([1], [-1])
+    with pytest.raises(ConfigurationError, match="uids in"):
+        ReplicaCoinBlock([1], [2 ** 64])
+
+
+# -- EncodingMemo ----------------------------------------------------------
+
+
+def test_encoding_memo_matches_interned():
+    memo = EncodingMemo()
+    for payload in (5, (1, 2), ("x", True), None, (3.5, b"ab")):
+        assert memo.lookup(payload) == interned_encoding(payload)
+    # memoized second lookup returns the identical answer
+    payload = (9, "token")
+    first = memo.lookup(payload)
+    assert memo.lookup(payload) == first
+
+
+def test_encoding_memo_admits_only_flat_immutable_payloads():
+    memo = EncodingMemo()
+    flat = (1, "x", True)
+    nested = ((1, 2), 3)  # valid payload, but not identity-memoizable
+    assert memo.lookup(flat) == interned_encoding(flat)
+    size_after_flat = len(memo)
+    assert memo.lookup(nested) == interned_encoding(nested)
+    assert len(memo) == size_after_flat  # nested payload not admitted
+
+
+def test_encoding_memo_bounded():
+    memo = EncodingMemo(limit=4)
+    keep = [(i,) for i in range(6)]  # hold refs so ids stay unique
+    for payload in keep:
+        memo.lookup(payload)
+    assert len(memo) <= 4
+
+
+# -- lockstep bit-identity -------------------------------------------------
+
+
+def _cells():
+    ids = tuple(range(12))
+    yield (
+        "gossip/t-interval",
+        lambda: {u: GossipMaxNode(u) for u in ids},
+        lambda: TIntervalAdversary(ids, seed=5, interval=3, extra_edge_prob=0.1),
+        30,
+    )
+    yield (
+        "flood/adaptive-blocking",
+        lambda: {u: TokenFloodNode(u, source=ids[len(ids) // 2]) for u in ids},
+        lambda: AdaptiveBlockingAdversary(
+            list(ids), probe=lambda n: bool(getattr(n, "informed", False))
+        ),
+        40,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,make_nodes,make_adv,max_rounds",
+    list(_cells()),
+    ids=[c[0] for c in _cells()],
+)
+def test_vector_replicas_bit_identical(name, make_nodes, make_adv, max_rounds):
+    seeds = list(range(1, 7))
+    scalar = run_batch_replicas(make_nodes, make_adv, seeds, max_rounds=max_rounds)
+    vector = run_batch_replicas(
+        make_nodes, make_adv, seeds, max_rounds=max_rounds, vector_replicas=True
+    )
+    for a, b in zip(scalar, vector):
+        assert trace_fingerprint(a.trace) == trace_fingerprint(b.trace)
+        assert a.trace.total_bits() == b.trace.total_bits()
+        assert a.outputs == b.outputs
+        assert (a.terminated, a.rounds) == (b.terminated, b.rounds)
+
+
+def test_vector_replicas_instrumented_falls_back():
+    """Instrumented replicas run sequentially — still bit-identical."""
+    ids = tuple(range(8))
+    make_nodes = lambda: {u: GossipMaxNode(u) for u in ids}
+    make_adv = lambda: TIntervalAdversary(ids, seed=2, interval=2)
+    seeds = [4, 5]
+    plain = run_batch_replicas(make_nodes, make_adv, seeds, max_rounds=20)
+    instrumented = run_batch_replicas(
+        make_nodes, make_adv, seeds, max_rounds=20,
+        vector_replicas=True, instrument=True,
+    )
+    for a, b in zip(plain, instrumented):
+        assert trace_fingerprint(a.trace) == trace_fingerprint(b.trace)
+
+
+# -- the config knob -------------------------------------------------------
+
+
+def test_vector_replicas_env_resolution(monkeypatch):
+    monkeypatch.setenv(VECTOR_REPLICAS_ENV, "1")
+    assert RunConfig(seed=1, max_rounds=5).resolved_vector_replicas() is True
+    monkeypatch.setenv(VECTOR_REPLICAS_ENV, "off")
+    assert RunConfig(seed=1, max_rounds=5).resolved_vector_replicas() is False
+    # explicit beats env
+    monkeypatch.setenv(VECTOR_REPLICAS_ENV, "1")
+    cfg = RunConfig(seed=1, max_rounds=5, vector_replicas=False)
+    assert cfg.resolved_vector_replicas() is False
+
+
+def test_vector_replicas_env_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(VECTOR_REPLICAS_ENV, "bogus")
+    with pytest.raises(ConfigurationError):
+        RunConfig(seed=1, max_rounds=5).resolved_vector_replicas()
+
+
+def test_config_captures_vector_fields():
+    cfg = RunConfig(
+        seed=1, max_rounds=5, vector_replicas=True, dense_node_limit=64
+    )
+    data = cfg.as_dict()
+    assert data["vector_replicas"] is True
+    assert data["dense_node_limit"] == 64
+    assert RunConfig.from_dict(data) == cfg
+
+
+def test_dense_node_limit_validated():
+    with pytest.raises(ConfigurationError):
+        RunConfig(seed=1, max_rounds=5, dense_node_limit=-1)
