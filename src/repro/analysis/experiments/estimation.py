@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ...cache.runcache import cached_map
 from ...cc.disjointness import random_instance
 from ...core.composition import (
     CompositionNetwork,
@@ -107,8 +108,10 @@ def exp_estimate_insensitivity(
             tasks.append((q, n, seed, horizon, late))
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-EST", len(tasks), workers=executor.workers):
-        outcomes = executor.map(
-            _est_cell, tasks, labels=[f"q={t[0]}, seed={t[2]}" for t in tasks]
+        outcomes = cached_map(
+            executor, _est_cell, tasks,
+            labels=[f"q={t[0]}, seed={t[2]}" for t in tasks],
+            config=config,  # no backend element in these tasks: keys default
         )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -28,6 +28,7 @@ from ...network.adversaries import OverlappingStarsAdversary
 from ...protocols.consensus import ConsensusKnownDNode
 from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import max_rounds_budget
+from ...cache.runcache import cached_map
 from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
@@ -96,8 +97,11 @@ def exp_exponential_gap(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-GAP", len(tasks), backend=backend,
                    workers=executor.workers):
-        outcomes = executor.map(
-            _gap_cell, tasks, labels=[f"N={n}, seed={s}" for n, s, _ in tasks]
+        outcomes = cached_map(
+            executor, _gap_cell, tasks,
+            labels=[f"N={n}, seed={s}" for n, s, _ in tasks],
+            keys=[t[:-1] for t in tasks],  # backend excluded: bit-identical
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers
@@ -157,10 +161,13 @@ def exp_sensitivity(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-SENS", len(tasks), backend=backend,
                    workers=executor.workers):
-        outcomes = executor.map(
+        outcomes = cached_map(
+            executor,
             _sens_cell,
             tasks,
             labels=[f"N'={np_:.1f}, seed={s}" for _, np_, s, _, _ in tasks],
+            keys=[t[:-1] for t in tasks],  # backend excluded: bit-identical
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers

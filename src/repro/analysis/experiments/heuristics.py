@@ -20,6 +20,7 @@ from ...network.adversaries import (
 from ...network.generators import line_edges, lollipop_edges
 from ...protocols.cflood import CFloodConservativeNode
 from ...protocols.doubling import CFloodDoublingNode
+from ...cache.runcache import cached_map
 from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
@@ -107,15 +108,21 @@ def exp_doubling_heuristic(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-HEUR", len(tasks) + len(baseline_tasks),
                    backend=backend, workers=executor.workers):
-        outcomes = executor.map(
+        outcomes = cached_map(
+            executor,
             _heur_cell,
             tasks,
             labels=[f"adversary={t[1]}, threshold={t[2]}, seed={t[3]}" for t in tasks],
+            keys=[t[:-1] for t in tasks],  # backend excluded: bit-identical
+            config=config,
         )
-        baseline = executor.map(
+        baseline = cached_map(
+            executor,
             _heur_baseline_cell,
             baseline_tasks,
             labels=[f"baseline, seed={t[1]}" for t in baseline_tasks],
+            keys=[t[:-1] for t in baseline_tasks],
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -43,6 +43,7 @@ from ...protocols.consensus import ConsensusKnownDNode
 from ...protocols.hearfrom import CountNodesNode, HearFromAllNode, count_rounds_budget
 from ...protocols.leader_election import LeaderElectNode
 from ...protocols.max_id import MaxIdNode, max_rounds_budget
+from ...cache.runcache import cached_map
 from ...sim.batch import build_engine
 from ...sim.coins import CoinSource
 from ...sim.config import RunConfig
@@ -125,10 +126,13 @@ def exp_thm8_leader_election(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-T8", len(tasks), backend=backend,
                    workers=executor.workers):
-        outcomes = executor.map(
+        outcomes = cached_map(
+            executor,
             _thm8_cell,
             tasks,
             labels=[f"N={t[0]}, adversary={t[1]}, seed={t[3]}" for t in tasks],
+            keys=[t[:-1] for t in tasks],  # backend excluded: bit-identical
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers
@@ -246,9 +250,11 @@ def exp_known_d_upper_bounds(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-UB", len(tasks), backend=backend,
                    workers=executor.workers):
-        outcomes = executor.map(
-            _ub_cell, tasks,
+        outcomes = cached_map(
+            executor, _ub_cell, tasks,
             labels=[f"problem={p}, N={n}, seed={s}" for p, n, s, _ in tasks],
+            keys=[t[:-1] for t in tasks],  # backend excluded: bit-identical
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ...cache.runcache import cached_map
 from ...cc.bounds import theorem1_lower_bound_bits
 from ...cc.disjointness import random_instance
 from ...cc.protocols import (
@@ -151,10 +152,12 @@ def exp_thm6_reduction(
     ]
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-T6", len(tasks), workers=executor.workers):
-        outcomes = executor.map(
+        outcomes = cached_map(
+            executor,
             _thm6_cell,
             tasks,
             labels=[f"q={q}, truth={t}, seed={s}" for q, _, t, s in tasks],
+            config=config,  # reference-only tasks: whole tuple is the key
         )
     if executor.workers:
         result.timings["workers"] = executor.workers
@@ -196,10 +199,12 @@ def exp_thm7_reduction(
             cells.extend((q, n1, n0, n_prime, truth, seed) for seed in seeds)
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-T7", len(cells), workers=executor.workers):
-        outcomes = executor.map(
+        outcomes = cached_map(
+            executor,
             _thm7_cell,
             [(q, n, truth, seed, n1, n_prime) for q, n1, _n0, n_prime, truth, seed in cells],
             labels=[f"q={c[0]}, truth={c[4]}, seed={c[5]}" for c in cells],
+            config=config,
         )
     if executor.workers:
         result.timings["workers"] = executor.workers
@@ -263,7 +268,11 @@ def exp_cc_bounds(
     executor = ParallelExecutor(workers)
     with exp_scope("EXP-CC", len(tasks), workers=executor.workers):
         result.rows.extend(
-            executor.map(_cc_cell, tasks, labels=[f"n={n}, q={q}" for n, q, _ in tasks])
+            cached_map(
+                executor, _cc_cell, tasks,
+                labels=[f"n={n}, q={q}" for n, q, _ in tasks],
+                config=config,
+            )
         )
     if executor.workers:
         result.timings["workers"] = executor.workers

@@ -1,0 +1,68 @@
+"""Content-addressed result cache for deterministic runs.
+
+See :mod:`repro.cache.key` for key derivation, :mod:`repro.cache.store`
+for the on-disk layout, and :mod:`repro.cache.runcache` for the payload
+schemas and the ``run_protocol``/``replicate``/sweep/driver seams.
+"""
+
+from .key import (
+    KEY_VERSION,
+    SEMANTIC_CONFIG_FIELDS,
+    UncacheableError,
+    cache_key,
+    cache_token,
+    semantic_config,
+)
+from .runcache import (
+    CachedTrace,
+    build_cached_run,
+    cached_map,
+    cell_key,
+    decode_strict,
+    encode_strict,
+    replicate_key,
+    run_fingerprint,
+    run_key,
+    run_payload,
+    verify_entry,
+)
+from .store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ENTRY_FORMAT_VERSION,
+    ResultCache,
+    cache_counters,
+    count_cache_event,
+    open_cache,
+    reset_cache_counters,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "KEY_VERSION",
+    "SEMANTIC_CONFIG_FIELDS",
+    "UncacheableError",
+    "cache_key",
+    "cache_token",
+    "semantic_config",
+    "CachedTrace",
+    "build_cached_run",
+    "cached_map",
+    "cell_key",
+    "decode_strict",
+    "encode_strict",
+    "replicate_key",
+    "run_fingerprint",
+    "run_key",
+    "run_payload",
+    "verify_entry",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ENTRY_FORMAT_VERSION",
+    "ResultCache",
+    "cache_counters",
+    "count_cache_event",
+    "open_cache",
+    "reset_cache_counters",
+    "resolve_cache_dir",
+]

@@ -6,6 +6,7 @@ Usage::
     python -m repro fig1
     python -m repro thm6 --quick
     python -m repro thm8 --quick --trace-out out/thm8 --metrics
+    python -m repro thm8 --quick --cache rw       # result cache (PR 10)
     python -m repro inspect out/thm8/run-0001.jsonl
     python -m repro inspect out/thm8              # whole-session table
     python -m repro audit out/thm6                # proof-ledger checks
@@ -15,16 +16,31 @@ Usage::
     python -m repro profile out/thm8                   # span rollups
     python -m repro report out/thm8 --out report.html  # static HTML page
     python -m repro faultcheck --out benchmarks/out/EXP-FI.json
+    python -m repro cache stats                        # result cache
+    python -m repro cache verify --sample 3
+    python -m repro cache gc --max-bytes 100000000 --max-age-days 30
+    python -m repro serve --port 8642 --root out/serve # sweep daemon
+    python -m repro submit thm6 --url http://127.0.0.1:8642
     python -m repro all --quick --progress
 
-Each command prints the experiment's rendered table (the same rows the
-benchmarks assert on).  ``--quick`` shrinks the parameter grid for a
-seconds-scale run; defaults match the benchmarks.  ``--backend batch``
-routes engine runs through the vectorized batch backend (bit-identical;
-see ``docs/PERFORMANCE.md``) and ``--workers N`` fans seed sweeps over
-a process pool.  The figure commands
-(``fig1``/``fig2``/``fig3``) regenerate fixed paper constructions with no
-parameter grid, so ``--quick`` is accepted but changes nothing there.
+Each experiment command prints the experiment's rendered table (the
+same rows the benchmarks assert on).  ``--quick`` shrinks the parameter
+grid for a seconds-scale run; defaults match the benchmarks.  The
+figure commands (``fig1``/``fig2``/``fig3``) regenerate fixed paper
+constructions with no parameter grid, so ``--quick`` is accepted but
+changes nothing there.
+
+Execution options (PR 10: one shared option group, resolved into a
+single :class:`~repro.sim.config.RunConfig` by
+:func:`config_from_args`): ``--backend batch`` routes engine runs
+through the vectorized batch backend (bit-identical; see
+``docs/PERFORMANCE.md``), ``--workers N`` fans seed sweeps over a
+process pool, and ``--cache rw|ro|off`` consults the content-addressed
+result cache (``docs/SERVICE.md``; default: the ``REPRO_CACHE``
+environment variable, else off).  Passing the legacy individual
+keyword arguments to the library entry points was removed in PR 10 —
+it raises :class:`~repro.errors.ConfigurationError` naming the exact
+``RunConfig`` replacement.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--metrics`` collects
 engine counters and per-phase wall-clock timings and appends them to the
@@ -64,13 +80,22 @@ HISTORY.jsonl`` analyzes the benchmark history store for windowed
 trends (latest vs median-of-last-K) and exits nonzero on regressions;
 ``repro report --baseline`` accepts either a baseline session directory
 (metric deltas) or a history file (sparkline trend table).
+
+Result cache + service (PR 10): ``repro cache stats`` summarizes the
+content-addressed result cache, ``repro cache verify`` re-runs a
+sample of cached entries from their stored recipes and asserts
+bit-identity, and ``repro cache gc`` prunes it by size and age.
+``repro serve`` runs the long-lived sweep daemon (stdlib HTTP/JSON;
+every job is a streaming observation session ``repro tail`` can
+attach to) and ``repro submit`` posts an experiment to it, waits, and
+renders the result table exactly as a local run would.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .analysis.experiments import (
     exp_cc_bounds,
@@ -86,9 +111,9 @@ from .analysis.experiments import (
     exp_thm7_reduction,
     exp_thm8_leader_election,
 )
-from .sim.config import BACKENDS, RunConfig
+from .sim.config import BACKENDS, CACHE_MODES, RunConfig
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "add_execution_options", "config_from_args"]
 
 
 def _fig1(quick: bool, config: Optional[RunConfig] = None):
@@ -186,6 +211,103 @@ EXPERIMENTS: Dict[str, tuple] = {
     "heur": ("the doubling-guess CFLOOD heuristic", _heur),
     "est": ("N-estimation insensitivity within the horizon", _est),
 }
+
+
+# --------------------------------------------------------------------------
+# shared execution options (PR 10): every command that runs engine work
+# declares the same flags through this one helper and resolves them into
+# a single RunConfig through config_from_args — no per-command copies.
+# --------------------------------------------------------------------------
+
+def add_execution_options(
+    parser: argparse.ArgumentParser,
+    progress: bool = True,
+    cache_dir: bool = True,
+) -> argparse.ArgumentParser:
+    """Install the shared execution flags on ``parser`` and return it.
+
+    ``progress=False`` omits the interactive ``--progress``/``--stream``
+    pairs (the serve daemon and submit client have no local TTY run to
+    decorate); ``cache_dir=False`` omits ``--cache-dir`` (the submit
+    client's cache lives daemon-side).
+    """
+    group = parser.add_argument_group("execution options")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan per-seed runs out over N processes (0 = inline; default: "
+        "the REPRO_WORKERS environment variable, else 0); results are "
+        "identical at any worker count — see docs/PARALLEL.md",
+    )
+    group.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="execution backend for engine runs: 'reference' (default) or "
+        "'batch' (vectorized, bit-identical; falls back to reference on "
+        "adaptive adversaries — see docs/PERFORMANCE.md); default: the "
+        "REPRO_BACKEND environment variable, else 'reference'",
+    )
+    group.add_argument(
+        "--cache",
+        choices=list(CACHE_MODES),
+        default=None,
+        help="content-addressed result cache: 'rw' reads and writes, 'ro' "
+        "reads only, 'off' disables; default: the REPRO_CACHE environment "
+        "variable, else off — see docs/SERVICE.md",
+    )
+    if cache_dir:
+        group.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="result-cache location (default: the REPRO_CACHE_DIR "
+            "environment variable, else ~/.cache/repro)",
+        )
+    if progress:
+        group.add_argument(
+            "--progress",
+            dest="progress",
+            action="store_true",
+            default=None,
+            help="stream live progress (done/total, rate, ETA, fallback "
+            "events) to stderr; default: on when stderr is a TTY",
+        )
+        group.add_argument(
+            "--no-progress",
+            dest="progress",
+            action="store_false",
+            help="disable progress streaming even on a TTY",
+        )
+        group.add_argument(
+            "--stream",
+            dest="stream",
+            action="store_true",
+            default=None,
+            help="append every run/cell/fault/progress occurrence to the "
+            "session's events.jsonl as it happens (crash-safe telemetry; "
+            "requires --trace-out); default: the REPRO_STREAM environment "
+            "variable",
+        )
+        group.add_argument(
+            "--no-stream",
+            dest="stream",
+            action="store_false",
+            help="disable event streaming even when REPRO_STREAM is set",
+        )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> RunConfig:
+    """The single :class:`RunConfig` behind a parsed command line."""
+    return RunConfig(
+        workers=getattr(args, "workers", None),
+        backend=getattr(args, "backend", None),
+        cache=getattr(args, "cache", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def _render_metrics(session) -> str:
@@ -421,6 +543,129 @@ def _run_faultcheck(out: Optional[str]) -> int:
     return 0 if ok else 1
 
 
+def _run_cache(action: str, args: argparse.Namespace) -> int:
+    """The ``repro cache stats|verify|gc`` maintenance commands."""
+    from .cache.store import ResultCache, resolve_cache_dir
+
+    cache = ResultCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
+    if action == "stats":
+        stats = cache.stats()
+        print(f"cache: {stats['root']}")
+        print(f"  entries     {stats['entries']}")
+        print(f"  total bytes {stats['total_bytes']}")
+        print(f"  corrupt     {stats['corrupt']}")
+        for kind, count in sorted(stats["by_kind"].items()):
+            print(f"  kind {kind:<10} {count}")
+        return 0
+    if action == "verify":
+        return _run_cache_verify(cache, args.sample)
+    if action == "gc":
+        max_age = None
+        if args.max_age_days is not None:
+            max_age = args.max_age_days * 86400.0
+        report = cache.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+        print(
+            f"cache gc: removed {report['removed']} entr"
+            f"{'y' if report['removed'] == 1 else 'ies'}, kept "
+            f"{report['kept']}, freed {report['bytes_freed']} bytes"
+        )
+        return 0
+    raise AssertionError(f"unknown cache action {action!r}")  # pragma: no cover
+
+
+def _run_cache_verify(cache, sample: int) -> int:
+    """Re-run up to ``sample`` entries per kind; assert bit-identity."""
+    from .cache.runcache import verify_entry
+
+    picked: Dict[str, list] = {}
+    for _path, entry in cache.iter_entries():
+        if entry is None:  # corrupt: gc's problem, not verify's
+            continue
+        kind = entry.get("kind", "?")
+        bucket = picked.setdefault(kind, [])
+        if len(bucket) < sample:
+            bucket.append(entry)
+    if not picked:
+        print("cache verify: cache is empty; nothing to check")
+        return 0
+    counts = {"ok": 0, "mismatch": 0, "skip": 0}
+    for kind in sorted(picked):
+        for entry in picked[kind]:
+            status, detail = verify_entry(entry)
+            counts[status] += 1
+            line = f"  {status:<8} {kind:<10} {entry['key'][:16]}"
+            if detail:
+                line += f"  {detail}"
+            print(line)
+    print(
+        f"cache verify: {counts['ok']} ok, {counts['mismatch']} mismatch, "
+        f"{counts['skip']} skipped (no replayable recipe)"
+    )
+    return 1 if counts["mismatch"] else 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .serve.daemon import serve_forever
+
+    return serve_forever(
+        pathlib.Path(args.root),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=args.cache if args.cache is not None else "rw",
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        quiet=args.quiet,
+    )
+
+
+def _result_from_dict(data: dict):
+    """Rebuild an ExperimentResult from the daemon's to_dict payload so
+    the submit client renders the identical table a local run prints."""
+    from .analysis.experiments.base import ExperimentResult
+
+    result = ExperimentResult(
+        exp_id=data["exp_id"], title=data["title"], headers=list(data["headers"])
+    )
+    result.rows = [list(row) for row in data.get("rows", [])]
+    result.notes = list(data.get("notes") or [])
+    result.summary = dict(data.get("summary") or {})
+    result.timings = dict(data.get("timings") or {})
+    return result
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from .serve.client import ServeError, submit_job, wait_for_job
+
+    base_url = args.url or f"http://{args.host}:{args.port}"
+    try:
+        view = submit_job(
+            base_url,
+            args.experiment,
+            quick=not args.full,
+            workers=args.workers,
+            backend=args.backend,
+            cache=args.cache,
+        )
+        job_id = view["job_id"]
+        print(f"submitted: {job_id} ({args.experiment}) -> {base_url}")
+        print(f"session:   {view['session_dir']} (repro tail attaches live)")
+        if args.no_wait:
+            return 0
+        payload = wait_for_job(base_url, job_id, poll=args.poll, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    print(_result_from_dict(payload["result"]).render())
+    events = payload.get("cache_events") or {}
+    if events:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(events.items()) if v)
+        print(f"cache: {parts or 'no events'}")
+    return 0
+
+
 def _write_metrics_out(session, path: str) -> None:
     import pathlib
 
@@ -430,248 +675,20 @@ def _write_metrics_out(session, path: str) -> None:
     print(f"metrics: OpenMetrics exposition -> {out}")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Run the paper's experiments (The Cost of Unknown "
-        "Diameter in Dynamic Networks, SPAA 2016).",
-    )
-    parser.add_argument(
-        "command",
-        choices=sorted(EXPERIMENTS)
-        + ["list", "all", "inspect", "audit", "bench-diff", "bench-history",
-           "faultcheck", "profile", "report", "tail"],
-        help="experiment to run ('list' to enumerate, 'all' for "
-        "everything; 'inspect' summarizes a persisted run or session, "
-        "'audit' checks reduction proof ledgers, 'bench-diff' compares "
-        "two benchmark output directories, 'bench-history' analyzes the "
-        "benchmark history store for windowed trends, 'faultcheck' runs "
-        "the fault-injection detection matrix, 'profile' rolls up a "
-        "session's spans, 'report' writes a session as one HTML page, "
-        "'tail' follows a live streaming session's events)",
-    )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        default=[],
-        help="run file / session dir for 'inspect'/'audit'/'profile'/"
-        "'report'/'tail'; old-dir new-dir for 'bench-diff'; history file "
-        "for 'bench-history'",
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="shrink parameter grids for a fast run"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fan per-seed runs out over N processes (0 = inline; default: "
-        "the REPRO_WORKERS environment variable, else 0); results are "
-        "identical at any worker count — see docs/PARALLEL.md",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=list(BACKENDS),
-        default=None,
-        help="execution backend for engine runs: 'reference' (default) or "
-        "'batch' (vectorized, bit-identical; falls back to reference on "
-        "adaptive adversaries — see docs/PERFORMANCE.md); default: the "
-        "REPRO_BACKEND environment variable, else 'reference'",
-    )
-    parser.add_argument(
-        "--metrics",
-        action="store_true",
-        help="instrument engine runs and print aggregate metrics/timings",
-    )
-    parser.add_argument(
-        "--trace-out",
-        metavar="DIR",
-        default=None,
-        help="persist every engine run as JSONL (plus manifest.json) under DIR",
-    )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="FILE",
-        default=None,
-        help="write the session's metrics registry as OpenMetrics text "
-        "(implies --metrics; per-experiment suffixes under 'all')",
-    )
-    parser.add_argument(
-        "--out",
-        metavar="FILE",
-        default=None,
-        help="faultcheck: also write the detection matrix as an EXP-FI "
-        "JSON sidecar (benchmarks/out schema); report: the HTML output "
-        "file (required)",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=None,
-        metavar="FRAC",
-        help="bench-diff/bench-history: relative wall-time slow-down "
-        "treated as a regression (default 0.25)",
-    )
-    parser.add_argument(
-        "--window",
-        type=int,
-        default=None,
-        metavar="K",
-        help="bench-history: compare the latest record against the median "
-        "of the previous K (default 5)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        action="append",
-        default=None,
-        metavar="NAME=FRAC",
-        help="bench-diff: per-metric tolerance overriding --threshold "
-        "(repeatable; e.g. wall=0.4, phase[delivery]=0.5, speedup=0.2, "
-        "optionally scoped EXP-SUB:speedup=0.2)",
-    )
-    parser.add_argument(
-        "--fail-on-regression",
-        action="store_true",
-        help="bench-diff: gate mode — additionally fail experiments with "
-        "no committed baseline (only-new)",
-    )
-    parser.add_argument(
-        "--baseline",
-        metavar="DIR",
-        default=None,
-        help="report: a baseline session directory to render deltas "
-        "against, or a benchmark history .jsonl for a sparkline trend "
-        "table",
-    )
-    parser.add_argument(
-        "--top",
-        type=int,
-        default=10,
-        metavar="K",
-        help="profile/report: how many hottest cells to show (default 10)",
-    )
-    parser.add_argument(
-        "--progress",
-        dest="progress",
-        action="store_true",
-        default=None,
-        help="stream live progress (done/total, rate, ETA, fallback "
-        "events) to stderr; default: on when stderr is a TTY",
-    )
-    parser.add_argument(
-        "--no-progress",
-        dest="progress",
-        action="store_false",
-        help="disable progress streaming even on a TTY",
-    )
-    parser.add_argument(
-        "--stream",
-        dest="stream",
-        action="store_true",
-        default=None,
-        help="append every run/cell/fault/progress occurrence to the "
-        "session's events.jsonl as it happens (crash-safe telemetry; "
-        "requires --trace-out); default: the REPRO_STREAM environment "
-        "variable",
-    )
-    parser.add_argument(
-        "--no-stream",
-        dest="stream",
-        action="store_false",
-        help="disable event streaming even when REPRO_STREAM is set",
-    )
-    parser.add_argument(
-        "--poll",
-        type=float,
-        default=0.2,
-        metavar="SECONDS",
-        help="tail: interval between reads of events.jsonl (default 0.2)",
-    )
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=10.0,
-        metavar="SECONDS",
-        help="tail: give up after this long without the session appearing "
-        "or closing (default 10)",
-    )
-    parser.add_argument(
-        "--no-follow",
-        dest="follow",
-        action="store_false",
-        default=True,
-        help="tail: dump the events recorded so far and exit instead of "
-        "following",
-    )
-    parser.add_argument(
-        "--verbose",
-        action="store_true",
-        help="tail: also show span closes and resource heartbeats",
-    )
-    args = parser.parse_args(argv)
-
-    if args.command == "inspect":
-        return _run_inspect(args.paths)
-    if args.command == "audit":
-        return _run_audit(args.paths)
-    if args.command == "bench-diff":
-        from .obs.benchdiff import DEFAULT_THRESHOLD
-
-        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-        return _run_bench_diff(
-            args.paths,
-            threshold,
-            tolerance_specs=args.tolerance,
-            fail_on_regression=args.fail_on_regression,
-        )
-    if args.command == "bench-history":
-        from .obs.benchdiff import DEFAULT_THRESHOLD
-        from .obs.history import DEFAULT_WINDOW
-
-        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-        window = args.window if args.window is not None else DEFAULT_WINDOW
-        return _run_bench_history(args.paths, window, threshold)
-    if args.command == "profile":
-        return _run_profile(args.paths, args.top)
-    if args.command == "report":
-        return _run_report(args.paths, args.out, args.baseline, args.top)
-    if args.command == "tail":
-        return _run_tail(
-            args.paths, args.poll, args.timeout, args.follow, args.verbose
-        )
-    if args.command == "faultcheck":
-        if args.paths:
-            parser.error("'faultcheck' takes no positional paths (use --out FILE)")
-        return _run_faultcheck(args.out)
-    if args.out is not None:
-        parser.error("--out only applies to 'faultcheck' and 'report'")
-    if args.paths:
-        parser.error(
-            f"positional paths only apply to 'inspect'/'audit'/'bench-diff'/"
-            f"'bench-history'/'profile'/'report'/'tail', not {args.command!r}"
-        )
-    if args.threshold is not None:
-        parser.error("--threshold only applies to 'bench-diff' and 'bench-history'")
-    if args.window is not None:
-        parser.error("--window only applies to 'bench-history'")
-    if args.tolerance is not None or args.fail_on_regression:
-        parser.error("--tolerance/--fail-on-regression only apply to 'bench-diff'")
-    if args.baseline is not None:
-        parser.error("--baseline only applies to 'report'")
+def _run_experiments(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Run one experiment (or 'all') under the parsed execution options."""
     if args.stream and args.trace_out is None:
         parser.error("--stream requires --trace-out (streaming needs a session dir)")
 
-    if args.command == "list":
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name:<6} {EXPERIMENTS[name][0]}")
-        return 0
-
     observing = args.metrics or args.trace_out is not None or args.metrics_out is not None
-    run_config = RunConfig(workers=args.workers, backend=args.backend)
-    names = sorted(EXPERIMENTS) if args.command == "all" else [args.command]
+    run_config = config_from_args(args)
+    names = sorted(EXPERIMENTS) if args.exp_names is None else args.exp_names
 
     progress = args.progress if args.progress is not None else sys.stderr.isatty()
+
+    caching = run_config.resolved_cache() != "off"
+    if caching:
+        from .cache.store import cache_counters
 
     def _run(name: str, runner, config) -> "object":
         if not progress:
@@ -683,6 +700,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     for name in names:
         _desc, runner = EXPERIMENTS[name]
+        before = cache_counters() if caching else None
         if observing:
             from .obs.runtime import observe
 
@@ -710,8 +728,348 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             result = _run(name, runner, run_config)
             print(result.render())
+        if before is not None:
+            after = cache_counters()
+            parts = ", ".join(
+                f"{k}={after[k] - before[k]}"
+                for k in sorted(after)
+                if after[k] - before[k]
+            )
+            print(f"cache: {parts or 'no events'}")
         print()
     return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments (The Cost of Unknown "
+        "Diameter in Dynamic Networks, SPAA 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    # shared flag groups, declared once (PR 10)
+    exec_parent = add_execution_options(argparse.ArgumentParser(add_help=False))
+    run_parent = argparse.ArgumentParser(add_help=False)
+    run_parent.add_argument(
+        "--quick", action="store_true", help="shrink parameter grids for a fast run"
+    )
+    run_parent.add_argument(
+        "--metrics",
+        action="store_true",
+        help="instrument engine runs and print aggregate metrics/timings",
+    )
+    run_parent.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="persist every engine run as JSONL (plus manifest.json) under DIR",
+    )
+    run_parent.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the session's metrics registry as OpenMetrics text "
+        "(implies --metrics; per-experiment suffixes under 'all')",
+    )
+
+    for name in sorted(EXPERIMENTS):
+        sub = subparsers.add_parser(
+            name, parents=[run_parent, exec_parent], help=EXPERIMENTS[name][0]
+        )
+        sub.set_defaults(func=_run_experiments, exp_names=[name])
+    sub = subparsers.add_parser(
+        "all", parents=[run_parent, exec_parent], help="run every experiment in turn"
+    )
+    sub.set_defaults(func=_run_experiments, exp_names=None)
+
+    sub = subparsers.add_parser("list", help="enumerate the experiment commands")
+    sub.set_defaults(func=lambda parser, args: _cmd_list())
+
+    sub = subparsers.add_parser(
+        "inspect", help="summarize a persisted run file or session directory"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="PATH")
+    sub.set_defaults(func=lambda parser, args: _run_inspect(args.paths))
+
+    sub = subparsers.add_parser(
+        "audit", help="replay the proof ledgers of persisted reduction runs"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="PATH")
+    sub.set_defaults(func=lambda parser, args: _run_audit(args.paths))
+
+    sub = subparsers.add_parser(
+        "bench-diff", help="compare two directories of EXP-*.json sidecars"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="DIR")
+    sub.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative wall-time slow-down treated as a regression (default 0.25)",
+    )
+    sub.add_argument(
+        "--tolerance",
+        action="append",
+        default=None,
+        metavar="NAME=FRAC",
+        help="per-metric tolerance overriding --threshold (repeatable; "
+        "e.g. wall=0.4, phase[delivery]=0.5, speedup=0.2, optionally "
+        "scoped EXP-SUB:speedup=0.2)",
+    )
+    sub.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="gate mode — additionally fail experiments with no committed "
+        "baseline (only-new)",
+    )
+    sub.set_defaults(func=_cmd_bench_diff)
+
+    sub = subparsers.add_parser(
+        "bench-history", help="windowed trend analysis of the benchmark history store"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="HISTORY.jsonl")
+    sub.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative wall-time slow-down treated as a regression (default 0.25)",
+    )
+    sub.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="compare the latest record against the median of the previous "
+        "K (default 5)",
+    )
+    sub.set_defaults(func=_cmd_bench_history)
+
+    sub = subparsers.add_parser(
+        "faultcheck", help="run the fault-injection detection matrix"
+    )
+    sub.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the detection matrix as an EXP-FI JSON sidecar "
+        "(benchmarks/out schema)",
+    )
+    sub.set_defaults(func=lambda parser, args: _run_faultcheck(args.out))
+
+    sub = subparsers.add_parser("profile", help="roll up a session's spans")
+    sub.add_argument("paths", nargs="*", default=[], metavar="SESSION")
+    sub.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many hottest cells to show (default 10)",
+    )
+    sub.set_defaults(func=lambda parser, args: _run_profile(args.paths, args.top))
+
+    sub = subparsers.add_parser(
+        "report", help="render a session as one self-contained HTML page"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="SESSION")
+    sub.add_argument(
+        "--out", metavar="FILE", default=None, help="the HTML output file (required)"
+    )
+    sub.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default=None,
+        help="a baseline session directory to render deltas against, or a "
+        "benchmark history .jsonl for a sparkline trend table",
+    )
+    sub.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many hottest cells to show (default 10)",
+    )
+    sub.set_defaults(
+        func=lambda parser, args: _run_report(
+            args.paths, args.out, args.baseline, args.top
+        )
+    )
+
+    sub = subparsers.add_parser(
+        "tail", help="follow a live streaming session's events"
+    )
+    sub.add_argument("paths", nargs="*", default=[], metavar="SESSION-DIR")
+    sub.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="interval between reads of events.jsonl (default 0.2)",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="give up after this long without the session appearing or "
+        "closing (default 10)",
+    )
+    sub.add_argument(
+        "--no-follow",
+        dest="follow",
+        action="store_false",
+        default=True,
+        help="dump the events recorded so far and exit instead of following",
+    )
+    sub.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show span closes and resource heartbeats",
+    )
+    sub.set_defaults(
+        func=lambda parser, args: _run_tail(
+            args.paths, args.poll, args.timeout, args.follow, args.verbose
+        )
+    )
+
+    sub = subparsers.add_parser(
+        "cache", help="result-cache maintenance: stats, verify, gc"
+    )
+    sub.add_argument(
+        "action",
+        choices=["stats", "verify", "gc"],
+        help="'stats' summarizes the cache, 'verify' re-runs a sample of "
+        "entries from their recipes and asserts bit-identity, 'gc' "
+        "prunes by size/age",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache location (default: the REPRO_CACHE_DIR "
+        "environment variable, else ~/.cache/repro)",
+    )
+    sub.add_argument(
+        "--sample",
+        type=int,
+        default=3,
+        metavar="N",
+        help="verify: how many entries per kind to replay (default 3)",
+    )
+    sub.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="gc: prune oldest entries until the cache fits in BYTES",
+    )
+    sub.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="gc: prune entries older than DAYS days",
+    )
+    sub.set_defaults(func=lambda parser, args: _run_cache(args.action, args))
+
+    sub = subparsers.add_parser(
+        "serve",
+        parents=[add_execution_options(argparse.ArgumentParser(add_help=False), progress=False)],
+        help="run the long-lived sweep daemon (HTTP/JSON)",
+    )
+    sub.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    sub.add_argument(
+        "--port", type=int, default=8642, help="bind port (default 8642; 0 = ephemeral)"
+    )
+    sub.add_argument(
+        "--root",
+        metavar="DIR",
+        default="out/serve",
+        help="daemon state directory; job sessions land under DIR/sessions "
+        "(default out/serve)",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logging"
+    )
+    sub.set_defaults(func=lambda parser, args: _run_serve(args))
+
+    sub = subparsers.add_parser(
+        "submit",
+        parents=[
+            add_execution_options(
+                argparse.ArgumentParser(add_help=False), progress=False, cache_dir=False
+            )
+        ],
+        help="post an experiment to a running daemon and render the result",
+    )
+    sub.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS), help="experiment to submit"
+    )
+    sub.add_argument(
+        "--url", default=None, help="daemon base URL (overrides --host/--port)"
+    )
+    sub.add_argument("--host", default="127.0.0.1", help="daemon host (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8642, help="daemon port (default 8642)")
+    sub.add_argument(
+        "--full", action="store_true", help="run the full grid (default: --quick-sized)"
+    )
+    sub.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after submission instead of waiting for the result",
+    )
+    sub.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="result poll interval while waiting (default 0.2)",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="give up waiting after this long (default 300)",
+    )
+    sub.set_defaults(func=lambda parser, args: _run_submit(args))
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:<6} {EXPERIMENTS[name][0]}")
+    return 0
+
+
+def _cmd_bench_diff(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from .obs.benchdiff import DEFAULT_THRESHOLD
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    return _run_bench_diff(
+        args.paths,
+        threshold,
+        tolerance_specs=args.tolerance,
+        fail_on_regression=args.fail_on_regression,
+    )
+
+
+def _cmd_bench_history(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from .obs.benchdiff import DEFAULT_THRESHOLD
+    from .obs.history import DEFAULT_WINDOW
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    return _run_bench_history(args.paths, window, threshold)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(parser, args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

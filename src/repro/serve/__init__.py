@@ -1,0 +1,31 @@
+"""The ``repro serve`` sweep daemon and its ``repro submit`` client.
+
+Stdlib HTTP/JSON (``http.server`` + ``urllib``): see
+:mod:`repro.serve.daemon` for the service and endpoints,
+:mod:`repro.serve.client` for the client calls, and ``docs/SERVICE.md``
+for the walkthrough.
+"""
+
+from .client import (
+    ServeError,
+    job_result,
+    job_status,
+    request_json,
+    shutdown,
+    submit_job,
+    wait_for_job,
+)
+from .daemon import SweepService, make_server, serve_forever
+
+__all__ = [
+    "ServeError",
+    "job_result",
+    "job_status",
+    "request_json",
+    "shutdown",
+    "submit_job",
+    "wait_for_job",
+    "SweepService",
+    "make_server",
+    "serve_forever",
+]

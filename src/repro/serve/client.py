@@ -1,0 +1,116 @@
+"""``repro submit``: the stdlib HTTP client for the sweep daemon."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ServeError",
+    "request_json",
+    "submit_job",
+    "job_status",
+    "job_result",
+    "wait_for_job",
+    "shutdown",
+]
+
+
+class ServeError(RuntimeError):
+    """The daemon rejected a request or is unreachable."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+def request_json(
+    base_url: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """One JSON round-trip; POST when ``payload`` is given, else GET.
+
+    HTTP error statuses raise :class:`ServeError` carrying the daemon's
+    ``error`` body and the status code (the poll loop keys off 409).
+    """
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read().decode())
+            message = body.get("error", str(exc))
+        except (ValueError, UnicodeDecodeError):
+            message = str(exc)
+        raise ServeError(message, status=exc.code) from exc
+    except urllib.error.URLError as exc:
+        raise ServeError(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def submit_job(
+    base_url: str,
+    experiment: str,
+    quick: bool = True,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache: Optional[str] = None,
+) -> Dict[str, Any]:
+    """POST a job; returns the daemon's job view (with ``job_id``)."""
+    spec: Dict[str, Any] = {"experiment": experiment, "quick": quick}
+    if workers is not None:
+        spec["workers"] = workers
+    if backend is not None:
+        spec["backend"] = backend
+    if cache is not None:
+        spec["cache"] = cache
+    return request_json(base_url, "/jobs", payload=spec)
+
+
+def job_status(base_url: str, job_id: str) -> Dict[str, Any]:
+    return request_json(base_url, f"/jobs/{job_id}")
+
+
+def job_result(base_url: str, job_id: str) -> Dict[str, Any]:
+    """The finished job (result + cache delta); raises while pending."""
+    return request_json(base_url, f"/jobs/{job_id}/result")
+
+
+def wait_for_job(
+    base_url: str,
+    job_id: str,
+    poll: float = 0.2,
+    timeout: float = 300.0,
+) -> Dict[str, Any]:
+    """Poll until the job finishes; returns the full result payload.
+
+    Raises :class:`ServeError` on failure or when ``timeout`` elapses
+    first (the job keeps running server-side either way).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return job_result(base_url, job_id)
+        except ServeError as exc:
+            if exc.status != 409:
+                raise
+        if time.monotonic() >= deadline:
+            raise ServeError(
+                f"job {job_id} still pending after {timeout:.0f}s"
+            )
+        time.sleep(poll)
+
+
+def shutdown(base_url: str) -> Dict[str, Any]:
+    return request_json(base_url, "/shutdown", payload={})

@@ -1,0 +1,359 @@
+"""``repro serve``: a long-lived sweep daemon over HTTP/JSON.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` accepts requests
+while a single scheduler thread drains the job queue in submission
+order (one experiment at a time: the jobs themselves fan out over
+:class:`~repro.sim.parallel.ParallelExecutor`, so serializing jobs is
+what keeps the machine subscribed exactly once).
+
+Endpoints::
+
+    GET  /healthz          liveness + queue depth + cache counters
+    POST /jobs             {"experiment": "thm6", "quick": true,
+                            "workers": 2, "cache": "rw"} -> {"job_id"}
+    GET  /jobs             every job, newest last
+    GET  /jobs/<id>        one job's status (+ cache-event delta)
+    GET  /jobs/<id>/result the finished ExperimentResult as JSON
+                           (409 while queued/running, 404 unknown)
+    GET  /cache/stats      the result-cache stats() snapshot
+    POST /shutdown         graceful stop after the current job
+
+Every job runs under its own streaming observation session at
+``<root>/sessions/<job-id>/`` — ``repro tail`` attaches to it live, and
+``repro inspect``/``profile``/``report`` work on it afterwards.  Jobs
+default to the daemon's cache settings, so a resubmitted sweep is
+answered almost entirely from cache (the ``cache`` delta on the job
+records exactly how much).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from collections import OrderedDict, deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.config import BACKENDS, CACHE_MODES, RunConfig
+from ..errors import ConfigurationError
+
+__all__ = ["SweepService", "make_server", "serve_forever"]
+
+_MAX_BODY = 1 << 20  # a job submission is a small JSON object
+
+
+class SweepService:
+    """The daemon's state: a job registry plus one scheduler thread."""
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        workers: Optional[int] = None,
+        cache: Optional[str] = "rw",
+        cache_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.sessions_dir = self.root / "sessions"
+        self.sessions_dir.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.backend = backend
+        self._jobs: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._queue: "deque[str]" = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._counter = 0
+        self._thread = threading.Thread(
+            target=self._scheduler, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # -- job lifecycle -----------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a submission and enqueue it; returns the public view."""
+        from ..cli import EXPERIMENTS
+
+        experiment = spec.get("experiment")
+        if experiment not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {experiment!r}; one of "
+                f"{', '.join(sorted(EXPERIMENTS))}"
+            )
+        cache = spec.get("cache", self.cache)
+        if cache is not None and cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {cache!r}; expected one of "
+                f"{', '.join(CACHE_MODES)}"
+            )
+        backend = spec.get("backend", self.backend)
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        workers = spec.get("workers", self.workers)
+        if workers is not None and (not isinstance(workers, int) or workers < 0):
+            raise ConfigurationError(f"workers must be a non-negative int, got {workers!r}")
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:04d}"
+            job = {
+                "job_id": job_id,
+                "experiment": experiment,
+                "quick": bool(spec.get("quick", True)),
+                "workers": workers,
+                "backend": backend,
+                "cache": cache,
+                "status": "queued",
+                "submitted_unix": time.time(),
+                "started_unix": None,
+                "finished_unix": None,
+                "session_dir": str(self.sessions_dir / job_id),
+                "error": None,
+                "cache_events": None,
+                "result": None,
+            }
+            self._jobs[job_id] = job
+            self._queue.append(job_id)
+        self._wake.set()
+        return self.job_view(job_id)
+
+    def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """A job's public status (everything except the result body)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return {k: v for k, v in job.items() if k != "result"}
+
+    def job_result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        """``(http_status, body)`` for the result endpoint."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            if job["status"] in ("queued", "running"):
+                return 409, {
+                    "error": f"job {job_id} is {job['status']}; result not ready",
+                    "status": job["status"],
+                }
+            if job["status"] == "failed":
+                return 500, {"error": job["error"], "status": "failed"}
+            view = {k: v for k, v in job.items()}
+            return 200, view
+
+    def list_jobs(self) -> list:
+        with self._lock:
+            return [
+                {k: v for k, v in job.items() if k != "result"}
+                for job in self._jobs.values()
+            ]
+
+    def health(self) -> Dict[str, Any]:
+        from ..cache.store import cache_counters
+
+        with self._lock:
+            queued = len(self._queue)
+            running = sum(1 for j in self._jobs.values() if j["status"] == "running")
+            total = len(self._jobs)
+        return {
+            "ok": True,
+            "queued": queued,
+            "running": running,
+            "jobs": total,
+            "cache_counters": cache_counters(),
+        }
+
+    def cache_stats(self) -> Dict[str, Any]:
+        from ..cache.store import ResultCache, resolve_cache_dir
+
+        return ResultCache(resolve_cache_dir(self.cache_dir)).stats()
+
+    def stop(self) -> None:
+        """Finish the running job, then stop the scheduler."""
+        self._stop.set()
+        self._wake.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    # -- the scheduler thread ----------------------------------------------
+    def _scheduler(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=0.2)
+            self._wake.clear()
+            while True:
+                with self._lock:
+                    if not self._queue:
+                        break
+                    job_id = self._queue.popleft()
+                self._run_job(job_id)
+                if self._stop.is_set():
+                    break
+
+    def _run_job(self, job_id: str) -> None:
+        from ..cache.store import cache_counters
+        from ..cli import EXPERIMENTS
+        from ..obs.runtime import observe
+
+        with self._lock:
+            job = self._jobs[job_id]
+            job["status"] = "running"
+            job["started_unix"] = time.time()
+            experiment = job["experiment"]
+            quick = job["quick"]
+            config = RunConfig(
+                workers=job["workers"],
+                backend=job["backend"],
+                cache=job["cache"],
+                cache_dir=self.cache_dir,
+            )
+            session_dir = pathlib.Path(job["session_dir"])
+        before = cache_counters()
+        try:
+            _desc, runner = EXPERIMENTS[experiment]
+            with observe(
+                trace_dir=session_dir, label=experiment, stream=True
+            ) as session:
+                result = runner(quick, config=config)
+            result.attach_session(session)
+            after = cache_counters()
+            with self._lock:
+                job["status"] = "done"
+                job["finished_unix"] = time.time()
+                job["cache_events"] = {
+                    k: after[k] - before[k] for k in sorted(after)
+                }
+                job["result"] = result.to_dict()
+        except Exception as exc:  # a bad job must not kill the daemon
+            after = cache_counters()
+            with self._lock:
+                job["status"] = "failed"
+                job["finished_unix"] = time.time()
+                job["error"] = f"{type(exc).__name__}: {exc}"
+                job["cache_events"] = {
+                    k: after[k] - before[k] for k in sorted(after)
+                }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the shared :class:`SweepService`."""
+
+    service: SweepService  # set by make_server on the subclass
+    quiet = True
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, body: Dict[str, Any]) -> None:
+        blob = json.dumps(body, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            self._send(413, {"error": "request body too large"})
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._send(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(body, dict):
+            self._send(400, {"error": "request body must be a JSON object"})
+            return None
+        return body
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["healthz"]:
+            self._send(200, self.service.health())
+        elif parts == ["jobs"]:
+            self._send(200, {"jobs": self.service.list_jobs()})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            view = self.service.job_view(parts[1])
+            if view is None:
+                self._send(404, {"error": f"unknown job {parts[1]!r}"})
+            else:
+                self._send(200, view)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            status, body = self.service.job_result(parts[1])
+            self._send(status, body)
+        elif parts == ["cache", "stats"]:
+            self._send(200, self.service.cache_stats())
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["jobs"]:
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                view = self.service.submit(body)
+            except ConfigurationError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            self._send(202, view)
+        elif parts == ["shutdown"]:
+            self._send(200, {"ok": True, "stopping": True})
+            self.service.stop()
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+
+
+def make_server(
+    host: str, port: int, service: SweepService, quiet: bool = True
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server routing to ``service``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (the CI smoke test does).
+    """
+    handler = type("Handler", (_Handler,), {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    root: pathlib.Path,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    workers: Optional[int] = None,
+    cache: Optional[str] = "rw",
+    cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Run the daemon until /shutdown or KeyboardInterrupt."""
+    service = SweepService(
+        root, workers=workers, cache=cache, cache_dir=cache_dir, backend=backend
+    )
+    server = make_server(host, port, service, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(sessions under {service.sessions_dir})")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        service.stop()
+        server.server_close()
+        service.join(timeout=5)
+    return 0

@@ -34,7 +34,15 @@ from .batch import (
     fallback_log_scope,
 )
 from .coins import Coins, CoinSource
-from .config import BACKEND_ENV, BACKENDS, RunConfig, resolve_backend
+from .config import (
+    BACKEND_ENV,
+    BACKENDS,
+    CACHE_ENV,
+    CACHE_MODES,
+    RunConfig,
+    resolve_backend,
+    resolve_cache,
+)
 from .engine import ROUND_STAGES, StageEvent, SynchronousEngine
 from .factories import BoundNode, Constant, NodeSet
 from .messages import congest_budget
@@ -61,6 +69,9 @@ __all__ = [
     "BACKENDS",
     "BACKEND_ENV",
     "resolve_backend",
+    "CACHE_MODES",
+    "CACHE_ENV",
+    "resolve_cache",
     "congest_budget",
     "ProtocolNode",
     "ProtocolRun",

@@ -10,21 +10,25 @@ value object and adds the one new axis this facade was built for:
 backend (:class:`~repro.sim.batch.BatchEngine`), which is verified
 bit-identical and exists purely for throughput.
 
-Legacy call styles keep working: the drivers accept the old individual
-arguments through a shim (:func:`coerce_config`) that folds them into a
-``RunConfig`` and emits a :class:`DeprecationWarning` — existing code
-never breaks, it just gets nudged.
+The config-first migration is complete: the drivers accept *only*
+``config=RunConfig(...)``.  The legacy individual-argument call styles
+(``run_protocol(mn, ma, 3, 30)``, ``replicate(..., max_rounds=200)``)
+deprecation-warned through PR 9 and are now a hard
+:class:`~repro.errors.ConfigurationError` naming the exact
+``RunConfig(...)`` replacement (:func:`coerce_config` remains as the
+guard that produces that error).
 
 Backend resolution mirrors the worker resolution of
 :mod:`repro.sim.parallel`: an explicit ``backend=`` wins, otherwise the
 ``REPRO_BACKEND`` environment variable applies (this is how CI runs the
 whole tier-1 suite under the batch backend), otherwise ``reference``.
+The result-cache mode (``cache``/``$REPRO_CACHE``) follows the same
+ladder, defaulting to ``off``.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -36,9 +40,12 @@ __all__ = [
     "BACKENDS",
     "BACKEND_ENV",
     "VECTOR_REPLICAS_ENV",
+    "CACHE_MODES",
+    "CACHE_ENV",
     "coerce_config",
     "resolve_backend",
     "resolve_vector_replicas",
+    "resolve_cache",
 ]
 
 #: recognized execution backends, in documentation order
@@ -49,6 +56,12 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 #: environment variable supplying the replica-axis vectorization default
 VECTOR_REPLICAS_ENV = "REPRO_VECTOR_REPLICAS"
+
+#: recognized result-cache modes: read-write, read-only, disabled
+CACHE_MODES: Tuple[str, ...] = ("rw", "ro", "off")
+
+#: environment variable supplying the default cache mode (cf. REPRO_BACKEND)
+CACHE_ENV = "REPRO_CACHE"
 
 _TRUTHY = frozenset(("1", "true", "yes", "on"))
 _FALSY = frozenset(("", "0", "false", "no", "off"))
@@ -90,6 +103,23 @@ def resolve_vector_replicas(vector_replicas: Optional[bool]) -> bool:
         f"cannot parse {VECTOR_REPLICAS_ENV}={raw!r}: expected one of "
         f"{', '.join(sorted(_TRUTHY))} / {', '.join(sorted(x for x in _FALSY if x))}"
     )
+
+
+def resolve_cache(cache: Optional[str]) -> str:
+    """Resolve a result-cache mode against the environment default.
+
+    Same precedence ladder as :func:`resolve_backend`: an explicit
+    mode wins, ``None`` defers to ``$REPRO_CACHE`` (empty/unset means
+    ``off``); anything not in :data:`CACHE_MODES` is a
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if cache is None:
+        cache = os.environ.get(CACHE_ENV, "").strip() or "off"
+    if cache not in CACHE_MODES:
+        raise ConfigurationError(
+            f"unknown cache mode {cache!r}; expected one of {', '.join(CACHE_MODES)}"
+        )
+    return cache
 
 
 @dataclass(frozen=True)
@@ -138,6 +168,18 @@ class RunConfig:
         to :data:`~repro.sim.batch.DENSE_NODE_LIMIT`; ``0`` forces the
         sparse path everywhere.  Recorded by :meth:`as_dict` so cached
         manifests capture which representation shaped a run.
+    cache:
+        Result-cache mode for ``run_protocol``/``replicate``/
+        ``cartesian_sweep`` and the experiment drivers: ``"rw"`` reads
+        and writes the content-addressed cache (:mod:`repro.cache`),
+        ``"ro"`` only reads, ``"off"`` disables it (``None`` defers to
+        ``$REPRO_CACHE``, then off).  Cache keys hash only the
+        result-shaping fields (seed, max_rounds, bandwidth_factor,
+        check_connected) plus the cell identity — never workers,
+        backend, or instrumentation.
+    cache_dir:
+        Cache root directory (``None`` defers to ``$REPRO_CACHE_DIR``,
+        then ``~/.cache/repro``).
     """
 
     seed: Optional[int] = None
@@ -150,6 +192,8 @@ class RunConfig:
     backend: Optional[str] = None
     vector_replicas: Optional[bool] = None
     dense_node_limit: Optional[int] = None
+    cache: Optional[str] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:
@@ -161,6 +205,11 @@ class RunConfig:
             raise ConfigurationError(
                 f"dense_node_limit must be >= 0, got {self.dense_node_limit}"
             )
+        if self.cache is not None and self.cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {self.cache!r}; "
+                f"expected one of {', '.join(CACHE_MODES)}"
+            )
 
     # -- derived ---------------------------------------------------------
     def resolved_backend(self) -> str:
@@ -170,6 +219,10 @@ class RunConfig:
     def resolved_vector_replicas(self) -> bool:
         """Whether this config selects replica-axis vectorization."""
         return resolve_vector_replicas(self.vector_replicas)
+
+    def resolved_cache(self) -> str:
+        """The result-cache mode this config actually selects."""
+        return resolve_cache(self.cache)
 
     def resolved_dense_node_limit(self) -> int:
         """The dense-adjacency cutoff this config actually selects."""
@@ -203,24 +256,25 @@ def coerce_config(
     legacy_args: Tuple[Any, ...],
     legacy_kwargs: Dict[str, Any],
 ) -> RunConfig:
-    """Fold a driver's legacy arguments into a :class:`RunConfig`.
+    """Guard a driver's ``config`` slot against the removed legacy styles.
 
     The drivers are declared as ``fn(..., config=None, *legacy_args,
-    **legacy_kwargs)``: new code passes a :class:`RunConfig` (or nothing)
-    in the ``config`` slot; old code keeps passing the individual values
-    positionally or by keyword.  This shim
+    **legacy_kwargs)``: current code passes a :class:`RunConfig` (or
+    nothing) in the ``config`` slot.  The pre-RunConfig call styles —
+    individual values positionally or by keyword — deprecation-warned
+    for four PRs and are now removed; this guard
 
     * treats a non-``RunConfig`` value in the ``config`` slot as the
-      first legacy positional (so ``run_protocol(mn, ma, seed, rounds)``
-      still means what it always did),
-    * maps remaining positionals onto ``legacy_order``,
-    * accepts legacy keywords whose names are ``RunConfig`` fields,
-    * emits one :class:`DeprecationWarning` whenever any legacy argument
-      was used, and
-    * refuses mixtures: ``config=`` plus legacy arguments is ambiguous
-      and raises :class:`~repro.errors.ConfigurationError`.
+      first legacy positional (so ``run_protocol(mn, ma, 3, 30)`` is
+      still *recognized*, and rejected with its exact replacement),
+    * maps remaining positionals onto ``legacy_order`` and accepts
+      legacy keywords whose names are ``RunConfig`` fields, purely to
+      name the fields in the error, and
+    * raises :class:`~repro.errors.ConfigurationError` spelling out the
+      ``config=RunConfig(...)`` call that replaces the rejected one.
 
-    Unknown keywords raise :class:`TypeError`, like any Python call.
+    Unknown keywords and positional overflow raise :class:`TypeError`,
+    like any Python call.
     """
     legacy: Dict[str, Any] = {}
     if config is not None and not isinstance(config, RunConfig):
@@ -251,12 +305,8 @@ def coerce_config(
             f"individual arguments, not both (got both config= and "
             f"{sorted(legacy)})"
         )
-    warnings.warn(
-        f"{fn_name}: passing configuration as individual arguments is "
-        f"deprecated; use {fn_name}(..., config=RunConfig("
-        + ", ".join(f"{k}=..." for k in sorted(legacy))
-        + "))",
-        DeprecationWarning,
-        stacklevel=3,
+    replacement = ", ".join(f"{k}={legacy[k]!r}" for k in sorted(legacy))
+    raise ConfigurationError(
+        f"{fn_name}: passing configuration as individual arguments was "
+        f"removed; use {fn_name}(..., config=RunConfig({replacement}))"
     )
-    return RunConfig(**legacy)

@@ -17,8 +17,17 @@ readable one-loop-per-round :class:`~repro.sim.engine.SynchronousEngine`;
 bit-identical on oblivious *and* adaptive adversaries (the latter via an
 incremental schedule tape); only adversaries that declare
 ``dynamic_nodes=True`` fall back to the reference engine, with a logged
-reason.  Legacy call styles — the individual seed/max_rounds/...
-arguments — keep working through a deprecation shim.
+reason.  The legacy call styles — individual seed/max_rounds/...
+arguments — were removed; passing them raises a
+:class:`~repro.errors.ConfigurationError` naming the ``RunConfig``
+replacement.
+
+Both drivers consult the content-addressed result cache
+(:mod:`repro.cache`) when ``RunConfig(cache="rw"|"ro")`` or
+``$REPRO_CACHE`` enables it: a hit returns a served
+:class:`ProtocolRun` (``cached=True``, stored trace fingerprint,
+aggregate-only trace) without executing; instrumented runs
+(``instrument=True``) always execute and are never cached.
 
 Both drivers thread observability through: ``RunConfig(instrument=True)``
 (or an ambient :func:`repro.obs.runtime.observe` session) gives every
@@ -56,7 +65,8 @@ NodeFactory = Callable[[], Dict[int, ProtocolNode]]
 AdversaryFactory = Callable[[], Any]
 
 #: Legacy positional orders of the pre-RunConfig signatures; the shim
-#: maps stray positionals onto these names (and deprecation-warns).
+#: maps stray positionals onto these names so the hard error can name
+#: the exact ``RunConfig(...)`` replacement.
 _RUN_PROTOCOL_LEGACY = (
     "seed", "max_rounds", "bandwidth_factor", "check_connected",
     "instrument", "registry",
@@ -84,6 +94,14 @@ class ProtocolRun:
     #: batch runs only: the adjacency representation the schedule tape
     #: settled on ("dense"/"bitset"/"csr"/"scan"); None on reference runs
     representation: Optional[str] = None
+    #: True when this run was served from the result cache instead of
+    #: executed; its trace is a :class:`repro.cache.runcache.CachedTrace`
+    #: (exact aggregates/outputs, empty per-round record list)
+    cached: bool = False
+    #: the canonical trace fingerprint recorded at store time; on cached
+    #: runs this — not ``trace_fingerprint(run.trace)`` — is the run's
+    #: identity (see :func:`repro.cache.runcache.run_fingerprint`)
+    fingerprint: Optional[str] = None
 
     @property
     def total_bits(self) -> int:
@@ -123,8 +141,14 @@ def run_protocol(
 
     Configuration comes as ``RunConfig(seed=..., max_rounds=..., ...)``;
     ``seed`` and ``max_rounds`` are required.  The legacy individual
-    arguments (``run_protocol(mn, ma, seed, max_rounds, ...)``) still
-    work and emit a :class:`DeprecationWarning`.
+    arguments (``run_protocol(mn, ma, seed, max_rounds, ...)``) were
+    removed and raise :class:`~repro.errors.ConfigurationError`.
+
+    With ``RunConfig(cache="rw"|"ro")`` (or ``$REPRO_CACHE``) the
+    result cache is consulted first: a hit returns a ``cached=True``
+    run carrying the stored fingerprint and aggregates; on ``"rw"`` a
+    computed run is stored for next time.  Instrumented runs bypass
+    the cache entirely.
 
     ``RunConfig(instrument=True)`` attaches a fresh
     :class:`~repro.obs.instrumentation.Instrumentation` (feeding
@@ -138,6 +162,15 @@ def run_protocol(
     )
     require(cfg.seed is not None, "run_protocol requires RunConfig(seed=...)")
     require(cfg.max_rounds is not None, "run_protocol requires RunConfig(max_rounds=...)")
+    cache_key = cache = cache_mode = None
+    if not cfg.instrument and cfg.resolved_cache() != "off":
+        from ..cache.runcache import lookup_run
+
+        cache_key, cache, cache_mode, served = lookup_run(
+            cfg, make_nodes, make_adversary
+        )
+        if served is not None:
+            return served
     instrumentation = None
     if cfg.instrument:
         from ..obs.instrumentation import Instrumentation
@@ -160,7 +193,7 @@ def run_protocol(
     inst = engine.instrumentation
     if inst is not None and hasattr(inst, "run_metrics"):
         metrics = inst.run_metrics()
-    return ProtocolRun(
+    run = ProtocolRun(
         trace=trace,
         terminated=terminated,
         rounds=rounds,
@@ -169,6 +202,11 @@ def run_protocol(
         backend=engine.backend,
         representation=getattr(engine, "representation", None),
     )
+    if cache_key is not None and cache_mode == "rw":
+        from ..cache.runcache import store_run
+
+        store_run(cache_key, cache, cfg, make_nodes, make_adversary, run)
+    return run
 
 
 @dataclass
@@ -256,6 +294,9 @@ def _replicate_task(
             # the parent already resolved (or fell back) to reference;
             # never let a worker re-resolve $REPRO_BACKEND differently
             backend="reference",
+            # replicate caches the whole replication as one entry; the
+            # per-seed runs must not also consult $REPRO_CACHE
+            cache="off",
         ),
     )
     return run, registry
@@ -328,8 +369,15 @@ def replicate(
 
     Configuration comes as ``RunConfig(max_rounds=..., ...)``
     (``max_rounds`` required; ``config.seed`` is ignored — the explicit
-    ``seeds`` sequence governs).  Legacy individual arguments still work
-    with a :class:`DeprecationWarning`.
+    ``seeds`` sequence governs).  The legacy individual arguments were
+    removed and raise :class:`~repro.errors.ConfigurationError`.
+
+    With caching enabled (``RunConfig(cache=...)`` / ``$REPRO_CACHE``)
+    a whole replication is one cache entry keyed on the semantic config
+    (seed dropped) plus factories plus the seed sequence: a hit serves
+    every run without executing, all-or-nothing.  The per-seed
+    ``run_protocol`` calls inside run with the cache off — the
+    replication entry is the unit here.
 
     With ``instrument=True`` all runs share ``config.registry`` (a fresh
     one by default), so cross-seed counters aggregate while each run
@@ -361,6 +409,15 @@ def replicate(
         "replicate", _REPLICATE_LEGACY, config, legacy_args, legacy_kwargs
     )
     require(cfg.max_rounds is not None, "replicate requires RunConfig(max_rounds=...)")
+    cache_key = cache = cache_mode = None
+    if not cfg.instrument and cfg.resolved_cache() != "off":
+        from ..cache.runcache import lookup_replicate
+
+        cache_key, cache, cache_mode, served = lookup_replicate(
+            cfg, make_nodes, make_adversary, seeds
+        )
+        if served is not None:
+            return served
     with fallback_log_scope():
         backend = _resolve_batch(make_adversary, cfg.resolved_backend())
         vector = backend == "batch" and cfg.resolved_vector_replicas()
@@ -383,8 +440,15 @@ def replicate(
             seeds=len(seeds), backend=backend, workers=n_workers,
             vector_replicas=vector,
         ):
-            return _replicate_impl(make_nodes, make_adversary, seeds, cfg,
-                                   backend, n_workers, vector)
+            summary = _replicate_impl(make_nodes, make_adversary, seeds, cfg,
+                                      backend, n_workers, vector)
+    if cache_key is not None and cache_mode == "rw":
+        from ..cache.runcache import store_replicate
+
+        store_replicate(
+            cache_key, cache, cfg, make_nodes, make_adversary, seeds, summary
+        )
+    return summary
 
 
 def _replicate_impl(
@@ -495,6 +559,7 @@ def _replicate_impl(
                         instrument=cfg.instrument,
                         registry=registry,
                         backend="reference",  # already resolved/fallen back above
+                        cache="off",  # the replication entry is the cache unit
                     ),
                 )
             )

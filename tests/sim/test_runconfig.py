@@ -1,9 +1,11 @@
-"""RunConfig facade: round-trips, backend resolution, the legacy shim.
+"""RunConfig facade: round-trips, backend resolution, the removed shim.
 
 The facade's contract is twofold: (a) a ``RunConfig`` threads identically
-through ``run_protocol``/``replicate``/``cartesian_sweep``, and (b) every
-pre-existing call signature still runs — at most a ``DeprecationWarning``,
-never a break.  Both halves are pinned here.
+through ``run_protocol``/``replicate``/``cartesian_sweep``, and (b) the
+pre-RunConfig call styles — individual values positionally or by keyword,
+which deprecation-warned for four PRs — are now *removed*: they raise
+:class:`~repro.errors.ConfigurationError` naming the exact
+``config=RunConfig(...)`` replacement.  Both halves are pinned here.
 """
 
 from __future__ import annotations
@@ -83,7 +85,7 @@ class TestRunConfig:
         assert BACKENDS == ("reference", "batch")
 
 
-# -- the deprecation shim --------------------------------------------------
+# -- the removed legacy call styles ----------------------------------------
 
 
 class TestLegacyShim:
@@ -95,39 +97,37 @@ class TestLegacyShim:
             )
         assert run.terminated
 
-    def test_run_protocol_legacy_positional_warns_and_matches(self):
-        new = run_protocol(_make_nodes, _make_adv, RunConfig(seed=3, max_rounds=30))
-        with pytest.warns(DeprecationWarning, match="run_protocol"):
-            old = run_protocol(_make_nodes, _make_adv, 3, 30)
-        assert old.rounds == new.rounds
-        assert old.outputs == new.outputs
-        assert old.total_bits == new.total_bits
+    def test_run_protocol_legacy_positional_raises_with_replacement(self):
+        with pytest.raises(ConfigurationError, match="was.*removed") as exc:
+            run_protocol(_make_nodes, _make_adv, 3, 30)
+        # the error spells out the exact RunConfig replacement
+        assert "run_protocol" in str(exc.value)
+        assert "config=RunConfig(max_rounds=30, seed=3)" in str(exc.value)
 
-    def test_run_protocol_legacy_keywords_warn_and_match(self):
-        new = run_protocol(
-            _make_nodes, _make_adv, RunConfig(seed=3, max_rounds=30, bandwidth_factor=48)
-        )
-        with pytest.warns(DeprecationWarning):
-            old = run_protocol(
+    def test_run_protocol_legacy_keywords_raise_with_replacement(self):
+        with pytest.raises(ConfigurationError, match="was.*removed") as exc:
+            run_protocol(
                 _make_nodes, _make_adv, seed=3, max_rounds=30, bandwidth_factor=48
             )
-        assert old.rounds == new.rounds
-        assert old.total_bits == new.total_bits
+        assert (
+            "config=RunConfig(bandwidth_factor=48, max_rounds=30, seed=3)"
+            in str(exc.value)
+        )
 
-    def test_replicate_legacy_keywords_warn_and_match(self):
-        new = replicate(_make_nodes, _make_adv, [1, 2], RunConfig(max_rounds=30))
-        with pytest.warns(DeprecationWarning, match="replicate"):
-            old = replicate(_make_nodes, _make_adv, [1, 2], max_rounds=30)
-        assert [r.rounds for r in old.runs] == [r.rounds for r in new.runs]
-        assert [r.outputs for r in old.runs] == [r.outputs for r in new.runs]
+    def test_replicate_legacy_keywords_raise_with_replacement(self):
+        with pytest.raises(ConfigurationError, match="was.*removed") as exc:
+            replicate(_make_nodes, _make_adv, [1, 2], max_rounds=30)
+        assert "replicate" in str(exc.value)
+        assert "config=RunConfig(max_rounds=30)" in str(exc.value)
 
-    def test_cartesian_sweep_legacy_workers_warns(self):
+    def test_cartesian_sweep_legacy_workers_raises_with_replacement(self):
         def cell(a):
             return {"b": a + 1}
 
-        with pytest.warns(DeprecationWarning, match="cartesian_sweep"):
-            rows = cartesian_sweep({"a": [1, 2]}, cell, workers=0)
-        assert rows == [{"a": 1, "b": 2}, {"a": 2, "b": 3}]
+        with pytest.raises(ConfigurationError, match="was.*removed") as exc:
+            cartesian_sweep({"a": [1, 2]}, cell, workers=0)
+        assert "cartesian_sweep" in str(exc.value)
+        assert "config=RunConfig(workers=0)" in str(exc.value)
 
     def test_config_plus_legacy_is_ambiguous(self):
         with pytest.raises(ConfigurationError, match="not both"):
